@@ -1,0 +1,146 @@
+// Figure 3: one message per flow breaks congestion control.
+//
+// Four hosts in a dumbbell with 100 Gb/s links send 16 KB messages to one
+// receiver. Baseline: persistent connections (one flow per host, messages
+// streamed). Anti-pattern (the paper's figure): a brand-new TCP connection
+// per message — every message pays a handshake and restarts from the initial
+// window, so aggregate throughput is noisy and low.
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "net/network.hpp"
+#include "scenarios.hpp"
+#include "stats/table.hpp"
+
+using namespace mtp;
+using namespace mtp::bench;
+
+namespace {
+
+struct Rig {
+  net::Network net;
+  std::vector<net::Host*> senders;
+  net::Host* receiver;
+  net::Switch* sw;
+
+  Rig() {
+    const net::DropTailQueue::Config q{.capacity_pkts = 128, .ecn_threshold_pkts = 20};
+    sw = net.add_switch("sw");
+    receiver = net.add_host("recv");
+    for (int i = 0; i < 4; ++i) {
+      net::Host* h = net.add_host("h" + std::to_string(i));
+      senders.push_back(h);
+      net.connect(*h, *sw, sim::Bandwidth::gbps(100), 1_us, q);
+      sw->add_route(h->id(), static_cast<net::PortIndex>(i));
+    }
+    net.connect(*sw, *receiver, sim::Bandwidth::gbps(100), 1_us, q);
+    sw->add_route(receiver->id(), 4);
+  }
+};
+
+struct Result {
+  std::vector<stats::ThroughputMeter::Sample> series;
+  double avg_gbps = 0;
+  double cov = 0;  ///< coefficient of variation of the 32us samples
+};
+
+Result summarize(const stats::ThroughputMeter& meter, sim::SimTime duration) {
+  Result r;
+  r.series = meter.series();
+  r.avg_gbps = static_cast<double>(meter.total_bytes()) * 8.0 / duration.sec() / 1e9;
+  // Skip the first 10% (startup) when computing variability.
+  std::vector<double> xs;
+  for (std::size_t i = r.series.size() / 10; i < r.series.size(); ++i) {
+    xs.push_back(r.series[i].gbps);
+  }
+  if (xs.size() > 1) {
+    const double m = stats::mean(xs);
+    double var = 0;
+    for (double x : xs) var += (x - m) * (x - m);
+    var /= static_cast<double>(xs.size());
+    r.cov = m > 0 ? std::sqrt(var) / m : 0;
+  }
+  return r;
+}
+
+Result run_persistent(sim::SimTime duration) {
+  Rig rig;
+  transport::TcpConfig cfg;
+  cfg.dctcp = true;
+  std::vector<std::unique_ptr<transport::TcpStack>> stacks;
+  transport::TcpStack rs(*rig.receiver, cfg);
+  stats::ThroughputMeter meter(32_us);
+  transport::TcpSink sink(rs, 80, &meter);
+  std::vector<std::unique_ptr<transport::TcpBulkSource>> sources;
+  for (auto* h : rig.senders) {
+    stacks.push_back(std::make_unique<transport::TcpStack>(*h, cfg));
+    sources.push_back(std::make_unique<transport::TcpBulkSource>(
+        *stacks.back(), rig.receiver->id(), 80));
+  }
+  rig.net.simulator().run(duration);
+  return summarize(meter, duration);
+}
+
+Result run_per_message(sim::SimTime duration) {
+  Rig rig;
+  transport::TcpConfig cfg;
+  cfg.dctcp = true;
+  std::vector<std::unique_ptr<transport::TcpStack>> stacks;
+  transport::TcpStack rs(*rig.receiver, cfg);
+  stats::ThroughputMeter meter(32_us);
+  transport::TcpSink sink(rs, 80, &meter);
+  std::vector<std::unique_ptr<transport::TcpPerMessageClient>> clients;
+  // Closed loop, one outstanding message per host (the paper's pattern): as
+  // soon as a message's connection closes, open the next one — so every
+  // message pays the full handshake + slow-start + teardown cost.
+  std::vector<std::function<void()>> next;
+  for (auto* h : rig.senders) {
+    stacks.push_back(std::make_unique<transport::TcpStack>(*h, cfg));
+    clients.push_back(std::make_unique<transport::TcpPerMessageClient>(
+        *stacks.back(), rig.receiver->id(), 80));
+    auto* client = clients.back().get();
+    next.push_back([client, &next, idx = next.size()]() {
+      client->send_message(16'384,
+                           [&next, idx](sim::SimTime, std::int64_t) { next[idx](); });
+    });
+  }
+  for (auto& f : next) f();
+  rig.net.simulator().run(duration);
+  return summarize(meter, duration);
+}
+
+}  // namespace
+
+int main() {
+  const sim::SimTime duration = 4_ms;
+  std::printf(
+      "=== Figure 3: one 16 KB message per TCP flow (4 hosts, 100G dumbbell) ===\n\n");
+
+  const Result persistent = run_persistent(duration);
+  const Result per_msg = run_per_message(duration);
+
+  stats::Table t({"scheme", "aggregate goodput (Gb/s)", "sample CoV"});
+  t.add_row({"persistent flows", stats::format("%.1f", persistent.avg_gbps),
+             stats::format("%.2f", persistent.cov)});
+  t.add_row({"one message per flow", stats::format("%.1f", per_msg.avg_gbps),
+             stats::format("%.2f", per_msg.cov)});
+  t.print();
+
+  std::printf(
+      "\npaper shape: per-message flows are noisy (high variation) and leave the\n"
+      "bottleneck underutilized; persistent flows are smooth and saturating.\n\n");
+
+  std::printf("throughput series (Gb/s per 32 us window, first 2 ms):\n");
+  stats::Table series({"t (us)", "persistent", "one-msg-per-flow"});
+  const std::size_t n =
+      std::min({persistent.series.size(), per_msg.series.size(), std::size_t{2000 / 32}});
+  for (std::size_t i = 0; i < n; ++i) {
+    series.add_row({stats::format("%.0f", persistent.series[i].start.us()),
+                    stats::format("%.1f", persistent.series[i].gbps),
+                    stats::format("%.1f", per_msg.series[i].gbps)});
+  }
+  series.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 6: load- and request-aware load balancing.
+//
+// Two 100 Gb/s paths between sender and receiver, the second with +1 us
+// extra delay. A skewed mix of message sizes (10 KB up; heavy tail). Three
+// schemes:
+//   ecmp   — per-message flow-hash placement, blind to size and load
+//   spray  — per-packet round-robin: perfect byte balance, reordering
+//   mtp-lb — MTP message-aware balancer: whole messages placed on the
+//            currently least-loaded path (no reordering within a message)
+//
+// Paper result (tail FCT): ECMP suffers from load imbalance, spraying from
+// reordering; the MTP-enabled balancer achieves near-perfect balance without
+// reordering.
+#include <cstdio>
+
+#include "scenarios.hpp"
+#include "stats/table.hpp"
+
+using namespace mtp;
+using namespace mtp::bench;
+
+int main() {
+  // The paper's distribution runs to 1 GB; the simulated tail is capped at
+  // 16 MB to bound run time (documented in EXPERIMENTS.md) — the skew that
+  // drives the result is preserved.
+  const int messages = 1200;
+  const std::int64_t cap = 16 << 20;
+  std::printf(
+      "=== Figure 6: tail FCT under three load-balancing schemes ===\n"
+      "(two 100G paths, +1us delay on one; %d messages, sizes 10KB..16MB skewed "
+      "short)\n\n",
+      messages);
+
+  stats::Table t({"scheme", "p50 FCT (us)", "p99 FCT (us)", "mean (us)",
+                  "bytes on path A", "completed"});
+  for (const std::string scheme : {"ecmp", "spray", "mtp-lb"}) {
+    const Fig6Result r = run_fig6(scheme, messages, /*seed=*/7);
+    t.add_row({r.scheme, stats::format("%.0f", r.p50_us), stats::format("%.0f", r.p99_us),
+               stats::format("%.0f", r.mean_us),
+               stats::format("%.0f%%", r.path_a_bytes_frac * 100.0),
+               stats::format("%zu", r.messages)});
+  }
+  t.print();
+  std::printf(
+      "\npaper shape: mtp-lb has the lowest tail FCT; ecmp suffers hash imbalance\n"
+      "(bytes far from 50/50 + collisions); spraying balances bytes but reorders.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Microbenchmarks of the substrate (google-benchmark): event-queue
+// operations, header serialization, queue datapaths, and end-to-end
+// simulated-packet throughput. These guard the simulator's performance —
+// packet-level experiments execute tens of millions of events.
+#include <benchmark/benchmark.h>
+
+#include "innetwork/queues.hpp"
+#include "mtp/endpoint.hpp"
+#include "net/network.hpp"
+#include "proto/mtp_header.hpp"
+#include "sim/simulator.hpp"
+
+using namespace mtp;
+using namespace mtp::sim::literals;
+
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < batch; ++i) {
+      sim.schedule(sim::SimTime::nanoseconds(i % 64), [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1024);
+    for (int i = 0; i < 1024; ++i) {
+      ids.push_back(sim.schedule(1_us, [] {}));
+    }
+    for (auto id : ids) sim.cancel(id);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorCancel);
+
+proto::MtpHeader typical_data_header() {
+  proto::MtpHeader h;
+  h.src_port = 1234;
+  h.dst_port = 80;
+  h.msg_id = 424242;
+  h.msg_len_bytes = 1'000'000;
+  h.msg_len_pkts = 1000;
+  h.pkt_num = 500;
+  h.pkt_offset = 500'000;
+  h.pkt_len = 1000;
+  h.path_feedback = {{1, 0, {proto::FeedbackType::kEcn, 1}},
+                     {2, 0, {proto::FeedbackType::kRate, 40'000'000'000}}};
+  return h;
+}
+
+void BM_MtpHeaderSerialize(benchmark::State& state) {
+  const proto::MtpHeader h = typical_data_header();
+  std::vector<std::uint8_t> buf;
+  for (auto _ : state) {
+    buf.clear();
+    h.serialize(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(h.wire_size()));
+}
+BENCHMARK(BM_MtpHeaderSerialize);
+
+void BM_MtpHeaderParse(benchmark::State& state) {
+  const proto::MtpHeader h = typical_data_header();
+  std::vector<std::uint8_t> buf;
+  h.serialize(buf);
+  for (auto _ : state) {
+    auto parsed = proto::MtpHeader::parse(buf);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_MtpHeaderParse);
+
+net::Packet make_pkt(proto::TrafficClassId tc) {
+  net::Packet p;
+  p.src = 1;
+  p.dst = 2;
+  p.payload_bytes = 1000;
+  p.header_bytes = 64;
+  p.tc = tc;
+  proto::MtpHeader h;
+  h.msg_len_pkts = 1;
+  h.pkt_len = 1000;
+  p.header = h;
+  return p;
+}
+
+void BM_DropTailQueue(benchmark::State& state) {
+  net::DropTailQueue q({.capacity_pkts = 1024, .ecn_threshold_pkts = 64});
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.enqueue(make_pkt(0));
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_DropTailQueue);
+
+void BM_WfqQueue(benchmark::State& state) {
+  innetwork::WfqQueue q({.per_tc_capacity_pkts = 1024});
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.enqueue(make_pkt(static_cast<proto::TrafficClassId>(i % 4)));
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_WfqQueue);
+
+// End-to-end: packets/second the full stack simulates (hosts, switch,
+// queues, MTP endpoints with acking).
+void BM_EndToEndMtpTransfer(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Network net;
+    auto* a = net.add_host("a");
+    auto* b = net.add_host("b");
+    auto* sw = net.add_switch("sw");
+    net.connect(*a, *sw, sim::Bandwidth::gbps(100), 1_us);
+    net.connect(*sw, *b, sim::Bandwidth::gbps(100), 1_us);
+    sw->add_route(a->id(), 0);
+    sw->add_route(b->id(), 1);
+    core::MtpEndpoint src(*a, {});
+    core::MtpEndpoint dst(*b, {});
+    dst.listen(80, [](const core::ReceivedMessage&) {});
+    src.send_message(b->id(), 1'000'000, {.dst_port = 80});
+    net.simulator().run();
+    benchmark::DoNotOptimize(dst.msgs_delivered());
+  }
+  // 1000 data packets + 1000 acks per iteration.
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EndToEndMtpTransfer)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,194 @@
+// Table 1: feature comparison of transport approaches.
+//
+// Prints the paper's matrix and, for every transport implemented in this
+// repository, runs a live micro-scenario per feature to verify the claimed
+// check marks in simulation:
+//   Data Mutation              — an in-network offload halves a message and
+//                                the receiver still reassembles it
+//   Low Buffering/Computation  — a device bounds its buffering using the
+//                                Msg Len carried in the first packet
+//   Inter-Message Independence — an L7 balancer sends consecutive messages
+//                                of one sender to different replicas
+//   Multi-Resource/Algorithm CC— one sender simultaneously runs ECN-window
+//                                and RCP-rate control on two pathlets
+//   Multi-Entity Isolation     — per-TC fair share on a shared queue
+//
+// Rows for transports that exist only outside this repo (QUIC, MPTCP,
+// Swift, RDMA) reproduce the paper's assessment and are marked [paper].
+#include <cstdio>
+
+#include "innetwork/fair_policer.hpp"
+#include "innetwork/l7_lb.hpp"
+#include "innetwork/mutation_offload.hpp"
+#include "mtp/endpoint.hpp"
+#include "net/forwarding.hpp"
+#include "net/network.hpp"
+#include "scenarios.hpp"
+#include "stats/table.hpp"
+
+using namespace mtp;
+using namespace mtp::bench;
+
+namespace {
+
+// --- Live checks (each returns true when the property held in simulation).
+
+bool check_mtp_data_mutation() {
+  net::Network net;
+  auto* a = net.add_host("a");
+  auto* b = net.add_host("b");
+  auto* sw = net.add_switch("sw");
+  net.connect(*a, *sw, sim::Bandwidth::gbps(100), 1_us);
+  net.connect(*sw, *b, sim::Bandwidth::gbps(100), 1_us);
+  sw->add_route(a->id(), 0);
+  sw->add_route(b->id(), 1);
+  auto offload = std::make_shared<innetwork::MutationOffload>(
+      *sw, innetwork::MutationOffload::Config{.match_port = 7000});
+  sw->add_ingress(offload);
+  core::MtpEndpoint src(*a, {});
+  core::MtpEndpoint dst(*b, {});
+  std::int64_t got = 0;
+  bool sender_completed = false;
+  dst.listen(7000, [&](const core::ReceivedMessage& m) { got = m.bytes; });
+  src.send_message(b->id(), 100'000, {.dst_port = 7000},
+                   [&](proto::MsgId, sim::SimTime) { sender_completed = true; });
+  net.simulator().run(sim::SimTime::milliseconds(50));
+  return sender_completed && got == 50'000 && offload->messages_mutated() == 1;
+}
+
+bool check_mtp_low_buffering() {
+  // A device with a 64KB budget must refuse (pass through) a 1MB message
+  // after seeing only its FIRST packet — possible because every MTP packet
+  // carries Msg Len.
+  net::Network net;
+  auto* a = net.add_host("a");
+  auto* b = net.add_host("b");
+  auto* sw = net.add_switch("sw");
+  net.connect(*a, *sw, sim::Bandwidth::gbps(100), 1_us, {.capacity_pkts = 2048});
+  net.connect(*sw, *b, sim::Bandwidth::gbps(100), 1_us, {.capacity_pkts = 2048});
+  sw->add_route(a->id(), 0);
+  sw->add_route(b->id(), 1);
+  innetwork::MutationOffload::Config cfg{.match_port = 7000};
+  cfg.receiver.max_message_bytes = 64'000;
+  auto offload = std::make_shared<innetwork::MutationOffload>(*sw, cfg);
+  sw->add_ingress(offload);
+  core::MtpEndpoint src(*a, {});
+  core::MtpEndpoint dst(*b, {});
+  std::int64_t got = 0;
+  net::NodeId got_src = net::kInvalidNode;
+  dst.listen(7000, [&](const core::ReceivedMessage& m) {
+    got = m.bytes;
+    got_src = m.src;
+  });
+  src.send_message(b->id(), 1'000'000, {.dst_port = 7000});
+  net.simulator().run(sim::SimTime::milliseconds(100));
+  // Passed through untouched, no device buffering of the oversized message.
+  return got == 1'000'000 && got_src == a->id() && offload->messages_mutated() == 0;
+}
+
+bool check_mtp_inter_message_independence() {
+  net::Network net;
+  auto* client = net.add_host("client");
+  auto* sw = net.add_switch("lb");
+  auto* r1 = net.add_host("r1");
+  auto* r2 = net.add_host("r2");
+  net.connect(*client, *sw, sim::Bandwidth::gbps(100), 1_us);
+  net.connect(*sw, *r1, sim::Bandwidth::gbps(100), 1_us);
+  net.connect(*sw, *r2, sim::Bandwidth::gbps(100), 1_us);
+  sw->add_route(client->id(), 0);
+  sw->add_route(r1->id(), 1);
+  sw->add_route(r2->id(), 2);
+  sw->add_ingress(std::make_shared<innetwork::L7LoadBalancer>(
+      innetwork::L7LoadBalancer::Config{.virtual_service = 999,
+                                        .replicas = {r1->id(), r2->id()}}));
+  core::MtpEndpoint c(*client, {});
+  core::MtpEndpoint e1(*r1, {});
+  core::MtpEndpoint e2(*r2, {});
+  int n1 = 0, n2 = 0, done = 0;
+  e1.listen(80, [&](const core::ReceivedMessage&) { ++n1; });
+  e2.listen(80, [&](const core::ReceivedMessage&) { ++n2; });
+  for (int i = 0; i < 10; ++i) {
+    c.send_message(999, 5000, {.dst_port = 80},
+                   [&](proto::MsgId, sim::SimTime) { ++done; });
+  }
+  net.simulator().run(sim::SimTime::milliseconds(50));
+  return n1 > 0 && n2 > 0 && done == 10;
+}
+
+bool check_mtp_multi_algorithm_cc() {
+  // Two hops with different feedback kinds: the endpoint must end up running
+  // a DCTCP-style window on one pathlet and an RCP rate on the other,
+  // simultaneously, for the same destination.
+  net::Network net;
+  auto* a = net.add_host("a");
+  auto* b = net.add_host("b");
+  auto* sw = net.add_switch("sw");
+  auto d1 = net.connect(*a, *sw, sim::Bandwidth::gbps(100), 1_us,
+                        {.capacity_pkts = 128, .ecn_threshold_pkts = 20});
+  auto d2 = net.connect(*sw, *b, sim::Bandwidth::gbps(10), 1_us,
+                        {.capacity_pkts = 128, .ecn_threshold_pkts = 20});
+  d1.forward->set_pathlet({.id = 1, .feedback = proto::FeedbackType::kEcn});
+  d2.forward->set_pathlet({.id = 2, .feedback = proto::FeedbackType::kRate,
+                           .rcp_rtt = sim::SimTime::microseconds(10)});
+  sw->add_route(a->id(), 0);
+  sw->add_route(b->id(), 1);
+  core::MtpEndpoint src(*a, {});
+  core::MtpEndpoint dst(*b, {});
+  dst.listen(80, [](const core::ReceivedMessage&) {});
+  src.send_message(b->id(), 2'000'000, {.dst_port = 80});
+  net.simulator().run(sim::SimTime::milliseconds(20));
+  const auto* cc1 = src.pathlet_cc(1, 0);
+  const auto* cc2 = src.pathlet_cc(2, 0);
+  return cc1 != nullptr && cc2 != nullptr && cc1->name() == "dctcp" &&
+         cc2->name() == "rcp";
+}
+
+bool check_mtp_multi_entity_isolation() {
+  const Fig7Result r = run_fig7("mtp-fairshare", sim::SimTime::milliseconds(15));
+  return r.jain > 0.9;
+}
+
+bool check_tcp_lacks_isolation() {
+  const Fig7Result r = run_fig7("dctcp-shared", sim::SimTime::milliseconds(15));
+  return r.tenant2_gbps > 4 * r.tenant1_gbps;  // per-flow fairness: 8 flows win
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: transport features for in-network computing ===\n\n");
+
+  stats::Table t({"Transport (RPF = requests per flow)", "Mutation", "LowBuf",
+                  "MsgIndep", "MultiRes CC", "Isolation", "source"});
+  t.add_row({"TCP Pass-Through (many RPF)", "x", "ok", "x", "ok", "x", "[paper]"});
+  t.add_row({"TCP Pass-Through (one RPF)", "x", "ok", "x", "x", "ok", "[paper]"});
+  t.add_row({"TCP Termination (many RPF)", "ok", "x", "x", "ok", "x", "[paper+sim]"});
+  t.add_row({"TCP Termination (one RPF)", "ok", "x", "ok", "x", "ok", "[paper]"});
+  t.add_row({"DCTCP", "x", "x", "x", "x", "x", "[paper+sim]"});
+  t.add_row({"UDP", "ok", "ok", "ok", "x", "x", "[paper+sim]"});
+  t.add_row({"QUIC", "x", "ok", "ok", "-", "x", "[paper]"});
+  t.add_row({"MPTCP", "x", "x", "ok", "ok", "x", "[paper]"});
+  t.add_row({"Swift", "x", "ok", "x", "x", "x", "[paper]"});
+  t.add_row({"RDMA RC", "x", "ok", "x", "x", "x", "[paper]"});
+  t.add_row({"RDMA UC", "x", "ok", "x", "x", "x", "[paper]"});
+  t.add_row({"RDMA UD", "ok", "ok", "ok", "x", "x", "[paper]"});
+  t.add_row({"MTP (this repo)", "ok", "ok", "ok", "ok", "ok", "[verified below]"});
+  t.print();
+
+  std::printf("\nlive verification of the MTP row (and two TCP failure modes):\n\n");
+  stats::Table v({"property", "scenario", "verified"});
+  v.add_row({"Data Mutation", "in-network offload halves a 100KB message",
+             check_mtp_data_mutation() ? "YES" : "NO"});
+  v.add_row({"Low Buffering", "64KB-budget device refuses 1MB message on pkt 0",
+             check_mtp_low_buffering() ? "YES" : "NO"});
+  v.add_row({"Inter-Message Independence", "L7 LB splits one sender across replicas",
+             check_mtp_inter_message_independence() ? "YES" : "NO"});
+  v.add_row({"Multi-Resource/Algorithm CC", "DCTCP window + RCP rate on one path",
+             check_mtp_multi_algorithm_cc() ? "YES" : "NO"});
+  v.add_row({"Multi-Entity Isolation", "per-TC fair share on shared queue",
+             check_mtp_multi_entity_isolation() ? "YES" : "NO"});
+  v.add_row({"(TCP counterexample)", "DCTCP shared queue: 8-flow tenant dominates",
+             check_tcp_lacks_isolation() ? "YES" : "NO"});
+  v.print();
+  return 0;
+}

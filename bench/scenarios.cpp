@@ -1,0 +1,291 @@
+#include "scenarios.hpp"
+
+#include "innetwork/fair_policer.hpp"
+#include "innetwork/queues.hpp"
+#include "workload/workload.hpp"
+
+namespace mtp::bench {
+
+namespace {
+
+Fig5Result summarize_fig5(const stats::ThroughputMeter& meter, sim::SimTime flip_period,
+                          sim::SimTime duration) {
+  Fig5Result r;
+  r.series = meter.series();
+  r.avg_gbps = static_cast<double>(meter.total_bytes()) * 8.0 / duration.sec() / 1e9;
+  double fast_sum = 0, slow_sum = 0;
+  std::size_t fast_n = 0, slow_n = 0;
+  for (const auto& s : r.series) {
+    // Phase parity at the *send* time: samples lag by ~RTT, which is tiny
+    // (4us) next to the 384us phases; attribute by receive-window start.
+    const auto phase = (s.start.ns() / flip_period.ns()) % 2;
+    if (phase == 0) {
+      fast_sum += s.gbps;
+      ++fast_n;
+    } else {
+      slow_sum += s.gbps;
+      ++slow_n;
+    }
+  }
+  r.fast_phase_gbps = fast_n ? fast_sum / static_cast<double>(fast_n) : 0;
+  r.slow_phase_gbps = slow_n ? slow_sum / static_cast<double>(slow_n) : 0;
+  return r;
+}
+
+}  // namespace
+
+Fig5Result run_fig5_dctcp(sim::SimTime duration, sim::SimTime flip_period,
+                          sim::SimTime sample) {
+  TwoPathFlipRig rig(flip_period);
+  transport::TcpConfig cfg;
+  cfg.dctcp = true;
+  transport::TcpStack snd(*rig.sender, cfg);
+  transport::TcpStack rcv(*rig.receiver, cfg);
+  stats::ThroughputMeter meter(sample);
+  transport::TcpSink sink(rcv, 80, &meter);
+  transport::TcpBulkSource src(snd, rig.receiver->id(), 80);
+  rig.net.simulator().run(duration);
+  return summarize_fig5(meter, flip_period, duration);
+}
+
+Fig5Result run_fig5_mtp(sim::SimTime duration, sim::SimTime flip_period,
+                        proto::FeedbackType feedback, bool pathlets_per_path,
+                        sim::SimTime sample) {
+  TwoPathFlipRig rig(flip_period);
+  rig.fast->set_pathlet({.id = 1, .feedback = feedback, .rcp_rtt = 10_us});
+  rig.slow->set_pathlet({.id = pathlets_per_path ? 2u : 1u,
+                         .feedback = feedback,
+                         .rcp_rtt = 10_us});
+  core::MtpEndpoint src(*rig.sender, {});
+  core::MtpEndpoint dst(*rig.receiver, {});
+  stats::ThroughputMeter meter(sample);
+  dst.listen(80, [](const core::ReceivedMessage&) {});
+  dst.on_payload = [&](std::int64_t bytes) {
+    meter.record(rig.net.simulator().now(), bytes);
+  };
+  // A long-lasting flow: one very large message (it will not finish).
+  src.send_message(rig.receiver->id(), std::int64_t{1} << 30, {.dst_port = 80});
+  rig.net.simulator().run(duration);
+  return summarize_fig5(meter, flip_period, duration);
+}
+
+Fig6Result run_fig6(const std::string& scheme, int messages, std::uint64_t seed,
+                    std::int64_t max_msg_bytes) {
+  // Topology: two senders share an LB switch toward one receiver over two
+  // 100G paths; the second path has +1us extra propagation delay (paper
+  // setup). Two senders offer ~130G aggregate, so balancing is required.
+  net::Network net(seed);
+  net::Host* snd0 = net.add_host("snd0");
+  net::Host* snd1 = net.add_host("snd1");
+  net::Host* rcv = net.add_host("rcv");
+  net::Switch* sw = net.add_switch("lb");
+  const net::DropTailQueue::Config q{.capacity_pkts = 256, .ecn_threshold_pkts = 40};
+  net.connect(*snd0, *sw, sim::Bandwidth::gbps(100), 1_us, q);
+  net.connect(*snd1, *sw, sim::Bandwidth::gbps(100), 1_us, q);
+  net::Link* path_a = net.connect_simplex(*sw, *rcv, sim::Bandwidth::gbps(100), 1_us,
+                                          std::make_unique<net::DropTailQueue>(q));
+  net::Link* path_b = net.connect_simplex(*sw, *rcv, sim::Bandwidth::gbps(100), 2_us,
+                                          std::make_unique<net::DropTailQueue>(q));
+  net.connect_simplex(*rcv, *sw, sim::Bandwidth::gbps(100), 1_us,
+                      std::make_unique<net::DropTailQueue>(q));
+  sw->add_route(snd0->id(), 0);
+  sw->add_route(snd1->id(), 1);
+  sw->add_route(rcv->id(), 2);
+  sw->add_route(rcv->id(), 3);
+
+  if (scheme == "ecmp") {
+    sw->set_policy(std::make_unique<net::EcmpPolicy>());
+  } else if (scheme == "spray") {
+    sw->set_policy(std::make_unique<net::SprayPolicy>());
+  } else {
+    sw->set_policy(std::make_unique<net::MessageAwarePolicy>());
+  }
+
+  // Workload: skewed sizes (10KB..max); each sender offers an independent
+  // Poisson stream at ~65% of its NIC (130% of one path in aggregate).
+  workload::SizeDist sizes = workload::SizeDist::skewed(10'000, max_msg_bytes);
+  sim::Rng rng(seed * 7919 + 1);
+  std::vector<std::int64_t> msg_sizes(static_cast<std::size_t>(messages));
+  for (auto& s : msg_sizes) s = sizes.sample(rng);
+  std::vector<sim::SimTime> arrivals(msg_sizes.size());
+  std::vector<int> origin(msg_sizes.size());
+  {
+    const double mean_bytes = sizes.mean();
+    // Aggregate arrival rate across the two senders.
+    const double rate_bytes_per_sec = 1.30 * 100e9 / 8.0;
+    const sim::SimTime mean_gap = sim::SimTime::from_seconds(mean_bytes / rate_bytes_per_sec);
+    sim::SimTime t = 10_us;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      arrivals[i] = t;
+      origin[i] = static_cast<int>(rng.uniform_int(0, 1));
+      t += rng.exponential_time(mean_gap);
+    }
+  }
+
+  Fig6Result result;
+  result.scheme = scheme;
+  stats::FctRecorder fct;
+
+  if (scheme == "mtp-lb") {
+    core::MtpEndpoint src0(*snd0, {});
+    core::MtpEndpoint src1(*snd1, {});
+    core::MtpEndpoint dst(*rcv, {});
+    dst.listen(80, [](const core::ReceivedMessage&) {});
+    core::MtpEndpoint* srcs[2] = {&src0, &src1};
+    for (std::size_t i = 0; i < msg_sizes.size(); ++i) {
+      net.simulator().schedule_at(arrivals[i], [&, i] {
+        srcs[origin[i]]->send_message(
+            rcv->id(), msg_sizes[i], {.dst_port = 80},
+            [&fct, bytes = msg_sizes[i]](proto::MsgId, sim::SimTime t) {
+              fct.record(t, bytes);
+            });
+      });
+    }
+    net.simulator().run();
+  } else {
+    // Per-message DCTCP connections (so ECMP places each message once).
+    transport::TcpConfig cfg;
+    cfg.dctcp = true;
+    transport::TcpStack cs0(*snd0, cfg);
+    transport::TcpStack cs1(*snd1, cfg);
+    transport::TcpStack ss(*rcv, cfg);
+    transport::TcpSink sink(ss, 80);
+    transport::TcpPerMessageClient client0(cs0, rcv->id(), 80);
+    transport::TcpPerMessageClient client1(cs1, rcv->id(), 80);
+    transport::TcpPerMessageClient* clients[2] = {&client0, &client1};
+    for (std::size_t i = 0; i < msg_sizes.size(); ++i) {
+      net.simulator().schedule_at(arrivals[i], [&, i] {
+        clients[origin[i]]->send_message(
+            msg_sizes[i], [&fct](sim::SimTime t, std::int64_t bytes) {
+              fct.record(t, bytes);
+            });
+      });
+    }
+    net.simulator().run();
+  }
+
+  result.messages = fct.count();
+  if (fct.count() > 0) {
+    result.p50_us = fct.p50_us();
+    result.p99_us = fct.p99_us();
+    result.mean_us = fct.mean_us();
+  }
+  const double a = static_cast<double>(path_a->stats().bytes_delivered);
+  const double b = static_cast<double>(path_b->stats().bytes_delivered);
+  result.path_a_bytes_frac = (a + b) > 0 ? a / (a + b) : 0;
+  return result;
+}
+
+Fig7Result run_fig7(const std::string& system, sim::SimTime duration) {
+  // Two tenant sender hosts share one switch and a 100G/10us bottleneck to
+  // the receiver. Tenant 2 runs 8x the message streams of tenant 1.
+  net::Network net(42);
+  net::Host* t1 = net.add_host("tenant1");
+  net::Host* t2 = net.add_host("tenant2");
+  net::Host* rcv = net.add_host("rcv");
+  net::Switch* sw = net.add_switch("sw");
+  const net::DropTailQueue::Config q{.capacity_pkts = 256, .ecn_threshold_pkts = 40};
+  net.connect(*t1, *sw, sim::Bandwidth::gbps(100), 1_us, q);
+  net.connect(*t2, *sw, sim::Bandwidth::gbps(100), 1_us, q);
+
+  net::Link* bottleneck = nullptr;
+  if (system == "dctcp-queues") {
+    bottleneck = net.connect_simplex(
+        *sw, *rcv, sim::Bandwidth::gbps(100), 10_us,
+        std::make_unique<innetwork::WfqQueue>(innetwork::WfqQueue::Config{
+            .per_tc_capacity_pkts = 512, .ecn_threshold_pkts = 100}));
+  } else {
+    bottleneck = net.connect_simplex(*sw, *rcv, sim::Bandwidth::gbps(100), 10_us,
+                                     std::make_unique<net::DropTailQueue>(q));
+  }
+  net.connect_simplex(*rcv, *sw, sim::Bandwidth::gbps(100), 10_us,
+                      std::make_unique<net::DropTailQueue>(q));
+  sw->add_route(t1->id(), 0);
+  sw->add_route(t2->id(), 1);
+  sw->add_route(rcv->id(), 2);
+
+  Fig7Result result;
+  result.system = system;
+  std::array<std::int64_t, 3> delivered{};
+
+  if (system == "mtp-fairshare") {
+    bottleneck->set_pathlet({.id = 1, .feedback = proto::FeedbackType::kEcn});
+    auto policer = std::make_shared<innetwork::FairSharePolicer>(
+        net.simulator(), innetwork::FairSharePolicer::Config{.egress = bottleneck});
+    sw->add_ingress(policer);
+    auto s1 = std::make_unique<core::MtpEndpoint>(*t1, core::MtpConfig{});
+    auto s2 = std::make_unique<core::MtpEndpoint>(*t2, core::MtpConfig{});
+    core::MtpEndpoint dst(*rcv, {});
+    dst.listen_any([](const core::ReceivedMessage&) {});
+    // Count per-tenant delivered payload via per-message completion. Each
+    // stream keeps two 1MB messages outstanding so completion round-trips
+    // don't bubble the pipe.
+    constexpr std::int64_t kMsgBytes = 1'000'000;
+    std::function<void(core::MtpEndpoint&, proto::TrafficClassId, int)> feed =
+        [&](core::MtpEndpoint& ep, proto::TrafficClassId tc, int streams) {
+          for (int s = 0; s < 2 * streams; ++s) {
+            auto again = std::make_shared<std::function<void()>>();
+            *again = [&ep, tc, &delivered, again, rcv] {
+              core::MessageOptions opts;
+              opts.tc = tc;
+              opts.dst_port = 80;
+              ep.send_message(rcv->id(), kMsgBytes, std::move(opts),
+                              [tc, &delivered, again](proto::MsgId, sim::SimTime) {
+                                delivered[tc] += kMsgBytes;
+                                (*again)();
+                              });
+            };
+            (*again)();
+          }
+        };
+    feed(*s1, 1, 1);
+    feed(*s2, 2, 8);
+    net.simulator().run(duration);
+  } else {
+    // DCTCP tenants: tenant 1 has one long flow, tenant 2 has eight (the
+    // paper's "8x the number of messages" expressed as flow count).
+    transport::TcpConfig cfg1;
+    cfg1.dctcp = true;
+    cfg1.tc = 1;
+    transport::TcpConfig cfg2 = cfg1;
+    cfg2.tc = 2;
+    transport::TcpConfig rcfg;
+    rcfg.dctcp = true;
+    transport::TcpStack s1(*t1, cfg1);
+    transport::TcpStack s2(*t2, cfg2);
+    transport::TcpStack rs(*rcv, rcfg);
+    std::vector<std::unique_ptr<transport::TcpSink>> sinks;
+    std::vector<std::unique_ptr<transport::TcpBulkSource>> sources;
+    auto tenant_flows = [&](transport::TcpStack& stack, int flows,
+                            proto::PortNum base_port) {
+      for (int f = 0; f < flows; ++f) {
+        const proto::PortNum port = static_cast<proto::PortNum>(base_port + f);
+        sinks.push_back(std::make_unique<transport::TcpSink>(rs, port));
+        sources.push_back(
+            std::make_unique<transport::TcpBulkSource>(stack, rcv->id(), port));
+      }
+    };
+    tenant_flows(s1, 1, 8000);
+    tenant_flows(s2, 8, 9000);
+    net.simulator().run(duration);
+    std::int64_t b1 = 0, b2 = 0;
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      if (i == 0) {
+        b1 += sinks[i]->bytes_received();
+      } else {
+        b2 += sinks[i]->bytes_received();
+      }
+    }
+    delivered[1] = b1;
+    delivered[2] = b2;
+  }
+
+  result.tenant1_gbps =
+      static_cast<double>(delivered[1]) * 8.0 / duration.sec() / 1e9;
+  result.tenant2_gbps =
+      static_cast<double>(delivered[2]) * 8.0 / duration.sec() / 1e9;
+  result.jain = stats::jain_index({result.tenant1_gbps, result.tenant2_gbps});
+  return result;
+}
+
+}  // namespace mtp::bench

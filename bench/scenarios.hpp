@@ -1,0 +1,107 @@
+// Shared experiment topologies and runners for the figure benches.
+//
+// Each paper experiment (Figs 2/3/5/6/7) gets a builder here so the main
+// bench binary and the ablation bench can run the same scenario with
+// different knobs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mtp/endpoint.hpp"
+#include "net/forwarding.hpp"
+#include "net/network.hpp"
+#include "stats/stats.hpp"
+#include "transport/apps.hpp"
+#include "transport/tcp.hpp"
+
+namespace mtp::bench {
+
+using namespace mtp::sim::literals;
+
+// ---------------------------------------------------------------- Fig 5
+
+/// Fig 5 topology: sender -> first-hop switch that alternates all traffic
+/// between a fast (100G) and a slow (10G) path to the receiver every
+/// `flip_period`. Links 1us delay; queues 128 pkts, ECN K=20 (paper values).
+struct TwoPathFlipRig {
+  net::Network net;
+  net::Host* sender;
+  net::Host* receiver;
+  net::Switch* sw;
+  net::Link* fast;
+  net::Link* slow;
+
+  TwoPathFlipRig(sim::SimTime flip_period, sim::Bandwidth fast_bw = sim::Bandwidth::gbps(100),
+                 sim::Bandwidth slow_bw = sim::Bandwidth::gbps(10)) {
+    const net::DropTailQueue::Config q{.capacity_pkts = 128, .ecn_threshold_pkts = 20};
+    sender = net.add_host("sender");
+    receiver = net.add_host("receiver");
+    sw = net.add_switch("sw");
+    net.connect(*sender, *sw, sim::Bandwidth::gbps(100), 1_us, q);
+    fast = net.connect_simplex(*sw, *receiver, fast_bw, 1_us,
+                               std::make_unique<net::DropTailQueue>(q));
+    slow = net.connect_simplex(*sw, *receiver, slow_bw, 1_us,
+                               std::make_unique<net::DropTailQueue>(q));
+    net.connect_simplex(*receiver, *sw, sim::Bandwidth::gbps(100), 1_us,
+                        std::make_unique<net::DropTailQueue>(q));
+    sw->add_route(sender->id(), 0);
+    sw->add_route(receiver->id(), 1);  // fast
+    sw->add_route(receiver->id(), 2);  // slow
+    sw->set_policy(std::make_unique<net::AlternatingPathPolicy>(flip_period));
+  }
+};
+
+struct Fig5Result {
+  std::vector<stats::ThroughputMeter::Sample> series;  ///< goodput per 32us
+  double avg_gbps = 0;
+  double fast_phase_gbps = 0;  ///< mean goodput while routed via the fast path
+  double slow_phase_gbps = 0;
+};
+
+/// Run the Fig 5 scenario with DCTCP. A long-lived flow; goodput sampled
+/// every `sample` at the receiving application.
+Fig5Result run_fig5_dctcp(sim::SimTime duration, sim::SimTime flip_period,
+                          sim::SimTime sample = 32_us);
+
+/// Run the Fig 5 scenario with MTP. `pathlets_per_path` true gives each path
+/// its own pathlet id (MTP proper); false tags both paths with one id — the
+/// single-pathlet ablation that mimics TCP.
+Fig5Result run_fig5_mtp(sim::SimTime duration, sim::SimTime flip_period,
+                        proto::FeedbackType feedback = proto::FeedbackType::kEcn,
+                        bool pathlets_per_path = true,
+                        sim::SimTime sample = 32_us);
+
+// ---------------------------------------------------------------- Fig 6
+
+struct Fig6Result {
+  std::string scheme;
+  std::size_t messages = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double mean_us = 0;
+  double path_a_bytes_frac = 0;  ///< fraction of bytes on the first path
+};
+
+/// Fig 6: two 100G paths, one with +1us extra delay; skewed message sizes.
+/// scheme: "ecmp" | "spray" (per-message DCTCP connections) or "mtp-lb"
+/// (MTP + message-aware LB).
+Fig6Result run_fig6(const std::string& scheme, int messages, std::uint64_t seed,
+                    std::int64_t max_msg_bytes = 16 << 20);
+
+// ---------------------------------------------------------------- Fig 7
+
+struct Fig7Result {
+  std::string system;
+  double tenant1_gbps = 0;
+  double tenant2_gbps = 0;
+  double jain = 0;
+};
+
+/// Fig 7: two tenants over a shared 100G/10us link; tenant 2 sends 8x the
+/// messages. system: "dctcp-shared" | "dctcp-queues" | "mtp-fairshare".
+Fig7Result run_fig7(const std::string& system, sim::SimTime duration);
+
+}  // namespace mtp::bench

@@ -1,0 +1,128 @@
+// In-network gradient aggregation (ATP-style, paper §4 "ML Training").
+//
+// N workers push gradient messages for training round R toward a parameter
+// server. A switch on the path terminates each worker's message (ACKing it,
+// so workers complete immediately) and accumulates contributions per round.
+// When the fan-in is complete — or a straggler timeout fires — it injects a
+// single aggregated message to the server: N gradients in, one out.
+//
+// This is the use case the paper calls out as hard for classic transports:
+// the "aggregation level" (how many messages fold into one) changes the
+// traffic the server-side link sees, which only works when the unit of
+// transport is a mutable, independent message. With pathlets, the
+// aggregation switch can also expose itself as its own congestion resource.
+#pragma once
+
+#include <charconv>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "innetwork/device_endpoint.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace mtp::innetwork {
+
+class AggregationOffload final : public net::IngressProcessor {
+ public:
+  struct Config {
+    net::NodeId server = net::kInvalidNode;  ///< parameter server
+    proto::PortNum service_port = 90;
+    std::uint32_t fan_in = 0;  ///< workers per round (required)
+    /// Flush a partial aggregate if stragglers keep a round open this long.
+    sim::SimTime straggler_timeout = sim::SimTime::milliseconds(2);
+    DeviceReceiver::Config receiver;
+    DeviceSender::Config sender;
+  };
+
+  AggregationOffload(net::Switch& sw, Config cfg)
+      : sw_(sw), cfg_(cfg), rx_(sw, cfg.receiver), tx_(sw, cfg.sender) {}
+
+  std::uint64_t rounds_completed() const { return rounds_completed_; }
+  std::uint64_t rounds_flushed_partial() const { return rounds_flushed_partial_; }
+  std::int64_t bytes_in() const { return bytes_in_; }
+  std::int64_t bytes_out() const { return bytes_out_; }
+  std::size_t rounds_open() const { return rounds_.size(); }
+
+  bool process(net::Packet& pkt, net::Switch&) override {
+    if (!pkt.is_mtp()) return false;
+    const auto& hdr = pkt.mtp();
+    if (hdr.is_ack()) {
+      return pkt.dst == sw_.id() && tx_.handle_ack(pkt);
+    }
+    if (pkt.dst != cfg_.server || hdr.dst_port != cfg_.service_port) return false;
+    if (pkt.src == sw_.id()) return false;  // our own aggregate
+    if (!rx_.tracking(pkt.src, hdr.msg_id)) {
+      // Adoption happens on packet 0, where the AppData key rides; later
+      // packets of adopted messages keep flowing into the receiver above.
+      if (hdr.pkt_num != 0) return false;
+      if (!pkt.app || pkt.app->key.rfind("grad:", 0) != 0) return false;
+      if (!rx_.admissible(hdr)) return false;  // oversized gradient: pass through
+    }
+
+    auto done = rx_.on_data(pkt);
+    if (!done) return true;  // packet consumed; message not complete yet
+
+    std::uint64_t round = 0;
+    const std::string& key = done->app->key;
+    std::from_chars(key.data() + 5, key.data() + key.size(), round);
+
+    auto [it, fresh] = rounds_.try_emplace(round);
+    Round& r = it->second;
+    if (fresh) {
+      r.gradient_bytes = done->bytes;
+      r.tc = done->tc;
+      r.src_port = done->src_port;
+      r.timeout = sw_.simulator().schedule(cfg_.straggler_timeout, [this, round] {
+        flush(round, /*partial=*/true);
+      });
+    }
+    ++r.contributions;
+    bytes_in_ += done->bytes;
+    if (r.contributions >= cfg_.fan_in) flush(round, /*partial=*/false);
+    return true;
+  }
+
+ private:
+  struct Round {
+    std::uint32_t contributions = 0;
+    std::int64_t gradient_bytes = 0;
+    proto::TrafficClassId tc = 0;
+    proto::PortNum src_port = 0;
+    sim::EventId timeout;
+  };
+
+  void flush(std::uint64_t round, bool partial) {
+    auto it = rounds_.find(round);
+    if (it == rounds_.end()) return;
+    Round r = it->second;
+    rounds_.erase(it);
+    sw_.simulator().cancel(r.timeout);
+    if (partial) {
+      ++rounds_flushed_partial_;
+    } else {
+      ++rounds_completed_;
+    }
+    DeviceSender::SendOptions opts;
+    opts.tc = r.tc;
+    opts.src_port = r.src_port;
+    opts.dst_port = cfg_.service_port;
+    opts.app = net::AppData{"grad:" + std::to_string(round),
+                            "agg:" + std::to_string(r.contributions)};
+    tx_.send(cfg_.server, std::max<std::int64_t>(1, r.gradient_bytes), std::move(opts));
+    bytes_out_ += r.gradient_bytes;
+  }
+
+  net::Switch& sw_;
+  Config cfg_;
+  DeviceReceiver rx_;
+  DeviceSender tx_;
+  std::unordered_map<std::uint64_t, Round> rounds_;
+  std::uint64_t rounds_completed_ = 0;
+  std::uint64_t rounds_flushed_partial_ = 0;
+  std::int64_t bytes_in_ = 0;
+  std::int64_t bytes_out_ = 0;
+};
+
+}  // namespace mtp::innetwork

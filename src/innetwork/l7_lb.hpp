@@ -1,0 +1,98 @@
+// Application-level (L7) load balancer (paper Fig 1 (2a)).
+//
+// Clients address a *virtual service* node id; the balancer, sitting at a
+// switch on the path, rewrites each request message's destination to one of
+// the backend replicas — whole messages, never packets, so a replica always
+// sees complete requests (inter-message independence in action). Reliability
+// stays end-to-end: the replica's ACKs flow straight back to the client,
+// which works precisely because MTP acknowledges (Msg ID, Pkt Num), not a
+// connection.
+//
+// Placement policy: least-outstanding-bytes with message-size awareness —
+// the visibility into message lengths that the paper argues transports must
+// provide (§2.2, §5.2).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/switch.hpp"
+
+namespace mtp::innetwork {
+
+class L7LoadBalancer final : public net::IngressProcessor {
+ public:
+  struct Config {
+    net::NodeId virtual_service = net::kInvalidNode;
+    proto::PortNum service_port = 0;  ///< 0 = any port on the virtual node
+    std::vector<net::NodeId> replicas;
+  };
+
+  explicit L7LoadBalancer(Config cfg) : cfg_(cfg), outstanding_(cfg.replicas.size(), 0) {}
+
+  bool process(net::Packet& pkt, net::Switch&) override {
+    if (!pkt.is_mtp()) return false;
+    const auto& hdr = pkt.mtp();
+    if (hdr.is_ack() || pkt.dst != cfg_.virtual_service) return false;
+    if (cfg_.service_port != 0 && hdr.dst_port != cfg_.service_port) return false;
+    if (cfg_.replicas.empty()) return false;
+
+    const Key key{pkt.src, hdr.msg_id};
+    std::size_t idx;
+    auto it = pinned_.find(key);
+    if (it != pinned_.end()) {
+      idx = it->second;
+    } else {
+      idx = pick();
+      outstanding_[idx] += static_cast<std::int64_t>(hdr.msg_len_bytes);
+      if (hdr.msg_len_pkts > 1) pinned_.emplace(key, idx);
+      ++assigned_;
+    }
+    if (hdr.is_last_pkt()) {
+      // Whole request has passed: release the pin and the load estimate.
+      outstanding_[idx] = std::max<std::int64_t>(
+          0, outstanding_[idx] - static_cast<std::int64_t>(hdr.msg_len_bytes));
+      pinned_.erase(key);
+    }
+    pkt.dst = cfg_.replicas[idx];  // rewrite and let normal forwarding run
+    return false;
+  }
+
+  std::uint64_t requests_assigned() const { return assigned_; }
+  std::int64_t outstanding_bytes(std::size_t replica) const {
+    return outstanding_[replica];
+  }
+
+ private:
+  struct Key {
+    net::NodeId src;
+    proto::MsgId msg;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(k.src) << 32) ^ k.msg);
+    }
+  };
+
+  // Least outstanding bytes; ties break round-robin so uniform single-packet
+  // workloads still spread across replicas.
+  std::size_t pick() {
+    const std::size_t n = outstanding_.size();
+    std::size_t best = rr_ % n;
+    for (std::size_t off = 1; off < n; ++off) {
+      const std::size_t i = (rr_ + off) % n;
+      if (outstanding_[i] < outstanding_[best]) best = i;
+    }
+    rr_ = best + 1;
+    return best;
+  }
+
+  Config cfg_;
+  std::vector<std::int64_t> outstanding_;
+  std::unordered_map<Key, std::size_t, KeyHash> pinned_;
+  std::uint64_t assigned_ = 0;
+  std::size_t rr_ = 0;
+};
+
+}  // namespace mtp::innetwork

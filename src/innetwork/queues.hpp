@@ -1,0 +1,257 @@
+// Specialized egress queues for in-network policies.
+//
+// WfqQueue      — per-TC sub-queues with deficit-round-robin service: the
+//                 "separate queues per tenant" baseline of Figure 7.
+// TrimmingQueue — NDP-style: instead of tail-dropping an MTP data packet on
+//                 overflow, trim its payload and forward the header in a
+//                 high-priority lane so the receiver can NACK immediately.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+
+#include "net/queue.hpp"
+
+namespace mtp::innetwork {
+
+/// Deficit-round-robin fair queue over traffic classes. Each TC gets its own
+/// FIFO with its own capacity and ECN threshold; service alternates by byte
+/// quantum so equal-demand TCs get equal bandwidth regardless of flow count.
+class WfqQueue final : public net::Queue {
+ public:
+  struct Config {
+    std::size_t per_tc_capacity_pkts = 128;
+    std::size_t ecn_threshold_pkts = 0;
+    std::int64_t quantum_bytes = 1500;
+  };
+
+  explicit WfqQueue(Config cfg) : cfg_(cfg) {}
+
+  bool enqueue(net::Packet&& pkt) override {
+    auto& q = queues_[pkt.tc];
+    if (q.pkts.size() >= cfg_.per_tc_capacity_pkts) {
+      ++stats_.dropped;
+      ++q.dropped;
+      stats_.bytes_dropped += pkt.size_bytes();
+      return false;
+    }
+    if (cfg_.ecn_threshold_pkts != 0 && q.pkts.size() >= cfg_.ecn_threshold_pkts &&
+        pkt.ecn != net::Ecn::kNotEct) {
+      pkt.ecn = net::Ecn::kCe;
+      ++stats_.ecn_marked;
+    }
+    q.bytes += pkt.size_bytes();
+    bytes_ += pkt.size_bytes();
+    ++pkts_;
+    q.pkts.push_back(std::move(pkt));
+    ++stats_.enqueued;
+    return true;
+  }
+
+  std::optional<net::Packet> dequeue() override {
+    if (pkts_ == 0) return std::nullopt;
+    // DRR sweep: find the next TC whose deficit covers its head packet.
+    for (int sweep = 0; sweep < 2 * 256; ++sweep) {
+      TcQueue& q = queues_[rr_];
+      if (q.pkts.empty()) {
+        q.deficit = 0;  // inactive classes accumulate nothing
+        rr_ = static_cast<std::uint8_t>(rr_ + 1);
+        continue;
+      }
+      if (!q.fresh_round) {
+        q.deficit += cfg_.quantum_bytes;
+        q.fresh_round = true;
+      }
+      const auto head_size = q.pkts.front().size_bytes();
+      if (q.deficit >= head_size) {
+        q.deficit -= head_size;
+        net::Packet pkt = std::move(q.pkts.front());
+        q.pkts.pop_front();
+        q.bytes -= head_size;
+        bytes_ -= head_size;
+        --pkts_;
+        ++stats_.dequeued;
+        if (q.pkts.empty()) q.deficit = 0;
+        return pkt;
+      }
+      q.fresh_round = false;
+      rr_ = static_cast<std::uint8_t>(rr_ + 1);
+    }
+    // Quantum smaller than every head packet (misconfiguration): serve the
+    // current class anyway rather than deadlock.
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      TcQueue& q = queues_[(rr_ + i) % queues_.size()];
+      if (!q.pkts.empty()) {
+        net::Packet pkt = std::move(q.pkts.front());
+        q.pkts.pop_front();
+        q.bytes -= pkt.size_bytes();
+        bytes_ -= pkt.size_bytes();
+        --pkts_;
+        ++stats_.dequeued;
+        return pkt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::size_t len_pkts() const override { return pkts_; }
+  std::int64_t len_bytes() const override { return bytes_; }
+  std::size_t tc_len_pkts(proto::TrafficClassId tc) const { return queues_[tc].pkts.size(); }
+  std::uint64_t tc_dropped(proto::TrafficClassId tc) const { return queues_[tc].dropped; }
+
+ private:
+  struct TcQueue {
+    std::deque<net::Packet> pkts;
+    std::int64_t bytes = 0;
+    std::int64_t deficit = 0;
+    std::uint64_t dropped = 0;
+    bool fresh_round = false;
+  };
+
+  Config cfg_;
+  std::array<TcQueue, 256> queues_;
+  std::size_t pkts_ = 0;
+  std::int64_t bytes_ = 0;
+  std::uint8_t rr_ = 0;
+};
+
+/// Strict-priority queue over the packet's application-assigned priority
+/// (paper §3.1.1: "a priority ... describing the relative priority of
+/// parallel messages"). Higher priority values are served first; equal
+/// priorities stay FIFO. Capacity and ECN marking apply per priority level.
+class StrictPriorityQueue final : public net::Queue {
+ public:
+  struct Config {
+    std::size_t per_level_capacity_pkts = 128;
+    std::size_t ecn_threshold_pkts = 0;
+  };
+
+  explicit StrictPriorityQueue(Config cfg) : cfg_(cfg) {}
+
+  bool enqueue(net::Packet&& pkt) override {
+    auto& q = levels_[pkt.priority];
+    if (q.size() >= cfg_.per_level_capacity_pkts) {
+      ++stats_.dropped;
+      stats_.bytes_dropped += pkt.size_bytes();
+      return false;
+    }
+    if (cfg_.ecn_threshold_pkts != 0 && q.size() >= cfg_.ecn_threshold_pkts &&
+        pkt.ecn != net::Ecn::kNotEct) {
+      pkt.ecn = net::Ecn::kCe;
+      ++stats_.ecn_marked;
+    }
+    bytes_ += pkt.size_bytes();
+    ++pkts_;
+    q.push_back(std::move(pkt));
+    ++stats_.enqueued;
+    return true;
+  }
+
+  std::optional<net::Packet> dequeue() override {
+    if (pkts_ == 0) return std::nullopt;
+    for (int level = 255; level >= 0; --level) {
+      auto& q = levels_[static_cast<std::size_t>(level)];
+      if (q.empty()) continue;
+      net::Packet pkt = std::move(q.front());
+      q.pop_front();
+      bytes_ -= pkt.size_bytes();
+      --pkts_;
+      ++stats_.dequeued;
+      return pkt;
+    }
+    return std::nullopt;
+  }
+
+  std::size_t len_pkts() const override { return pkts_; }
+  std::int64_t len_bytes() const override { return bytes_; }
+  std::size_t level_len_pkts(std::uint8_t level) const { return levels_[level].size(); }
+
+ private:
+  Config cfg_;
+  std::array<std::deque<net::Packet>, 256> levels_;
+  std::size_t pkts_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+/// NDP-style trimming queue: when the data queue is full, an arriving MTP
+/// data packet loses its payload (header survives) and joins the control
+/// lane, which is always served first. Receivers NACK trimmed packets so
+/// senders retransmit in one RTT instead of waiting out an RTO.
+class TrimmingQueue final : public net::Queue {
+ public:
+  struct Config {
+    std::size_t capacity_pkts = 128;
+    std::size_t ecn_threshold_pkts = 0;
+    std::size_t control_capacity_pkts = 1024;
+  };
+
+  explicit TrimmingQueue(Config cfg) : cfg_(cfg) {}
+
+  bool enqueue(net::Packet&& pkt) override {
+    const bool is_control = pkt.payload_bytes == 0;
+    if (is_control) {
+      if (control_.size() >= cfg_.control_capacity_pkts) {
+        ++stats_.dropped;
+        return false;
+      }
+      bytes_ += pkt.size_bytes();
+      control_.push_back(std::move(pkt));
+      ++stats_.enqueued;
+      return true;
+    }
+    if (data_.size() >= cfg_.capacity_pkts) {
+      if (pkt.is_mtp() && !pkt.mtp().is_ack()) {
+        // Trim: drop the payload, keep the header, jump the queue.
+        pkt.payload_bytes = 0;
+        ++trimmed_;
+        if (control_.size() >= cfg_.control_capacity_pkts) {
+          ++stats_.dropped;
+          return false;
+        }
+        bytes_ += pkt.size_bytes();
+        control_.push_back(std::move(pkt));
+        ++stats_.enqueued;
+        return true;
+      }
+      ++stats_.dropped;
+      stats_.bytes_dropped += pkt.size_bytes();
+      return false;
+    }
+    if (cfg_.ecn_threshold_pkts != 0 && data_.size() >= cfg_.ecn_threshold_pkts &&
+        pkt.ecn != net::Ecn::kNotEct) {
+      pkt.ecn = net::Ecn::kCe;
+      ++stats_.ecn_marked;
+    }
+    bytes_ += pkt.size_bytes();
+    data_.push_back(std::move(pkt));
+    ++stats_.enqueued;
+    return true;
+  }
+
+  std::optional<net::Packet> dequeue() override {
+    auto take = [this](std::deque<net::Packet>& q) {
+      net::Packet pkt = std::move(q.front());
+      q.pop_front();
+      bytes_ -= pkt.size_bytes();
+      ++stats_.dequeued;
+      return pkt;
+    };
+    if (!control_.empty()) return take(control_);
+    if (!data_.empty()) return take(data_);
+    return std::nullopt;
+  }
+
+  std::size_t len_pkts() const override { return data_.size() + control_.size(); }
+  std::int64_t len_bytes() const override { return bytes_; }
+  std::uint64_t trimmed() const { return trimmed_; }
+
+ private:
+  Config cfg_;
+  std::deque<net::Packet> data_;
+  std::deque<net::Packet> control_;
+  std::int64_t bytes_ = 0;
+  std::uint64_t trimmed_ = 0;
+};
+
+}  // namespace mtp::innetwork

@@ -1,0 +1,113 @@
+// TCP-terminating proxy (paper §2.3, Figure 2).
+//
+// Models an L7 middlebox that terminates client TCP connections and opens
+// its own connections to a backend. The paper's point: such a device must
+// either buffer without bound when the backend side is slower (unlimited
+// advertised receive window) or throttle the client and head-of-line block
+// (limited window). The proxy tracks buffer occupancy and per-byte relay
+// latency so the experiment can show both failure modes.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "stats/stats.hpp"
+#include "transport/tcp.hpp"
+
+namespace mtp::innetwork {
+
+class TcpProxy {
+ public:
+  struct Config {
+    proto::PortNum listen_port = 80;
+    net::NodeId backend = net::kInvalidNode;
+    proto::PortNum backend_port = 80;
+    /// Max bytes queued toward the backend per session before the proxy
+    /// stops reading from the client (its application-level buffer).
+    std::int64_t forward_buffer_bytes = std::int64_t{1} << 40;
+  };
+
+  /// `stack` is the proxy host's TCP stack; its TcpConfig.rcv_buf_bytes is
+  /// the advertised-receive-window knob the Fig 2 experiment turns.
+  TcpProxy(transport::TcpStack& stack, Config cfg) : stack_(stack), cfg_(cfg) {
+    stack_.listen(cfg_.listen_port, [this](std::shared_ptr<transport::TcpConnection> c) {
+      accept(std::move(c));
+    });
+  }
+
+  /// Total bytes the proxy currently holds across all sessions: unread
+  /// client-side receive buffer plus unsent backend-side send buffer.
+  std::int64_t buffer_occupancy() const {
+    std::int64_t total = 0;
+    for (const auto& s : sessions_) {
+      total += s->client->available() + s->server->send_buffer_bytes();
+    }
+    return total;
+  }
+
+  std::size_t sessions() const { return sessions_.size(); }
+  std::int64_t bytes_relayed() const { return bytes_relayed_; }
+
+  /// Per-chunk time from arrival at the proxy to handoff to the backend
+  /// connection — the head-of-line blocking measure.
+  const std::vector<double>& relay_latency_us() const { return relay_latency_us_; }
+
+ private:
+  struct Session {
+    std::shared_ptr<transport::TcpConnection> client;
+    std::shared_ptr<transport::TcpConnection> server;
+    std::deque<std::pair<std::int64_t, sim::SimTime>> arrivals;  // (bytes, when)
+    bool server_ready = false;
+  };
+
+  void accept(std::shared_ptr<transport::TcpConnection> client) {
+    auto session = std::make_shared<Session>();
+    session->client = std::move(client);
+    session->client->set_auto_consume(false);
+    session->server = stack_.connect(cfg_.backend, cfg_.backend_port);
+    session->server->on_established = [this, session] {
+      session->server_ready = true;
+      pump(*session);
+    };
+    session->client->on_data = [this, session](std::int64_t bytes) {
+      session->arrivals.emplace_back(bytes, stack_.host().simulator().now());
+      pump(*session);
+    };
+    session->server->on_send_progress = [this, session] { pump(*session); };
+    sessions_.push_back(std::move(session));
+  }
+
+  void pump(Session& s) {
+    if (!s.server_ready) return;
+    while (s.client->available() > 0 &&
+           s.server->send_buffer_bytes() < cfg_.forward_buffer_bytes) {
+      const std::int64_t room = cfg_.forward_buffer_bytes - s.server->send_buffer_bytes();
+      std::int64_t n = std::min(s.client->available(), room);
+      s.server->send(n);
+      s.client->consume(n);
+      bytes_relayed_ += n;
+      // Attribute relay latency to the arrival chunks being drained.
+      const sim::SimTime now = stack_.host().simulator().now();
+      while (n > 0 && !s.arrivals.empty()) {
+        auto& [chunk, when] = s.arrivals.front();
+        relay_latency_us_.push_back((now - when).us());
+        if (chunk <= n) {
+          n -= chunk;
+          s.arrivals.pop_front();
+        } else {
+          chunk -= n;
+          n = 0;
+        }
+      }
+    }
+  }
+
+  transport::TcpStack& stack_;
+  Config cfg_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::int64_t bytes_relayed_ = 0;
+  std::vector<double> relay_latency_us_;
+};
+
+}  // namespace mtp::innetwork

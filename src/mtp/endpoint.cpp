@@ -1,0 +1,554 @@
+#include "mtp/endpoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/logging.hpp"
+
+namespace mtp::core {
+
+namespace {
+std::uint64_t mtp_flow_hash(net::NodeId a, proto::PortNum ap, net::NodeId b,
+                            proto::PortNum bp) {
+  std::uint64_t h = (static_cast<std::uint64_t>(a) << 48) ^
+                    (static_cast<std::uint64_t>(b) << 32) ^
+                    (static_cast<std::uint64_t>(ap) << 16) ^ bp;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+}  // namespace
+
+MtpEndpoint::MtpEndpoint(net::Host& host, MtpConfig cfg)
+    : host_(host), cfg_(cfg), sim_(host.simulator()) {
+  host_.set_mtp_handler([this](net::Packet&& pkt) { on_packet(std::move(pkt)); });
+  paths_.push_back({proto::kDefaultPathlet});  // PathIndex 0 = default path
+  // The retransmit scan runs only while messages are outstanding, so an
+  // idle endpoint leaves the event queue empty (simulations can run to
+  // quiescence).
+  retx_task_ = std::make_unique<sim::PeriodicTask>(sim_, cfg_.retx_scan_period,
+                                                   [this] { retx_scan(); });
+  ack_flush_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, cfg_.ack_flush_timeout, [this] { flush_acks(); });
+}
+
+MtpEndpoint::~MtpEndpoint() = default;
+
+// ------------------------------------------------------------------ sender
+
+proto::MsgId MtpEndpoint::send_message(net::NodeId dst, std::int64_t bytes,
+                                       MessageOptions opts, DoneFn on_delivered) {
+  assert(bytes > 0 && "empty messages are not a thing in MTP");
+  const proto::MsgId id = next_msg_id_++;
+  OutgoingMessage msg;
+  msg.id = id;
+  msg.dst = dst;
+  msg.opts = std::move(opts);
+  msg.total_bytes = bytes;
+  msg.total_pkts = static_cast<std::uint32_t>((bytes + cfg_.mss - 1) / cfg_.mss);
+  msg.state.assign(msg.total_pkts, PktState::kUnsent);
+  msg.sent_at.assign(msg.total_pkts, sim::SimTime::zero());
+  msg.charged_path.assign(msg.total_pkts, 0);
+  msg.retransmitted.assign(msg.total_pkts, false);
+  msg.started_at = sim_.now();
+  msg.done = std::move(on_delivered);
+  outgoing_.emplace(id, std::move(msg));
+  send_order_.push_back(id);
+  if (!retx_task_->running()) retx_task_->start();
+  pump();
+  return id;
+}
+
+void MtpEndpoint::listen(proto::PortNum port, MessageHandler handler) {
+  handlers_[port] = std::move(handler);
+}
+
+void MtpEndpoint::exclude_pathlet(proto::PathletId pathlet, sim::SimTime duration) {
+  excluded_until_[pathlet] = sim_.now() + duration;
+}
+
+std::vector<proto::PathRef> MtpEndpoint::active_exclusions() {
+  std::vector<proto::PathRef> out;
+  for (auto it = excluded_until_.begin(); it != excluded_until_.end();) {
+    if (it->second <= sim_.now()) {
+      it = excluded_until_.erase(it);
+    } else {
+      out.push_back({it->first, 0});
+      ++it;
+    }
+  }
+  return out;
+}
+
+void MtpEndpoint::penalize(proto::PathletId pathlet, proto::TrafficClassId tc,
+                           LossKind kind) {
+  const CcKey key{pathlet, tc};
+  const sim::SimTime gap =
+      rtt_valid_ ? std::max(srtt_ * 2, cfg_.retx_scan_period) : cfg_.min_rto;
+  auto [it, fresh] = last_decrease_.try_emplace(key, sim::SimTime::zero());
+  if (!fresh && sim_.now() - it->second < gap) return;
+  it->second = sim_.now();
+  cc(pathlet, tc, proto::FeedbackType::kNone).on_loss(kind);
+  if (cfg_.auto_exclude_after_losses > 0 && kind == LossKind::kTimeout &&
+      ++consecutive_losses_[pathlet] >= cfg_.auto_exclude_after_losses) {
+    exclude_pathlet(pathlet, cfg_.exclude_duration);
+    consecutive_losses_[pathlet] = 0;
+  }
+}
+
+PathletCc& MtpEndpoint::cc(proto::PathletId pathlet, proto::TrafficClassId tc,
+                           proto::FeedbackType type_hint) {
+  const CcKey key{pathlet, tc};
+  auto it = cc_.find(key);
+  if (it == cc_.end()) {
+    it = cc_.emplace(key, make_cc(type_hint, cfg_.cc)).first;
+  }
+  return *it->second;
+}
+
+const PathletCc* MtpEndpoint::pathlet_cc(proto::PathletId id,
+                                         proto::TrafficClassId tc) const {
+  auto it = cc_.find(CcKey{id, tc});
+  return it == cc_.end() ? nullptr : it->second.get();
+}
+
+MtpEndpoint::PathIndex MtpEndpoint::intern_path(
+    const std::vector<proto::PathletId>& pathlets) {
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    if (paths_[i] == pathlets) return static_cast<PathIndex>(i);
+  }
+  paths_.push_back(pathlets);
+  return static_cast<PathIndex>(paths_.size() - 1);
+}
+
+std::vector<proto::PathletId> MtpEndpoint::current_path(net::NodeId dst) const {
+  auto it = current_path_.find(dst);
+  if (it == current_path_.end()) return {};
+  return paths_[it->second];
+}
+
+bool MtpEndpoint::admit(PathIndex path, proto::TrafficClassId tc, std::int64_t bytes) {
+  for (const proto::PathletId p : paths_[path]) {
+    const CcKey key{p, tc};
+    auto algo = cc_.find(key);
+    const std::int64_t wnd = algo == cc_.end()
+                                 ? cfg_.cc.init_window_bytes()
+                                 : algo->second->window_bytes();
+    auto inflight = inflight_.find(key);
+    const std::int64_t used = inflight == inflight_.end() ? 0 : inflight->second;
+    if (used + bytes > wnd) return false;
+  }
+  return true;
+}
+
+void MtpEndpoint::charge(PathIndex path, proto::TrafficClassId tc, std::int64_t bytes) {
+  for (const proto::PathletId p : paths_[path]) inflight_[CcKey{p, tc}] += bytes;
+}
+
+void MtpEndpoint::uncharge(PathIndex path, proto::TrafficClassId tc, std::int64_t bytes) {
+  for (const proto::PathletId p : paths_[path]) {
+    auto it = inflight_.find(CcKey{p, tc});
+    if (it != inflight_.end()) it->second = std::max<std::int64_t>(0, it->second - bytes);
+  }
+}
+
+void MtpEndpoint::pump() {
+  if (send_order_.empty()) return;
+  // Drop completed ids lazily, then scan by priority (higher value first,
+  // FIFO within a priority level).
+  std::erase_if(send_order_, [this](proto::MsgId id) { return !outgoing_.contains(id); });
+  std::vector<proto::MsgId> order = send_order_;
+  if (cfg_.scheduling == MtpConfig::Scheduling::kSrpt) {
+    // Shortest remaining processing time: fewest unacknowledged packets
+    // first; application priority still dominates.
+    std::stable_sort(order.begin(), order.end(), [this](proto::MsgId a, proto::MsgId b) {
+      const OutgoingMessage& ma = outgoing_.at(a);
+      const OutgoingMessage& mb = outgoing_.at(b);
+      if (ma.opts.priority != mb.opts.priority) {
+        return ma.opts.priority > mb.opts.priority;
+      }
+      return ma.total_pkts - ma.sacked < mb.total_pkts - mb.sacked;
+    });
+  } else {
+    std::stable_sort(order.begin(), order.end(), [this](proto::MsgId a, proto::MsgId b) {
+      return outgoing_.at(a).opts.priority > outgoing_.at(b).opts.priority;
+    });
+  }
+  for (const proto::MsgId id : order) {
+    auto it = outgoing_.find(id);
+    if (it == outgoing_.end()) continue;
+    OutgoingMessage& msg = it->second;
+    // Retransmissions first: they unblock message completion.
+    while (!msg.retx_queue.empty()) {
+      const std::uint32_t pkt = msg.retx_queue.front();
+      if (msg.state[pkt] != PktState::kLost) {  // already re-sacked meanwhile
+        msg.retx_queue.pop_front();
+        continue;
+      }
+      if (!try_send_pkt(msg, pkt, /*is_retx=*/true)) break;
+      msg.retx_queue.pop_front();
+    }
+    while (msg.next_unsent < msg.total_pkts) {
+      if (!try_send_pkt(msg, msg.next_unsent, /*is_retx=*/false)) break;
+      ++msg.next_unsent;
+    }
+  }
+}
+
+bool MtpEndpoint::try_send_pkt(OutgoingMessage& msg, std::uint32_t pkt, bool is_retx) {
+  auto path_it = current_path_.find(msg.dst);
+  if (path_it == current_path_.end()) {
+    // No feedback learned yet: use a per-destination default pathlet. One
+    // pathlet covering the whole network mimics TCP (paper §4), and TCP
+    // state is per-connection — so the default window is per destination,
+    // keeping an unreachable destination from starving the others.
+    const proto::PathletId virtual_id =
+        kVirtualPathletFlag | (msg.dst & ~kVirtualPathletFlag);
+    path_it = current_path_.emplace(msg.dst, intern_path({virtual_id})).first;
+  }
+  const PathIndex path = path_it->second;
+  const std::int64_t bytes = msg.pkt_len(pkt, cfg_.mss);
+  if (!admit(path, msg.opts.tc, bytes)) return false;
+  charge(path, msg.opts.tc, bytes);
+  msg.charged_path[pkt] = path;
+  msg.state[pkt] = PktState::kInflight;
+  msg.sent_at[pkt] = sim_.now();
+  if (is_retx) {
+    msg.retransmitted[pkt] = true;
+    ++pkts_retx_;
+  }
+  msg.inflight_fifo.push_back(pkt);
+  send_data_pkt(msg, pkt, path);
+  return true;
+}
+
+void MtpEndpoint::send_data_pkt(OutgoingMessage& msg, std::uint32_t pkt, PathIndex) {
+  net::Packet p;
+  p.src = host_.id();
+  p.dst = msg.dst;
+  p.payload_bytes = msg.pkt_len(pkt, cfg_.mss);
+  p.ecn = net::Ecn::kEct;
+  p.tc = msg.opts.tc;
+  p.priority = msg.opts.priority;
+  p.flow_hash = mtp_flow_hash(p.src, msg.opts.src_port, msg.dst, msg.opts.dst_port);
+  p.uid = net::Packet::next_uid();
+
+  proto::MtpHeader hdr;
+  hdr.src_port = msg.opts.src_port;
+  hdr.dst_port = msg.opts.dst_port;
+  hdr.type = proto::MtpPacketType::kData;
+  hdr.msg_id = msg.id;
+  hdr.priority = msg.opts.priority;
+  hdr.tc = msg.opts.tc;
+  hdr.msg_len_bytes = static_cast<std::uint64_t>(msg.total_bytes);
+  hdr.msg_len_pkts = msg.total_pkts;
+  hdr.pkt_num = pkt;
+  hdr.pkt_offset = static_cast<std::uint64_t>(pkt) * cfg_.mss;
+  hdr.pkt_len = p.payload_bytes;
+  hdr.path_exclude = active_exclusions();
+  if (pkt == 0 && msg.opts.app) p.app = msg.opts.app;
+  p.header_bytes =
+      cfg_.base_header_bytes + static_cast<std::uint32_t>(hdr.path_exclude.size() * 5);
+  p.header = std::move(hdr);
+  ++pkts_sent_;
+  host_.send(std::move(p));
+}
+
+void MtpEndpoint::complete_outgoing(OutgoingMessage& msg) {
+  const sim::SimTime fct = sim_.now() - msg.started_at;
+  auto done = std::move(msg.done);
+  const proto::MsgId id = msg.id;
+  outgoing_.erase(id);  // msg is dangling beyond this point
+  if (done) done(id, fct);
+}
+
+void MtpEndpoint::rtt_sample(sim::SimTime sample) {
+  if (!rtt_valid_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    rtt_valid_ = true;
+  } else {
+    const sim::SimTime err = sample >= srtt_ ? sample - srtt_ : srtt_ - sample;
+    rttvar_ = rttvar_.scaled(0.75) + err.scaled(0.25);
+    srtt_ = srtt_.scaled(0.875) + sample.scaled(0.125);
+  }
+}
+
+sim::SimTime MtpEndpoint::rto() const {
+  if (!rtt_valid_) return cfg_.min_rto.scaled(5.0);
+  sim::SimTime r = srtt_ * 2 + rttvar_ * 4;
+  r = std::max(r, cfg_.min_rto);
+  r = std::min(r, cfg_.max_rto);
+  return r;
+}
+
+void MtpEndpoint::retx_scan() {
+  if (outgoing_.empty()) {
+    retx_task_->stop();
+    return;
+  }
+  const sim::SimTime deadline = rto();
+  const sim::SimTime now = sim_.now();
+  bool any_lost = false;
+  for (auto& [id, msg] : outgoing_) {
+    while (!msg.inflight_fifo.empty()) {
+      const std::uint32_t pkt = msg.inflight_fifo.front();
+      if (msg.state[pkt] != PktState::kInflight) {
+        msg.inflight_fifo.pop_front();
+        continue;
+      }
+      if (now - msg.sent_at[pkt] <= deadline) break;  // FIFO: rest are newer
+      msg.inflight_fifo.pop_front();
+      msg.state[pkt] = PktState::kLost;
+      const std::int64_t bytes = msg.pkt_len(pkt, cfg_.mss);
+      uncharge(msg.charged_path[pkt], msg.opts.tc, bytes);
+      msg.retx_queue.push_back(pkt);
+      any_lost = true;
+      for (const proto::PathletId p : paths_[msg.charged_path[pkt]]) {
+        penalize(p, msg.opts.tc, LossKind::kTimeout);
+      }
+    }
+  }
+  if (any_lost) pump();
+}
+
+// ---------------------------------------------------------------- receiver
+
+void MtpEndpoint::on_packet(net::Packet&& pkt) {
+  if (pkt.mtp().is_ack()) {
+    on_ack(pkt);
+  } else {
+    on_data(std::move(pkt));
+  }
+}
+
+void MtpEndpoint::queue_ack(const net::Packet& data, bool nack,
+                            std::vector<proto::SackEntry> gap_nacks, bool flush_now) {
+  auto& pa = pending_acks_[data.src];
+  pa.last_data = data;  // freshest template: ports, tc, echoed path feedback
+  const auto& dh = data.mtp();
+  if (nack) {
+    pa.nacks.push_back({dh.msg_id, dh.pkt_num});
+  } else {
+    pa.sacks.push_back({dh.msg_id, dh.pkt_num});
+  }
+  for (auto& e : gap_nacks) pa.nacks.push_back(e);
+  // NACKs and completions flush immediately; otherwise batch to the
+  // configured depth with a timer backstop.
+  if (flush_now || !pa.nacks.empty() || pa.sacks.size() >= cfg_.ack_coalesce) {
+    emit_ack(pa);
+    pending_acks_.erase(data.src);
+    if (pending_acks_.empty() && ack_flush_task_->running()) ack_flush_task_->stop();
+    return;
+  }
+  if (!ack_flush_task_->running()) ack_flush_task_->start(cfg_.ack_flush_timeout);
+}
+
+void MtpEndpoint::flush_acks() {
+  for (auto& [src, pa] : pending_acks_) emit_ack(pa);
+  pending_acks_.clear();
+  ack_flush_task_->stop();
+}
+
+void MtpEndpoint::emit_ack(PendingAck& pa) {
+  const net::Packet& data = pa.last_data;
+  const auto& dh = data.mtp();
+  net::Packet p;
+  p.src = host_.id();
+  p.dst = data.src;
+  p.payload_bytes = 0;
+  p.ecn = net::Ecn::kNotEct;
+  p.tc = data.tc;
+  p.priority = data.priority;
+  p.flow_hash = mtp_flow_hash(p.src, dh.dst_port, data.src, dh.src_port);
+  p.uid = net::Packet::next_uid();
+
+  proto::MtpHeader hdr;
+  hdr.src_port = dh.dst_port;
+  hdr.dst_port = dh.src_port;
+  hdr.type = proto::MtpPacketType::kAck;
+  hdr.msg_id = dh.msg_id;
+  hdr.tc = dh.tc;
+  hdr.priority = dh.priority;
+  hdr.msg_len_bytes = dh.msg_len_bytes;
+  hdr.msg_len_pkts = dh.msg_len_pkts;
+  hdr.pkt_num = dh.pkt_num;
+  // The receiver copies the data packet's accumulated path feedback into the
+  // ACK's feedback list — the core of pathlet congestion control. With
+  // coalescing, the freshest packet's feedback stands in for the batch
+  // (paper §4: "feedback can be aggregated").
+  hdr.ack_path_feedback = dh.path_feedback;
+  hdr.sack = std::move(pa.sacks);
+  hdr.nack = std::move(pa.nacks);
+  p.header_bytes = cfg_.base_header_bytes +
+                   static_cast<std::uint32_t>(hdr.ack_path_feedback.size() * 14 +
+                                              (hdr.sack.size() + hdr.nack.size()) * 12);
+  p.header = std::move(hdr);
+  ++acks_sent_;
+  host_.send(std::move(p));
+}
+
+void MtpEndpoint::on_data(net::Packet&& pkt) {
+  const auto& hdr = pkt.mtp();
+  const MsgKey key{pkt.src, hdr.msg_id};
+
+  // NDP-style trimmed packet: header survived, payload didn't. NACK so the
+  // sender retransmits immediately instead of waiting for a timeout.
+  const bool trimmed = pkt.payload_bytes == 0 && hdr.pkt_len > 0;
+  if (trimmed) {
+    queue_ack(pkt, /*nack=*/true, {}, /*flush_now=*/true);
+    return;
+  }
+
+  // Duplicate of an already-delivered message: re-ACK to quench the sender.
+  if (completed_.contains(key)) {
+    queue_ack(pkt, /*nack=*/false, {}, /*flush_now=*/true);
+    return;
+  }
+
+  if (hdr.msg_len_pkts == 0 || hdr.pkt_num >= hdr.msg_len_pkts) return;  // malformed
+
+  auto [it, fresh] = incoming_.try_emplace(key);
+  IncomingMessage& msg = it->second;
+  if (fresh) {
+    msg.have.assign(hdr.msg_len_pkts, false);
+    msg.total_pkts = hdr.msg_len_pkts;
+    msg.total_bytes = static_cast<std::int64_t>(hdr.msg_len_bytes);
+    msg.priority = hdr.priority;
+    msg.tc = hdr.tc;
+    msg.src_port = hdr.src_port;
+    msg.dst_port = hdr.dst_port;
+    msg.first_pkt_at = sim_.now();
+  }
+  if (pkt.app) msg.app = pkt.app;
+  if (!msg.have[hdr.pkt_num]) {
+    msg.have[hdr.pkt_num] = true;
+    ++msg.received;
+    if (on_payload) on_payload(pkt.payload_bytes);
+  }
+
+  // Gap NACKs: packets more than nack_gap_threshold behind this arrival that
+  // are still missing were almost certainly lost — ask for them now (each at
+  // most once; the sender's timer is the backstop if the retransmission is
+  // lost too).
+  std::vector<proto::SackEntry> gap_nacks;
+  if (cfg_.nack_gap_threshold != 0 && hdr.pkt_num >= cfg_.nack_gap_threshold) {
+    const std::uint32_t frontier = hdr.pkt_num - cfg_.nack_gap_threshold;
+    while (msg.gap_checked < frontier && gap_nacks.size() < 32) {
+      if (!msg.have[msg.gap_checked]) {
+        gap_nacks.push_back({hdr.msg_id, msg.gap_checked});
+      }
+      ++msg.gap_checked;
+    }
+  }
+  const bool completes = msg.received == msg.total_pkts;
+  queue_ack(pkt, /*nack=*/false, std::move(gap_nacks),
+            /*flush_now=*/completes || cfg_.ack_coalesce <= 1);
+
+  if (completes) {
+    ReceivedMessage done;
+    done.src = pkt.src;
+    done.msg_id = hdr.msg_id;
+    done.bytes = msg.total_bytes;
+    done.priority = msg.priority;
+    done.tc = msg.tc;
+    done.src_port = msg.src_port;
+    done.dst_port = msg.dst_port;
+    done.app = std::move(msg.app);
+    done.first_pkt_at = msg.first_pkt_at;
+    done.completed_at = sim_.now();
+    incoming_.erase(it);
+    completed_.insert(key);
+    completed_fifo_.push_back(key);
+    while (completed_fifo_.size() > cfg_.completed_cache) {
+      completed_.erase(completed_fifo_.front());
+      completed_fifo_.pop_front();
+    }
+    ++msgs_delivered_;
+    auto handler = handlers_.find(done.dst_port);
+    if (handler != handlers_.end()) {
+      handler->second(done);
+    } else if (default_handler_) {
+      default_handler_(done);
+    }
+  }
+}
+
+void MtpEndpoint::on_ack(const net::Packet& pkt) {
+  const auto& hdr = pkt.mtp();
+
+  // Learn the destination's current path from the echoed feedback, and feed
+  // each pathlet's algorithm. (The ACK's source is the message destination.)
+  if (!hdr.ack_path_feedback.empty()) {
+    std::vector<proto::PathletId> pathlets;
+    pathlets.reserve(hdr.ack_path_feedback.size());
+    for (const auto& pf : hdr.ack_path_feedback) pathlets.push_back(pf.pathlet);
+    current_path_[pkt.src] = intern_path(pathlets);
+  }
+
+  auto handle_entries = [&](const std::vector<proto::SackEntry>& entries, bool is_nack) {
+    for (const auto& e : entries) {
+      auto it = outgoing_.find(e.msg_id);
+      if (it == outgoing_.end()) continue;
+      OutgoingMessage& msg = it->second;
+      if (e.pkt_num >= msg.total_pkts) continue;
+      const std::int64_t bytes = msg.pkt_len(e.pkt_num, cfg_.mss);
+
+      if (is_nack) {
+        if (msg.state[e.pkt_num] == PktState::kInflight) {
+          msg.state[e.pkt_num] = PktState::kLost;
+          uncharge(msg.charged_path[e.pkt_num], msg.opts.tc, bytes);
+          msg.retx_queue.push_back(e.pkt_num);
+          for (const proto::PathletId p : paths_[msg.charged_path[e.pkt_num]]) {
+            penalize(p, msg.opts.tc, LossKind::kTrim);
+          }
+        }
+        continue;
+      }
+
+      const PktState prev = msg.state[e.pkt_num];
+      if (prev == PktState::kSacked) continue;
+      if (prev == PktState::kInflight) {
+        uncharge(msg.charged_path[e.pkt_num], msg.opts.tc, bytes);
+      }
+      msg.state[e.pkt_num] = PktState::kSacked;
+      ++msg.sacked;
+
+      const bool karn_valid = !msg.retransmitted[e.pkt_num];
+      const sim::SimTime rtt = sim_.now() - msg.sent_at[e.pkt_num];
+      if (karn_valid) rtt_sample(rtt);
+
+      // Feed pathlet algorithms: feedback TLVs first, then the ack credit.
+      for (const auto& pf : hdr.ack_path_feedback) {
+        PathletCc& algo = cc(pf.pathlet, pf.tc, pf.feedback.type);
+        algo.on_feedback(pf.feedback, bytes);
+        consecutive_losses_[pf.pathlet] = 0;
+      }
+      if (hdr.ack_path_feedback.empty()) {
+        // No pathlet info on this path: evolve whatever the packet was
+        // charged to (the per-destination virtual pathlet).
+        for (const proto::PathletId p : paths_[msg.charged_path[e.pkt_num]]) {
+          cc(p, msg.opts.tc, proto::FeedbackType::kNone)
+              .on_ack(bytes, karn_valid ? rtt : srtt_);
+        }
+      } else {
+        for (const auto& pf : hdr.ack_path_feedback) {
+          cc(pf.pathlet, pf.tc, pf.feedback.type)
+              .on_ack(bytes, karn_valid ? rtt : srtt_);
+        }
+      }
+
+      if (msg.sacked == msg.total_pkts) {
+        complete_outgoing(msg);  // erases msg from outgoing_
+        continue;                // later entries re-resolve via the map lookup
+      }
+    }
+  };
+
+  handle_entries(hdr.sack, /*is_nack=*/false);
+  handle_entries(hdr.nack, /*is_nack=*/true);
+  pump();
+}
+
+}  // namespace mtp::core

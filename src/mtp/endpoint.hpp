@@ -1,0 +1,287 @@
+// MtpEndpoint: the MTP transport attached to one host (paper §3).
+//
+// Message transport (§3.1.2):
+//   - Messages are independent; no connection setup. send_message() packetizes
+//     and transmits immediately.
+//   - Every packet carries the message id, total length in bytes and packets,
+//     and its own number/offset — so any device can parse and make
+//     per-message decisions with bounded state.
+//   - Acknowledgement and retransmission are per (Msg ID, Pkt Num): receivers
+//     SACK every packet, NACK trimmed ones, and senders retransmit unacked
+//     packets after an adaptive timeout.
+//
+// Pathlet congestion control (§3.1.3):
+//   - Links stamp (Path ID, TC, Feedback) TLVs onto data packets; receivers
+//     echo them in ACKs.
+//   - The endpoint keeps one PathletCc per (pathlet, TC) — state is shared by
+//     all messages/destinations crossing that pathlet, which is the paper's
+//     coarser-than-flow isolation granularity.
+//   - A packet is admitted when every pathlet on its destination's current
+//     path has window headroom; it is "charged" to those pathlets until
+//     acknowledged or declared lost.
+//   - Persistently congested pathlets can be excluded: their ids ride in the
+//     Path Exclude header list and exclusion-aware switches route around them.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mtp/cc_algorithm.hpp"
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+
+namespace mtp::core {
+
+struct MtpConfig {
+  std::uint32_t mss = 1000;          ///< payload bytes per packet
+  std::uint32_t base_header_bytes = 64;  ///< accounted fixed header + IP overhead
+  CcConfig cc;
+
+  sim::SimTime min_rto = sim::SimTime::microseconds(200);
+  sim::SimTime max_rto = sim::SimTime::milliseconds(100);
+  /// Retransmit-scan period (loss detection granularity).
+  sim::SimTime retx_scan_period = sim::SimTime::microseconds(100);
+
+  /// Completed-message tombstones kept to re-ACK duplicate retransmissions.
+  std::size_t completed_cache = 1 << 14;
+
+  /// Automatically exclude a pathlet after this many consecutive timeout
+  /// losses on it (0 disables auto-exclusion).
+  int auto_exclude_after_losses = 0;
+  sim::SimTime exclude_duration = sim::SimTime::milliseconds(1);
+
+  /// Receiver-side gap NACKs: when packet N of a message arrives and packet
+  /// K < N - threshold is still missing, NACK K once so the sender
+  /// retransmits in ~1 RTT instead of waiting out the timeout. The threshold
+  /// absorbs benign reordering. 0 disables gap NACKs.
+  std::uint32_t nack_gap_threshold = 16;
+
+  /// Order in which the sender serves its outstanding messages.
+  enum class Scheduling {
+    kPriorityFifo,  ///< application priority, FIFO within a level (default)
+    kSrpt,          ///< shortest remaining message first (minimizes mean FCT)
+  };
+  Scheduling scheduling = Scheduling::kPriorityFifo;
+
+  /// ACK coalescing (paper §4 "Packet Header Overheads": feedback can be
+  /// aggregated): batch up to this many SACKs per source into one ACK.
+  /// 1 = ack every packet. Batches flush on the Nth packet, on message
+  /// completion, on any NACK, and on a short timer so senders never stall.
+  std::uint32_t ack_coalesce = 1;
+  sim::SimTime ack_flush_timeout = sim::SimTime::microseconds(20);
+};
+
+struct MessageOptions {
+  std::uint8_t priority = 0;
+  proto::TrafficClassId tc = 0;
+  proto::PortNum src_port = 0;
+  proto::PortNum dst_port = 0;
+  std::optional<net::AppData> app;  ///< rides on packet 0 (request key, ...)
+};
+
+/// A completed incoming message handed to the application.
+struct ReceivedMessage {
+  net::NodeId src = net::kInvalidNode;
+  proto::MsgId msg_id = 0;
+  std::int64_t bytes = 0;
+  std::uint8_t priority = 0;
+  proto::TrafficClassId tc = 0;
+  proto::PortNum src_port = 0;
+  proto::PortNum dst_port = 0;
+  std::optional<net::AppData> app;
+  sim::SimTime first_pkt_at;
+  sim::SimTime completed_at;
+};
+
+class MtpEndpoint {
+ public:
+  using MessageHandler = std::function<void(const ReceivedMessage&)>;
+  using DoneFn = std::function<void(proto::MsgId, sim::SimTime fct)>;
+
+  MtpEndpoint(net::Host& host, MtpConfig cfg);
+  ~MtpEndpoint();
+  MtpEndpoint(const MtpEndpoint&) = delete;
+  MtpEndpoint& operator=(const MtpEndpoint&) = delete;
+
+  /// Send an independent message of `bytes` payload to `dst`. Returns its id.
+  proto::MsgId send_message(net::NodeId dst, std::int64_t bytes,
+                            MessageOptions opts = {}, DoneFn on_delivered = {});
+
+  /// Deliver completed messages addressed to `port` to `handler`.
+  void listen(proto::PortNum port, MessageHandler handler);
+  /// Catch-all for ports without a specific listener.
+  void listen_any(MessageHandler handler) { default_handler_ = std::move(handler); }
+
+  /// Fine-grained goodput hook: fires once per *new* (non-duplicate) data
+  /// packet with its payload size. Experiments meter receive rate with this
+  /// rather than waiting for whole messages.
+  std::function<void(std::int64_t bytes)> on_payload;
+
+  /// Ask the network to avoid `pathlet` for `duration` (Path Exclude list).
+  void exclude_pathlet(proto::PathletId pathlet, sim::SimTime duration);
+
+  // --- Introspection (tests, experiments).
+  const PathletCc* pathlet_cc(proto::PathletId id, proto::TrafficClassId tc) const;
+  std::size_t known_pathlets() const { return cc_.size(); }
+  std::size_t outstanding_messages() const { return outgoing_.size(); }
+  std::uint64_t pkts_sent() const { return pkts_sent_; }
+  std::uint64_t pkts_retransmitted() const { return pkts_retx_; }
+  std::uint64_t msgs_delivered() const { return msgs_delivered_; }
+  sim::SimTime srtt() const { return srtt_; }
+  const MtpConfig& config() const { return cfg_; }
+  net::Host& host() { return host_; }
+  /// Current path (pathlet ids) learned for a destination; empty if unknown.
+  std::vector<proto::PathletId> current_path(net::NodeId dst) const;
+
+ private:
+  // --- Interned paths: the (pathlet, tc) sets packets get charged to.
+  // Path 0 is always the default path {kDefaultPathlet}. Destinations with
+  // no feedback yet get a per-destination virtual pathlet (high bit set) so
+  // their TCP-like default windows evolve independently.
+  static constexpr proto::PathletId kVirtualPathletFlag = 0x8000'0000;
+  using PathIndex = std::uint16_t;
+  struct CcKey {
+    proto::PathletId pathlet;
+    proto::TrafficClassId tc;
+    bool operator==(const CcKey&) const = default;
+  };
+  struct CcKeyHash {
+    std::size_t operator()(const CcKey& k) const {
+      return std::hash<std::uint64_t>()(
+          (static_cast<std::uint64_t>(k.pathlet) << 8) | k.tc);
+    }
+  };
+
+  enum class PktState : std::uint8_t { kUnsent, kInflight, kSacked, kLost };
+
+  struct OutgoingMessage {
+    proto::MsgId id = 0;
+    net::NodeId dst = net::kInvalidNode;
+    MessageOptions opts;
+    std::int64_t total_bytes = 0;
+    std::uint32_t total_pkts = 0;
+    std::vector<PktState> state;          // per packet
+    std::vector<sim::SimTime> sent_at;    // per packet
+    std::vector<PathIndex> charged_path;  // per packet
+    std::vector<bool> retransmitted;      // per packet (Karn)
+    std::uint32_t next_unsent = 0;
+    std::uint32_t sacked = 0;
+    std::deque<std::uint32_t> retx_queue;
+    /// Packet numbers in transmission order; the front is always the oldest
+    /// in-flight packet, so the retransmit scan is O(1) until a loss.
+    std::deque<std::uint32_t> inflight_fifo;
+    sim::SimTime started_at;
+    DoneFn done;
+
+    std::uint32_t pkt_len(std::uint32_t pkt, std::uint32_t mss) const {
+      const std::uint64_t off = static_cast<std::uint64_t>(pkt) * mss;
+      return static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(mss, static_cast<std::uint64_t>(total_bytes) - off));
+    }
+  };
+
+  struct IncomingMessage {
+    std::vector<bool> have;
+    std::uint32_t received = 0;
+    std::uint32_t gap_checked = 0;  ///< packets below this were gap-NACKed once
+    std::uint32_t total_pkts = 0;
+    std::int64_t total_bytes = 0;
+    std::uint8_t priority = 0;
+    proto::TrafficClassId tc = 0;
+    proto::PortNum src_port = 0;
+    proto::PortNum dst_port = 0;
+    std::optional<net::AppData> app;
+    sim::SimTime first_pkt_at;
+  };
+
+  struct MsgKey {
+    net::NodeId src;
+    proto::MsgId id;
+    bool operator==(const MsgKey&) const = default;
+  };
+  struct MsgKeyHash {
+    std::size_t operator()(const MsgKey& k) const {
+      return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(k.src) << 32) ^ k.id);
+    }
+  };
+
+  void on_packet(net::Packet&& pkt);
+  void on_data(net::Packet&& pkt);
+  void on_ack(const net::Packet& pkt);
+  struct PendingAck;
+  void queue_ack(const net::Packet& data, bool nack,
+                 std::vector<proto::SackEntry> gap_nacks, bool flush_now);
+  void emit_ack(PendingAck& pa);
+  void flush_acks();
+  void pump();
+  bool try_send_pkt(OutgoingMessage& msg, std::uint32_t pkt, bool is_retx);
+  void send_data_pkt(OutgoingMessage& msg, std::uint32_t pkt, PathIndex path);
+  void complete_outgoing(OutgoingMessage& msg);
+  void retx_scan();
+  void rtt_sample(sim::SimTime sample);
+  sim::SimTime rto() const;
+
+  PathletCc& cc(proto::PathletId pathlet, proto::TrafficClassId tc,
+                proto::FeedbackType type_hint);
+  /// Apply on_loss at most once per RTT per (pathlet, TC).
+  void penalize(proto::PathletId pathlet, proto::TrafficClassId tc, LossKind kind);
+  PathIndex intern_path(const std::vector<proto::PathletId>& pathlets);
+  bool admit(PathIndex path, proto::TrafficClassId tc, std::int64_t bytes);
+  void charge(PathIndex path, proto::TrafficClassId tc, std::int64_t bytes);
+  void uncharge(PathIndex path, proto::TrafficClassId tc, std::int64_t bytes);
+  std::vector<proto::PathRef> active_exclusions();
+
+  net::Host& host_;
+  MtpConfig cfg_;
+  sim::Simulator& sim_;
+
+  // --- Sender.
+  proto::MsgId next_msg_id_ = 1;
+  std::unordered_map<proto::MsgId, OutgoingMessage> outgoing_;
+  std::vector<proto::MsgId> send_order_;  ///< ids in arrival order (pump scans by priority)
+  std::unordered_map<CcKey, std::unique_ptr<PathletCc>, CcKeyHash> cc_;
+  std::unordered_map<CcKey, std::int64_t, CcKeyHash> inflight_;
+  std::vector<std::vector<proto::PathletId>> paths_;  ///< interned path table
+  std::unordered_map<net::NodeId, PathIndex> current_path_;
+  std::unordered_map<proto::PathletId, sim::SimTime> excluded_until_;
+  std::unordered_map<proto::PathletId, int> consecutive_losses_;
+  /// Last multiplicative decrease per (pathlet, TC): losses within one RTT
+  /// are a single congestion event and must cut the window only once.
+  std::unordered_map<CcKey, sim::SimTime, CcKeyHash> last_decrease_;
+  sim::SimTime srtt_;
+  sim::SimTime rttvar_;
+  bool rtt_valid_ = false;
+  std::unique_ptr<sim::PeriodicTask> retx_task_;
+  std::uint64_t pkts_sent_ = 0;
+  std::uint64_t pkts_retx_ = 0;
+
+  // --- Receiver.
+  std::unordered_map<MsgKey, IncomingMessage, MsgKeyHash> incoming_;
+  std::unordered_set<MsgKey, MsgKeyHash> completed_;
+  std::deque<MsgKey> completed_fifo_;
+  std::unordered_map<proto::PortNum, MessageHandler> handlers_;
+  MessageHandler default_handler_;
+  std::uint64_t msgs_delivered_ = 0;
+
+  /// ACK coalescing state: the next ACK to each source, built from the most
+  /// recent data packet (template) plus accumulated SACK entries.
+  struct PendingAck {
+    net::Packet last_data;  ///< template: ports, feedback echo, tc, priority
+    std::vector<proto::SackEntry> sacks;
+    std::vector<proto::SackEntry> nacks;
+  };
+  std::unordered_map<net::NodeId, PendingAck> pending_acks_;
+  std::unique_ptr<sim::PeriodicTask> ack_flush_task_;
+  std::uint64_t acks_sent_ = 0;
+
+ public:
+  std::uint64_t acks_sent() const { return acks_sent_; }
+};
+
+}  // namespace mtp::core

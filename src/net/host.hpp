@@ -1,0 +1,70 @@
+// End-host: demultiplexes received packets to the transport stacks bound to
+// it (one TCP stack, one MTP endpoint, per-port UDP handlers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+
+namespace mtp::net {
+
+class Host : public Node {
+ public:
+  using Handler = std::function<void(Packet&&)>;
+
+  using Node::Node;
+
+  /// Transmit toward pkt.dst: the route table picks the uplink; unknown
+  /// destinations use the first attached link (single-homed hosts never need
+  /// routes; a dual-homed middlebox host adds one per peer).
+  void send(Packet&& pkt) {
+    assert(num_out_ports() > 0 && "host has no uplink");
+    PortIndex port = 0;
+    auto it = routes_.find(pkt.dst);
+    if (it != routes_.end()) port = it->second;
+    out_port(port)->send(std::move(pkt));
+  }
+
+  void add_route(NodeId dst, PortIndex port) { routes_[dst] = port; }
+
+  void set_tcp_handler(Handler h) { tcp_ = std::move(h); }
+  void set_mtp_handler(Handler h) { mtp_ = std::move(h); }
+  void set_udp_handler(proto::PortNum port, Handler h) { udp_[port] = std::move(h); }
+
+  void receive(Packet&& pkt, PortIndex /*in_port*/) override {
+    if (pkt.dst != id()) {
+      ++misdelivered_;  // not addressed to this host: drop
+      return;
+    }
+    if (pkt.is_tcp()) {
+      if (tcp_) tcp_(std::move(pkt));
+      return;
+    }
+    if (pkt.is_mtp()) {
+      if (mtp_) mtp_(std::move(pkt));
+      return;
+    }
+    if (pkt.is_udp()) {
+      auto it = udp_.find(pkt.udp().dst_port);
+      if (it != udp_.end()) it->second(std::move(pkt));
+      return;
+    }
+    ++unhandled_;
+  }
+
+  std::uint64_t unhandled_packets() const { return unhandled_; }
+  std::uint64_t misdelivered_packets() const { return misdelivered_; }
+
+ private:
+  Handler tcp_;
+  Handler mtp_;
+  std::unordered_map<proto::PortNum, Handler> udp_;
+  std::unordered_map<NodeId, PortIndex> routes_;
+  std::uint64_t unhandled_ = 0;
+  std::uint64_t misdelivered_ = 0;
+};
+
+}  // namespace mtp::net

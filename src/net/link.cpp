@@ -1,0 +1,82 @@
+#include "net/link.hpp"
+
+#include <cassert>
+
+#include "sim/logging.hpp"
+
+namespace mtp::net {
+
+void Link::set_pathlet(PathletConfig cfg) {
+  pathlet_.emplace(cfg, bandwidth_);
+  if (cfg.feedback == proto::FeedbackType::kRate) {
+    rcp_task_ = std::make_unique<sim::PeriodicTask>(sim_, cfg.rcp_period, [this] {
+      pathlet_->periodic_update(queue_->len_bytes());
+    });
+    rcp_task_->start();
+  }
+}
+
+void Link::set_up(bool up) {
+  up_ = up;
+  if (!up_) {
+    while (queue_->dequeue().has_value()) {
+      // discard queued packets on the flap
+    }
+  } else {
+    try_transmit();
+  }
+}
+
+void Link::send(Packet&& pkt) {
+  assert(dst_ != nullptr && "Link::connect_to must be called before send");
+  if (!up_) {
+    ++stats_.pkts_dropped_down;
+    return;
+  }
+  // Per-hop scratch: when the packet was queued here, and whether it arrived
+  // already CE-marked (so this pathlet is not blamed for upstream marks).
+  pkt.hop_enqueued_at = sim_.now();
+  pkt.hop_was_ce = pkt.ecn == Ecn::kCe;
+  if (pathlet_) pathlet_->on_arrival(pkt.size_bytes());
+  if (!queue_->enqueue(std::move(pkt))) {
+    MTP_TRACE(sim_.now(), name_, "drop (queue full)");
+    return;
+  }
+  try_transmit();
+}
+
+void Link::stamp(Packet& pkt, sim::SimTime queue_delay) {
+  if (!pathlet_ || !pkt.is_mtp()) return;
+  auto& hdr = pkt.mtp();
+  if (hdr.is_ack()) return;  // feedback is collected on the data path only
+  const bool marked_here = pkt.ecn == Ecn::kCe && !pkt.hop_was_ce;
+  if (!pathlet_->should_stamp(marked_here, queue_delay)) return;
+  hdr.path_feedback.push_back(
+      {pathlet_->config().id, hdr.tc, pathlet_->make_feedback(marked_here, queue_delay)});
+}
+
+void Link::try_transmit() {
+  if (transmitting_) return;
+  auto next = queue_->dequeue();
+  if (!next) return;
+  transmitting_ = true;
+  Packet pkt = std::move(*next);
+  // Queueing delay (excluding this packet's own serialization time).
+  const sim::SimTime qdelay = sim_.now() - pkt.hop_enqueued_at;
+  const std::uint32_t size = pkt.size_bytes();
+  in_flight_bytes_ += size;
+  const sim::SimTime tx_time = bandwidth_.serialization_delay(size);
+  sim_.schedule(tx_time, [this, qdelay, pkt = std::move(pkt)]() mutable {
+    in_flight_bytes_ -= pkt.size_bytes();
+    stamp(pkt, qdelay);
+    stats_.pkts_delivered++;
+    stats_.bytes_delivered += pkt.size_bytes();
+    sim_.schedule(delay_, [this, pkt = std::move(pkt)]() mutable {
+      dst_->receive(std::move(pkt), dst_in_port_);
+    });
+    transmitting_ = false;
+    try_transmit();
+  });
+}
+
+}  // namespace mtp::net

@@ -1,0 +1,95 @@
+// Unidirectional link: egress queue + serializer + propagation delay.
+//
+// A duplex cable is modelled as two Links. The link owns its egress queue;
+// the sending node calls send(), the link transmits packets back-to-back at
+// line rate and delivers each to the peer node after the propagation delay.
+//
+// If the link carries a pathlet (set_pathlet), departing MTP data packets
+// get a (Path ID, TC, Feedback) TLV appended — see net/pathlet.hpp.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/pathlet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace mtp::net {
+
+struct LinkStats {
+  std::uint64_t pkts_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t pkts_dropped_down = 0;  ///< sends attempted while the link was down
+};
+
+class Link {
+ public:
+  Link(sim::Simulator& simulator, std::string name, sim::Bandwidth bandwidth,
+       sim::SimTime propagation_delay, std::unique_ptr<Queue> queue)
+      : sim_(simulator),
+        name_(std::move(name)),
+        bandwidth_(bandwidth),
+        delay_(propagation_delay),
+        queue_(std::move(queue)) {}
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Wire the receiving end. Must be called before the first send().
+  void connect_to(Node& dst, PortIndex dst_in_port) {
+    dst_ = &dst;
+    dst_in_port_ = dst_in_port;
+  }
+
+  /// Attach a pathlet to this link. Starts the RCP control loop if the
+  /// pathlet's feedback type is kRate.
+  void set_pathlet(PathletConfig cfg);
+
+  /// Hand a packet to the link for transmission. May drop (queue policy).
+  void send(Packet&& pkt);
+
+  const std::string& name() const { return name_; }
+  sim::Bandwidth bandwidth() const { return bandwidth_; }
+  sim::SimTime propagation_delay() const { return delay_; }
+  Queue& queue() { return *queue_; }
+  const Queue& queue() const { return *queue_; }
+  const LinkStats& stats() const { return stats_; }
+  const PathletState* pathlet() const { return pathlet_ ? &*pathlet_ : nullptr; }
+  Node* peer() const { return dst_; }
+
+  /// Bytes currently committed to this link: in-queue plus in-serialization.
+  /// Used by load-aware forwarding policies.
+  std::int64_t backlog_bytes() const { return queue_->len_bytes() + in_flight_bytes_; }
+
+  /// Failure injection: a down link blackholes every send (packets already
+  /// in flight still arrive — the fiber was cut behind them). Queued packets
+  /// are discarded on the transition, as on a real port flap.
+  void set_up(bool up);
+  bool is_up() const { return up_; }
+
+ private:
+  void try_transmit();
+  void stamp(Packet& pkt, sim::SimTime queue_delay);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  sim::Bandwidth bandwidth_;
+  sim::SimTime delay_;
+  std::unique_ptr<Queue> queue_;
+  Node* dst_ = nullptr;
+  PortIndex dst_in_port_ = 0;
+  bool transmitting_ = false;
+  bool up_ = true;
+  std::int64_t in_flight_bytes_ = 0;
+  LinkStats stats_;
+  std::optional<PathletState> pathlet_;
+  std::unique_ptr<sim::PeriodicTask> rcp_task_;
+};
+
+}  // namespace mtp::net

@@ -1,0 +1,86 @@
+// Network: owns the simulator, nodes and links, and wires topologies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "net/switch.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace mtp::net {
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Rng& rng() { return rng_; }
+
+  Host* add_host(std::string name) {
+    auto host = std::make_unique<Host>(sim_, next_id(), std::move(name));
+    Host* p = host.get();
+    nodes_.push_back(std::move(host));
+    return p;
+  }
+
+  Switch* add_switch(std::string name) {
+    auto sw = std::make_unique<Switch>(sim_, next_id(), std::move(name));
+    Switch* p = sw.get();
+    nodes_.push_back(std::move(sw));
+    return p;
+  }
+
+  /// One direction of a cable: a -> b. Returns the created link, attached as
+  /// a new out-port on `a` and delivering into `b`.
+  Link* connect_simplex(Node& a, Node& b, sim::Bandwidth bw, sim::SimTime delay,
+                        std::unique_ptr<Queue> queue) {
+    auto link = std::make_unique<Link>(sim_, a.name() + "->" + b.name(), bw, delay,
+                                       std::move(queue));
+    Link* p = link.get();
+    links_.push_back(std::move(link));
+    a.add_out_port(p);
+    // In-port index on the receiving side: we reuse the count of links that
+    // already deliver into b. Receivers only need a stable identifier.
+    p->connect_to(b, next_in_port(b));
+    return p;
+  }
+
+  struct Duplex {
+    Link* forward;   ///< a -> b
+    Link* backward;  ///< b -> a
+  };
+
+  /// Symmetric duplex cable with drop-tail queues on both ends.
+  Duplex connect(Node& a, Node& b, sim::Bandwidth bw, sim::SimTime delay,
+                 DropTailQueue::Config qcfg = {}) {
+    return {connect_simplex(a, b, bw, delay, std::make_unique<DropTailQueue>(qcfg)),
+            connect_simplex(b, a, bw, delay, std::make_unique<DropTailQueue>(qcfg))};
+  }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+ private:
+  NodeId next_id() { return static_cast<NodeId>(nodes_.size()); }
+  // Next in-port index on `b`: the number of links already delivering into
+  // it. Called before connect_to(), so the link being wired (peer still
+  // null) is not counted.
+  PortIndex next_in_port(Node& b) {
+    std::size_t n = 0;
+    for (const auto& l : links_) {
+      if (l->peer() == &b) ++n;
+    }
+    return static_cast<PortIndex>(n);
+  }
+
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace mtp::net

@@ -1,0 +1,81 @@
+// The simulated packet.
+//
+// Packets carry metadata (sizes, ECN codepoint) plus a protocol header held
+// in a variant. Payload bytes are modelled as a count, not a buffer — the
+// experiments only depend on sizes and timing. Where payload *content*
+// matters (the in-network KVS cache, mutation offloads), the content rides in
+// the header's application fields or in the KeyValue annotation below.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "proto/mtp_header.hpp"
+#include "proto/tcp_header.hpp"
+#include "proto/types.hpp"
+#include "sim/time.hpp"
+
+namespace mtp::net {
+
+/// Node address. The simulator uses flat addressing: one id per node.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffff;
+
+/// Port index within a node (attachment point of a link).
+using PortIndex = std::uint32_t;
+
+/// IP ECN codepoint (RFC 3168). Queues mark kEct* -> kCe above threshold.
+enum class Ecn : std::uint8_t { kNotEct = 0, kEct = 1, kCe = 3 };
+
+/// Optional application payload annotation used by in-network compute
+/// devices (KVS cache keys, etc.). Carried alongside the header because the
+/// simulation does not materialize payload bytes.
+struct AppData {
+  std::string key;    ///< KVS key, request name, ...
+  std::string value;  ///< KVS value or response body
+  bool operator==(const AppData&) const = default;
+};
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t payload_bytes = 0;  ///< application payload carried
+  std::uint32_t header_bytes = 0;   ///< accounted header overhead on the wire
+  Ecn ecn = Ecn::kNotEct;
+  proto::TrafficClassId tc = 0;
+  std::uint8_t priority = 0;
+  std::uint64_t flow_hash = 0;  ///< 5-tuple-style hash for ECMP decisions
+  std::uint64_t uid = 0;        ///< unique per packet *transmission* (retransmits get fresh uids)
+
+  std::variant<std::monostate, proto::TcpHeader, proto::UdpHeader, proto::MtpHeader> header;
+  std::optional<AppData> app;
+
+  // --- Per-hop scratch space owned by the Link currently carrying the
+  // packet; reset on every send(). Not part of the wire format.
+  sim::SimTime hop_enqueued_at;
+  bool hop_was_ce = false;  ///< CE codepoint on arrival at the current hop
+
+  std::uint32_t size_bytes() const { return payload_bytes + header_bytes; }
+
+  bool is_tcp() const { return std::holds_alternative<proto::TcpHeader>(header); }
+  bool is_udp() const { return std::holds_alternative<proto::UdpHeader>(header); }
+  bool is_mtp() const { return std::holds_alternative<proto::MtpHeader>(header); }
+
+  proto::TcpHeader& tcp() { return std::get<proto::TcpHeader>(header); }
+  const proto::TcpHeader& tcp() const { return std::get<proto::TcpHeader>(header); }
+  proto::UdpHeader& udp() { return std::get<proto::UdpHeader>(header); }
+  const proto::UdpHeader& udp() const { return std::get<proto::UdpHeader>(header); }
+  proto::MtpHeader& mtp() { return std::get<proto::MtpHeader>(header); }
+  const proto::MtpHeader& mtp() const { return std::get<proto::MtpHeader>(header); }
+
+  /// Fresh transmission uid. Monotone within a process; only used for
+  /// tracing and reorder detection, so a plain counter suffices.
+  static std::uint64_t next_uid() {
+    static std::uint64_t counter = 0;
+    return ++counter;
+  }
+};
+
+}  // namespace mtp::net

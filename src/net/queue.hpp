@@ -1,0 +1,95 @@
+// Egress queues.
+//
+// A Link owns one Queue. DropTailQueue implements the paper's switch model:
+// bounded capacity in packets with an ECN marking threshold (Fig 5 uses
+// capacity 128 pkts, K = 20 pkts). Subclasses elsewhere add approximate fair
+// dropping (Fig 7) and NDP-style packet trimming.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace mtp::net {
+
+/// Counters every queue maintains; exposed for tests and experiment probes.
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t ecn_marked = 0;
+  std::uint64_t bytes_dropped = 0;
+};
+
+/// Abstract egress queue. enqueue() may mutate the packet (ECN marking,
+/// trimming) and returns false if the packet was dropped entirely.
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  virtual bool enqueue(Packet&& pkt) = 0;
+  virtual std::optional<Packet> dequeue() = 0;
+
+  virtual std::size_t len_pkts() const = 0;
+  virtual std::int64_t len_bytes() const = 0;
+  bool empty() const { return len_pkts() == 0; }
+
+  const QueueStats& stats() const { return stats_; }
+
+ protected:
+  QueueStats stats_;
+};
+
+/// FIFO tail-drop queue with instantaneous-queue-length ECN marking.
+class DropTailQueue : public Queue {
+ public:
+  struct Config {
+    std::size_t capacity_pkts = 128;
+    /// Mark CE when the queue length at enqueue is >= this many packets.
+    /// 0 disables marking.
+    std::size_t ecn_threshold_pkts = 0;
+  };
+
+  explicit DropTailQueue(Config cfg) : cfg_(cfg) {}
+  DropTailQueue() : DropTailQueue(Config{}) {}
+
+  bool enqueue(Packet&& pkt) override {
+    if (q_.size() >= cfg_.capacity_pkts) {
+      ++stats_.dropped;
+      stats_.bytes_dropped += pkt.size_bytes();
+      return false;
+    }
+    if (cfg_.ecn_threshold_pkts != 0 && q_.size() >= cfg_.ecn_threshold_pkts &&
+        pkt.ecn != Ecn::kNotEct) {
+      pkt.ecn = Ecn::kCe;
+      ++stats_.ecn_marked;
+    }
+    bytes_ += pkt.size_bytes();
+    q_.push_back(std::move(pkt));
+    ++stats_.enqueued;
+    return true;
+  }
+
+  std::optional<Packet> dequeue() override {
+    if (q_.empty()) return std::nullopt;
+    Packet pkt = std::move(q_.front());
+    q_.pop_front();
+    bytes_ -= pkt.size_bytes();
+    ++stats_.dequeued;
+    return pkt;
+  }
+
+  std::size_t len_pkts() const override { return q_.size(); }
+  std::int64_t len_bytes() const override { return bytes_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::deque<Packet> q_;
+  std::int64_t bytes_ = 0;
+};
+
+}  // namespace mtp::net

@@ -1,0 +1,90 @@
+// Output-queued switch with pluggable forwarding and ingress processing.
+//
+// Forwarding: a routing table maps destination -> candidate egress ports; a
+// ForwardingPolicy picks among candidates. The stock policies implement the
+// paper's load-balancing comparisons (Fig 5/6): static, ECMP hashing,
+// per-packet spraying, time-based path alternation, and per-message pinning.
+//
+// Ingress processing: an optional chain of IngressProcessors sees every
+// packet before forwarding; in-network compute devices (KVS cache, fair-
+// share policer, mutation offload, L7 load balancer) hook in here.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+
+namespace mtp::net {
+
+class Switch;
+
+/// Chooses an egress port among routing candidates.
+class ForwardingPolicy {
+ public:
+  virtual ~ForwardingPolicy() = default;
+  virtual PortIndex select(const Packet& pkt, std::span<const PortIndex> candidates,
+                           Switch& sw) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Sees every packet at switch ingress before routing. Returning true means
+/// the packet was consumed (answered, redirected or dropped by the device).
+class IngressProcessor {
+ public:
+  virtual ~IngressProcessor() = default;
+  virtual bool process(Packet& pkt, Switch& sw) = 0;
+};
+
+class Switch : public Node {
+ public:
+  using Node::Node;
+
+  /// Add `port` as a candidate egress for `dst`. Call repeatedly to create
+  /// multipath candidate sets.
+  void add_route(NodeId dst, PortIndex port) { routes_[dst].push_back(port); }
+
+  void set_policy(std::unique_ptr<ForwardingPolicy> p) { policy_ = std::move(p); }
+  ForwardingPolicy* policy() const { return policy_.get(); }
+
+  void add_ingress(std::shared_ptr<IngressProcessor> p) { ingress_.push_back(std::move(p)); }
+
+  /// Forward a packet the switch itself originates (cache hits, proxied
+  /// traffic). Skips ingress processing to avoid loops.
+  void inject(Packet&& pkt) { forward(std::move(pkt)); }
+
+  void receive(Packet&& pkt, PortIndex /*in_port*/) override {
+    for (auto& proc : ingress_) {
+      if (proc->process(pkt, *this)) return;
+    }
+    forward(std::move(pkt));
+  }
+
+  std::uint64_t no_route_drops() const { return no_route_drops_; }
+
+ private:
+  void forward(Packet&& pkt) {
+    auto it = routes_.find(pkt.dst);
+    if (it == routes_.end() || it->second.empty()) {
+      ++no_route_drops_;
+      return;
+    }
+    const auto& candidates = it->second;
+    PortIndex port = candidates.front();
+    if (candidates.size() > 1 && policy_) {
+      port = policy_->select(pkt, candidates, *this);
+    }
+    out_port(port)->send(std::move(pkt));
+  }
+
+  std::unordered_map<NodeId, std::vector<PortIndex>> routes_;
+  std::unique_ptr<ForwardingPolicy> policy_;
+  std::vector<std::shared_ptr<IngressProcessor>> ingress_;
+  std::uint64_t no_route_drops_ = 0;
+};
+
+}  // namespace mtp::net

@@ -1,0 +1,103 @@
+// Canned multipath topologies.
+//
+// LeafSpine builds the standard two-tier Clos fabric the paper's
+// load-balancing discussion assumes: every leaf connects to every spine, so
+// any inter-rack pair has `spines` equal-cost paths. Up-ports use the
+// fabric-wide forwarding policy (ECMP, spraying, flowlet, message-aware);
+// down-routing is deterministic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/forwarding.hpp"
+#include "net/network.hpp"
+
+namespace mtp::net {
+
+class LeafSpine {
+ public:
+  struct Config {
+    int leaves = 2;
+    int spines = 2;
+    int hosts_per_leaf = 2;
+    sim::Bandwidth host_bw = sim::Bandwidth::gbps(100);
+    sim::Bandwidth fabric_bw = sim::Bandwidth::gbps(100);
+    sim::SimTime link_delay = sim::SimTime::microseconds(1);
+    DropTailQueue::Config queue{.capacity_pkts = 256, .ecn_threshold_pkts = 40};
+  };
+
+  /// Factory for the policy each leaf uses to pick a spine (called once per
+  /// leaf so stateful policies don't share state across switches).
+  using PolicyFactory = std::function<std::unique_ptr<ForwardingPolicy>()>;
+
+  LeafSpine(Network& net, Config cfg, const PolicyFactory& up_policy = {}) : cfg_(cfg) {
+    // Create switches and hosts.
+    for (int s = 0; s < cfg.spines; ++s) {
+      spines_.push_back(net.add_switch("spine" + std::to_string(s)));
+    }
+    for (int l = 0; l < cfg.leaves; ++l) {
+      Switch* leaf = net.add_switch("leaf" + std::to_string(l));
+      leaves_.push_back(leaf);
+      for (int h = 0; h < cfg.hosts_per_leaf; ++h) {
+        Host* host = net.add_host("h" + std::to_string(l) + "." + std::to_string(h));
+        hosts_.push_back(host);
+        host_leaf_.push_back(l);
+        net.connect(*host, *leaf, cfg.host_bw, cfg.link_delay, cfg.queue);
+      }
+      if (up_policy) leaf->set_policy(up_policy());
+    }
+    // Leaf <-> spine mesh. Port layout on a leaf: [0, hosts) host-facing
+    // (down), [hosts, hosts+spines) spine-facing (up). On a spine: port l
+    // faces leaf l.
+    for (int l = 0; l < cfg.leaves; ++l) {
+      for (int s = 0; s < cfg.spines; ++s) {
+        net.connect(*leaves_[l], *spines_[s], cfg.fabric_bw, cfg.link_delay, cfg.queue);
+      }
+    }
+    // Routing. Leaf: local hosts go down; remote hosts go up any spine.
+    // Spine: every host goes down to its leaf.
+    for (int l = 0; l < cfg.leaves; ++l) {
+      for (std::size_t hi = 0; hi < hosts_.size(); ++hi) {
+        if (host_leaf_[hi] == l) {
+          leaves_[l]->add_route(hosts_[hi]->id(),
+                                static_cast<PortIndex>(hi % cfg.hosts_per_leaf));
+        } else {
+          for (int s = 0; s < cfg.spines; ++s) {
+            leaves_[l]->add_route(hosts_[hi]->id(),
+                                  static_cast<PortIndex>(cfg.hosts_per_leaf + s));
+          }
+        }
+      }
+    }
+    for (int s = 0; s < cfg.spines; ++s) {
+      for (std::size_t hi = 0; hi < hosts_.size(); ++hi) {
+        spines_[s]->add_route(hosts_[hi]->id(),
+                              static_cast<PortIndex>(host_leaf_[hi]));
+      }
+    }
+  }
+
+  Host* host(int leaf, int idx) const {
+    return hosts_[static_cast<std::size_t>(leaf) * cfg_.hosts_per_leaf + idx];
+  }
+  Switch* leaf(int i) const { return leaves_[i]; }
+  Switch* spine(int i) const { return spines_[i]; }
+  const std::vector<Host*>& hosts() const { return hosts_; }
+
+  /// The uplink from `leaf` to `spine` (for probing/failing fabric paths).
+  Link* uplink(int leaf, int spine) const {
+    return leaves_[leaf]->out_port(
+        static_cast<PortIndex>(cfg_.hosts_per_leaf + spine));
+  }
+
+ private:
+  Config cfg_;
+  std::vector<Switch*> leaves_;
+  std::vector<Switch*> spines_;
+  std::vector<Host*> hosts_;
+  std::vector<int> host_leaf_;
+};
+
+}  // namespace mtp::net

@@ -1,0 +1,153 @@
+#include "proto/mtp_header.hpp"
+
+#include "proto/wire.hpp"
+
+namespace mtp::proto {
+
+namespace {
+
+// List lengths on the wire are 16-bit counts; a header with more than 65535
+// feedback entries is nonsensical and rejected at serialize time by clamping
+// being impossible (vectors of that size never occur; parse rejects absurd
+// remaining-space mismatches naturally via WireReader underrun).
+constexpr std::size_t kPathRefSize = 4 + 1;          // PathletId + TC
+constexpr std::size_t kPathFeedbackSize = 4 + 1 + 1 + 8;  // + FeedbackType + value
+constexpr std::size_t kSackEntrySize = 8 + 4;        // MsgId + PktNum
+
+void put_path_refs(WireWriter& w, const std::vector<PathRef>& v) {
+  w.put<std::uint16_t>(static_cast<std::uint16_t>(v.size()));
+  for (const auto& e : v) {
+    w.put<std::uint32_t>(e.pathlet);
+    w.put<std::uint8_t>(e.tc);
+  }
+}
+
+void put_path_feedback(WireWriter& w, const std::vector<PathFeedback>& v) {
+  w.put<std::uint16_t>(static_cast<std::uint16_t>(v.size()));
+  for (const auto& e : v) {
+    w.put<std::uint32_t>(e.pathlet);
+    w.put<std::uint8_t>(e.tc);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(e.feedback.type));
+    w.put<std::uint64_t>(e.feedback.value);
+  }
+}
+
+void put_sack(WireWriter& w, const std::vector<SackEntry>& v) {
+  w.put<std::uint16_t>(static_cast<std::uint16_t>(v.size()));
+  for (const auto& e : v) {
+    w.put<std::uint64_t>(e.msg_id);
+    w.put<std::uint32_t>(e.pkt_num);
+  }
+}
+
+bool get_path_refs(WireReader& r, std::vector<PathRef>& v) {
+  const auto n = r.get<std::uint16_t>();
+  if (!n) return false;
+  v.reserve(*n);
+  for (std::uint16_t i = 0; i < *n; ++i) {
+    const auto pathlet = r.get<std::uint32_t>();
+    const auto tc = r.get<std::uint8_t>();
+    if (!pathlet || !tc.has_value()) return false;
+    v.push_back({*pathlet, *tc});
+  }
+  return true;
+}
+
+bool get_path_feedback(WireReader& r, std::vector<PathFeedback>& v) {
+  const auto n = r.get<std::uint16_t>();
+  if (!n) return false;
+  v.reserve(*n);
+  for (std::uint16_t i = 0; i < *n; ++i) {
+    const auto pathlet = r.get<std::uint32_t>();
+    const auto tc = r.get<std::uint8_t>();
+    const auto type = r.get<std::uint8_t>();
+    const auto value = r.get<std::uint64_t>();
+    if (!pathlet || !tc.has_value() || !type || !value) return false;
+    if (*type > static_cast<std::uint8_t>(FeedbackType::kTrimmed)) return false;
+    v.push_back({*pathlet, *tc, Feedback{static_cast<FeedbackType>(*type), *value}});
+  }
+  return true;
+}
+
+bool get_sack(WireReader& r, std::vector<SackEntry>& v) {
+  const auto n = r.get<std::uint16_t>();
+  if (!n) return false;
+  v.reserve(*n);
+  for (std::uint16_t i = 0; i < *n; ++i) {
+    const auto msg = r.get<std::uint64_t>();
+    const auto pkt = r.get<std::uint32_t>();
+    if (!msg || !pkt) return false;
+    v.push_back({*msg, *pkt});
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t MtpHeader::wire_size() const {
+  return kFixedSize + 5 * 2  // five 16-bit list counts
+         + path_exclude.size() * kPathRefSize
+         + (path_feedback.size() + ack_path_feedback.size()) * kPathFeedbackSize
+         + (sack.size() + nack.size()) * kSackEntrySize;
+}
+
+void MtpHeader::serialize(std::vector<std::uint8_t>& out) const {
+  out.reserve(out.size() + wire_size());
+  WireWriter w(out);
+  w.put<std::uint16_t>(src_port);
+  w.put<std::uint16_t>(dst_port);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(type));
+  w.put<std::uint64_t>(msg_id);
+  w.put<std::uint8_t>(priority);
+  w.put<std::uint8_t>(tc);
+  w.put<std::uint64_t>(msg_len_bytes);
+  w.put<std::uint32_t>(msg_len_pkts);
+  w.put<std::uint32_t>(pkt_num);
+  w.put<std::uint64_t>(pkt_offset);
+  w.put<std::uint32_t>(pkt_len);
+  put_path_refs(w, path_exclude);
+  put_path_feedback(w, path_feedback);
+  put_path_feedback(w, ack_path_feedback);
+  put_sack(w, sack);
+  put_sack(w, nack);
+}
+
+std::optional<MtpHeader> MtpHeader::parse(std::span<const std::uint8_t> in) {
+  WireReader r(in);
+  MtpHeader h;
+  const auto src = r.get<std::uint16_t>();
+  const auto dst = r.get<std::uint16_t>();
+  const auto type = r.get<std::uint8_t>();
+  const auto msg_id = r.get<std::uint64_t>();
+  const auto pri = r.get<std::uint8_t>();
+  const auto tc = r.get<std::uint8_t>();
+  const auto len_bytes = r.get<std::uint64_t>();
+  const auto len_pkts = r.get<std::uint32_t>();
+  const auto pkt_num = r.get<std::uint32_t>();
+  const auto pkt_off = r.get<std::uint64_t>();
+  const auto pkt_len = r.get<std::uint32_t>();
+  if (!src || !dst || !type || !msg_id || !pri || !tc.has_value() || !len_bytes || !len_pkts ||
+      !pkt_num || !pkt_off || !pkt_len) {
+    return std::nullopt;
+  }
+  if (*type > static_cast<std::uint8_t>(MtpPacketType::kAck)) return std::nullopt;
+  h.src_port = *src;
+  h.dst_port = *dst;
+  h.type = static_cast<MtpPacketType>(*type);
+  h.msg_id = *msg_id;
+  h.priority = *pri;
+  h.tc = *tc;
+  h.msg_len_bytes = *len_bytes;
+  h.msg_len_pkts = *len_pkts;
+  h.pkt_num = *pkt_num;
+  h.pkt_offset = *pkt_off;
+  h.pkt_len = *pkt_len;
+  if (!get_path_refs(r, h.path_exclude)) return std::nullopt;
+  if (!get_path_feedback(r, h.path_feedback)) return std::nullopt;
+  if (!get_path_feedback(r, h.ack_path_feedback)) return std::nullopt;
+  if (!get_sack(r, h.sack)) return std::nullopt;
+  if (!get_sack(r, h.nack)) return std::nullopt;
+  return h;
+}
+
+}  // namespace mtp::proto

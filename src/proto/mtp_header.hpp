@@ -1,0 +1,110 @@
+// The MTP packet header (paper Figure 4).
+//
+// Layout, in order:
+//   SRC Port | DST Port | Msg ID | Msg Pri | Msg Len (bytes/pkts) | Pkt Num |
+//   Pkt Offset/Len (bytes) | Path Exclude list of (Path ID, TC) |
+//   Path Feedback list of (Path ID, TC, Feedback) |
+//   ACK Path Feedback list of (Path ID, TC, Feedback) |
+//   SACK list of (Msg ID, Pkt Num) | NACK list of (Msg ID, Pkt Num)
+//
+// Path Feedback starts empty and is appended by network devices en route;
+// the receiver copies it into ACK Path Feedback on the reply, which is how
+// pathlet congestion information reaches the sender (paper §3.1.1/§3.1.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "proto/types.hpp"
+
+namespace mtp::proto {
+
+/// Per-pathlet congestion feedback, carried as a Type-Length-Value so
+/// different pathlets can run different congestion-control algorithms
+/// simultaneously (paper §3.1.3).
+enum class FeedbackType : std::uint8_t {
+  kNone = 0,
+  kEcn = 1,       ///< value: 1 if the packet saw queue >= marking threshold (DCTCP-style)
+  kRate = 2,      ///< value: explicit fair rate in bits/sec (RCP-style)
+  kDelay = 3,     ///< value: queueing delay in ns experienced at the pathlet (Swift-style)
+  kTrimmed = 4,   ///< value: unused; payload was trimmed at an overloaded queue (NDP-style)
+};
+
+struct Feedback {
+  FeedbackType type = FeedbackType::kNone;
+  std::uint64_t value = 0;
+  bool operator==(const Feedback&) const = default;
+};
+
+/// (Path ID, TC) — element of the Path Exclude list: pathlets the sender asks
+/// the network to avoid because it has seen congestion feedback for them.
+struct PathRef {
+  PathletId pathlet = kDefaultPathlet;
+  TrafficClassId tc = 0;
+  bool operator==(const PathRef&) const = default;
+};
+
+/// (Path ID, TC, Feedback) — element of the Path Feedback lists.
+struct PathFeedback {
+  PathletId pathlet = kDefaultPathlet;
+  TrafficClassId tc = 0;
+  Feedback feedback;
+  bool operator==(const PathFeedback&) const = default;
+};
+
+/// (Msg ID, Pkt Num) — element of the SACK/NACK lists.
+struct SackEntry {
+  MsgId msg_id = 0;
+  std::uint32_t pkt_num = 0;
+  bool operator==(const SackEntry&) const = default;
+  auto operator<=>(const SackEntry&) const = default;
+};
+
+/// Packet roles. DATA carries message payload; ACK carries SACK/NACK lists
+/// and echoed path feedback. A trimmed DATA packet keeps its header but has
+/// payload_bytes == 0 (NDP-style packet trimming).
+enum class MtpPacketType : std::uint8_t { kData = 0, kAck = 1 };
+
+struct MtpHeader {
+  PortNum src_port = 0;
+  PortNum dst_port = 0;
+  MtpPacketType type = MtpPacketType::kData;
+
+  // --- Message-level information (enables per-message decisions in-network).
+  MsgId msg_id = 0;
+  std::uint8_t priority = 0;       ///< application-assigned relative priority
+  TrafficClassId tc = 0;           ///< entity/tenant the message belongs to
+  std::uint64_t msg_len_bytes = 0; ///< total message payload length
+  std::uint32_t msg_len_pkts = 0;  ///< total packets in the message
+  std::uint32_t pkt_num = 0;       ///< this packet's index within the message
+  std::uint64_t pkt_offset = 0;    ///< byte offset of this packet's payload
+  std::uint32_t pkt_len = 0;       ///< payload bytes in this packet
+
+  // --- Pathlet congestion control.
+  std::vector<PathRef> path_exclude;
+  std::vector<PathFeedback> path_feedback;      ///< appended by devices en route
+  std::vector<PathFeedback> ack_path_feedback;  ///< echoed by the receiver
+
+  // --- Selective acknowledgement.
+  std::vector<SackEntry> sack;
+  std::vector<SackEntry> nack;
+
+  bool is_ack() const { return type == MtpPacketType::kAck; }
+  bool is_last_pkt() const { return msg_len_pkts != 0 && pkt_num + 1 == msg_len_pkts; }
+
+  /// Wire size in bytes of this header as laid out by serialize().
+  std::size_t wire_size() const;
+
+  /// Fixed portion size (everything before the variable-length lists).
+  static constexpr std::size_t kFixedSize =
+      2 + 2 + 1 + 8 + 1 + 1 + 8 + 4 + 4 + 8 + 4;  // see serialize()
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static std::optional<MtpHeader> parse(std::span<const std::uint8_t> in);
+
+  bool operator==(const MtpHeader&) const = default;
+};
+
+}  // namespace mtp::proto

@@ -1,0 +1,76 @@
+#include "proto/tcp_header.hpp"
+
+#include "proto/wire.hpp"
+
+namespace mtp::proto {
+
+void TcpHeader::serialize(std::vector<std::uint8_t>& out) const {
+  out.reserve(out.size() + wire_size());
+  WireWriter w(out);
+  w.put<std::uint16_t>(src_port);
+  w.put<std::uint16_t>(dst_port);
+  w.put<std::uint64_t>(seq);
+  w.put<std::uint64_t>(ack);
+  w.put<std::uint8_t>(flags);
+  w.put<std::uint64_t>(rwnd);
+  w.put<std::uint32_t>(payload);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(sack.size()));
+  for (const auto& b : sack) {
+    w.put<std::uint64_t>(b.start);
+    w.put<std::uint64_t>(b.end);
+  }
+}
+
+std::optional<TcpHeader> TcpHeader::parse(std::span<const std::uint8_t> in) {
+  WireReader r(in);
+  TcpHeader h;
+  const auto src = r.get<std::uint16_t>();
+  const auto dst = r.get<std::uint16_t>();
+  const auto seq = r.get<std::uint64_t>();
+  const auto ack = r.get<std::uint64_t>();
+  const auto flags = r.get<std::uint8_t>();
+  const auto rwnd = r.get<std::uint64_t>();
+  const auto payload = r.get<std::uint32_t>();
+  const auto n_sack = r.get<std::uint8_t>();
+  if (!src || !dst || !seq || !ack || !flags || !rwnd || !payload || !n_sack) {
+    return std::nullopt;
+  }
+  if (*n_sack > kMaxSackBlocks) return std::nullopt;
+  h.src_port = *src;
+  h.dst_port = *dst;
+  h.seq = *seq;
+  h.ack = *ack;
+  h.flags = *flags;
+  h.rwnd = *rwnd;
+  h.payload = *payload;
+  for (std::uint8_t i = 0; i < *n_sack; ++i) {
+    const auto start = r.get<std::uint64_t>();
+    const auto end = r.get<std::uint64_t>();
+    if (!start || !end || *end <= *start) return std::nullopt;
+    h.sack.push_back({*start, *end});
+  }
+  return h;
+}
+
+void UdpHeader::serialize(std::vector<std::uint8_t>& out) const {
+  out.reserve(out.size() + kWireSize);
+  WireWriter w(out);
+  w.put<std::uint16_t>(src_port);
+  w.put<std::uint16_t>(dst_port);
+  w.put<std::uint32_t>(length);
+}
+
+std::optional<UdpHeader> UdpHeader::parse(std::span<const std::uint8_t> in) {
+  WireReader r(in);
+  UdpHeader h;
+  const auto src = r.get<std::uint16_t>();
+  const auto dst = r.get<std::uint16_t>();
+  const auto length = r.get<std::uint32_t>();
+  if (!src || !dst || !length) return std::nullopt;
+  h.src_port = *src;
+  h.dst_port = *dst;
+  h.length = *length;
+  return h;
+}
+
+}  // namespace mtp::proto

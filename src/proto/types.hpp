@@ -1,0 +1,26 @@
+// Core protocol identifier types shared by every layer.
+#pragma once
+
+#include <cstdint>
+
+namespace mtp::proto {
+
+/// Identifies a pathlet: a network resource (link, switch egress, device)
+/// that provides its own congestion feedback. Assigned by the network
+/// operator; 0 is reserved for "the default pathlet" (the whole network seen
+/// as one resource, which makes MTP degrade to TCP-style behaviour).
+using PathletId = std::uint32_t;
+inline constexpr PathletId kDefaultPathlet = 0;
+
+/// Traffic class: the entity (tenant, application class) a message belongs
+/// to. Switch policies and end-host congestion state are keyed on TC.
+using TrafficClassId = std::uint8_t;
+
+/// Message id, unique among all outstanding messages from one end-host
+/// (paper §3.1.1). 64 bits so they never wrap in practice.
+using MsgId = std::uint64_t;
+
+/// Application port numbers, as in TCP/UDP.
+using PortNum = std::uint16_t;
+
+}  // namespace mtp::proto

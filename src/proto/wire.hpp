@@ -1,0 +1,59 @@
+// Little-endian wire serialization helpers.
+//
+// The simulator's fast path never serializes (packets carry header structs by
+// value), but real byte-level serde exists so header-overhead claims
+// (paper §4 "Packet Header Overheads") are measurable and testable.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mtp::proto {
+
+/// Appends fixed-width little-endian integers to a byte buffer.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_integral_v<T> || std::is_enum_v<T>);
+    const auto start = out_.size();
+    out_.resize(start + sizeof(T));
+    std::memcpy(out_.data() + start, &v, sizeof(T));  // host is little-endian on all targets we support
+  }
+
+  std::size_t bytes_written() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Reads fixed-width little-endian integers; returns nullopt on underrun
+/// rather than throwing so parsers can reject malformed headers cheaply.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  template <typename T>
+  std::optional<T> get() {
+    static_assert(std::is_integral_v<T> || std::is_enum_v<T>);
+    if (pos_ + sizeof(T) > in_.size()) return std::nullopt;
+    T v;
+    std::memcpy(&v, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::size_t remaining() const { return in_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mtp::proto

@@ -1,0 +1,19 @@
+#include "sim/logging.hpp"
+
+namespace mtp::sim {
+
+void Log::write(LogLevel l, SimTime now, std::string_view component, std::string_view msg) {
+  const char* tag = "?";
+  switch (l) {
+    case LogLevel::kError: tag = "E"; break;
+    case LogLevel::kWarn: tag = "W"; break;
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kTrace: tag = "T"; break;
+    case LogLevel::kOff: return;
+  }
+  std::fprintf(stderr, "%s %-10s [%.*s] %.*s\n", tag, now.to_string().c_str(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace mtp::sim

@@ -1,0 +1,46 @@
+// Minimal leveled trace logging for the simulator.
+//
+// Logging is off by default (benchmarks must stay quiet); tests and examples
+// turn it on per-component. The format is "<time> [component] message".
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace mtp::sim {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kTrace };
+
+/// Global log threshold; cheap to test on the fast path.
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel l) { level_ = l; }
+  static bool enabled(LogLevel l) { return l <= level_ && level_ != LogLevel::kOff; }
+
+  static void write(LogLevel l, SimTime now, std::string_view component, std::string_view msg);
+
+ private:
+  static inline LogLevel level_ = LogLevel::kOff;
+};
+
+#define MTP_LOG(lvl, sim_now, component, ...)                                  \
+  do {                                                                         \
+    if (::mtp::sim::Log::enabled(lvl)) {                                       \
+      char mtp_log_buf_[512];                                                  \
+      std::snprintf(mtp_log_buf_, sizeof(mtp_log_buf_), __VA_ARGS__);          \
+      ::mtp::sim::Log::write(lvl, (sim_now), (component), mtp_log_buf_);       \
+    }                                                                          \
+  } while (0)
+
+#define MTP_TRACE(sim_now, component, ...) \
+  MTP_LOG(::mtp::sim::LogLevel::kTrace, sim_now, component, __VA_ARGS__)
+#define MTP_INFO(sim_now, component, ...) \
+  MTP_LOG(::mtp::sim::LogLevel::kInfo, sim_now, component, __VA_ARGS__)
+#define MTP_WARN(sim_now, component, ...) \
+  MTP_LOG(::mtp::sim::LogLevel::kWarn, sim_now, component, __VA_ARGS__)
+
+}  // namespace mtp::sim

@@ -1,0 +1,31 @@
+#include "sim/simulator.hpp"
+
+namespace mtp::sim {
+
+std::uint64_t Simulator::run(SimTime until) {
+  std::uint64_t executed_this_run = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when >= until) break;
+    if (!cancelled_.empty()) {
+      auto it = cancelled_.find(top.seq);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        queue_.pop();
+        continue;
+      }
+    }
+    now_ = top.when;
+    Callback fn = std::move(top.fn);
+    queue_.pop();
+    fn();
+    ++executed_;
+    ++executed_this_run;
+  }
+  // If we stopped on `until`, advance the clock to it so back-to-back run()
+  // calls observe contiguous time.
+  if (until != SimTime::max() && now_ < until) now_ = until;
+  return executed_this_run;
+}
+
+}  // namespace mtp::sim

@@ -1,0 +1,141 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a priority queue of timestamped callbacks. Components
+// schedule work with schedule()/schedule_at() and may cancel pending events
+// through the returned EventId. Events at equal timestamps run in scheduling
+// order (FIFO), which makes runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mtp::sim {
+
+/// Handle to a scheduled event; used only for cancellation.
+/// Default-constructed ids are "null" and safe to cancel (a no-op).
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// The event loop. Not thread-safe by design: a simulation is a single
+/// logical timeline and all components run on it.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing during run().
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after now. Negative delays are a logic
+  /// error and throw.
+  EventId schedule(SimTime delay, Callback fn) {
+    if (delay < SimTime::zero()) {
+      throw std::invalid_argument("Simulator::schedule: negative delay " + delay.to_string());
+    }
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute time, which must not be in the past.
+  EventId schedule_at(SimTime when, Callback fn) {
+    if (when < now_) {
+      throw std::invalid_argument("Simulator::schedule_at: time in the past " + when.to_string());
+    }
+    const std::uint64_t seq = ++next_seq_;
+    queue_.push(Event{when, seq, std::move(fn)});
+    return EventId{seq};
+  }
+
+  /// Cancel a pending event. Safe to call on null ids, already-run events,
+  /// and already-cancelled events (all no-ops). The tombstone is erased when
+  /// the event pops, so memory is bounded by concurrently-pending
+  /// cancellations.
+  void cancel(EventId id) {
+    if (id.valid() && id.seq_ <= next_seq_) cancelled_.insert(id.seq_);
+  }
+
+  /// Run until the event queue drains or `until` (exclusive upper bound on
+  /// event timestamps) is reached. Returns the number of events executed.
+  std::uint64_t run(SimTime until = SimTime::max());
+
+  /// Number of events executed so far (for micro-benchmarks and tests).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Events still in the queue (including cancelled ones not yet popped).
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    mutable Callback fn;  // moved out on execution
+    // Min-heap on (when, seq): std::priority_queue is a max-heap, so invert.
+    bool operator<(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_;
+  std::priority_queue<Event> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+/// Convenience: a periodic task that reschedules itself until stopped.
+/// Used by meters, path-flapping switches, RCP rate updaters, etc.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& simulator, SimTime period, std::function<void()> fn)
+      : sim_(simulator), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Schedule the first tick `period` from now (or `first_delay` if given).
+  void start() { start(period_); }
+  void start(SimTime first_delay) {
+    stop();
+    running_ = true;
+    id_ = sim_.schedule(first_delay, [this] { tick(); });
+  }
+  void stop() {
+    if (running_) {
+      sim_.cancel(id_);
+      running_ = false;
+    }
+  }
+  bool running() const { return running_; }
+
+ private:
+  void tick() {
+    // Reschedule before invoking so fn_ may call stop() to terminate.
+    id_ = sim_.schedule(period_, [this] { tick(); });
+    fn_();
+  }
+
+  Simulator& sim_;
+  SimTime period_;
+  std::function<void()> fn_;
+  EventId id_;
+  bool running_ = false;
+};
+
+}  // namespace mtp::sim

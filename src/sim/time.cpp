@@ -1,0 +1,24 @@
+#include "sim/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mtp::sim {
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  const std::int64_t v = ns_;
+  const std::int64_t a = v < 0 ? -v : v;
+  if (a < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", v);
+  } else if (a < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3gus", static_cast<double>(v) / 1e3);
+  } else if (a < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.4gms", static_cast<double>(v) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6gs", static_cast<double>(v) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace mtp::sim

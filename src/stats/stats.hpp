@@ -1,0 +1,191 @@
+// Measurement instruments used by tests, examples and the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mtp::stats {
+
+/// Exact percentile over a sample set (nearest-rank). p in [0, 100].
+inline double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty sample set");
+  if (p < 0 || p > 100) throw std::invalid_argument("percentile: p out of range");
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+inline double mean(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("mean: empty sample set");
+  double s = 0;
+  for (double v : samples) s += v;
+  return s / static_cast<double>(samples.size());
+}
+
+/// Jain's fairness index: 1.0 = perfectly equal shares, 1/n = one hog.
+inline double jain_index(const std::vector<double>& shares) {
+  if (shares.empty()) throw std::invalid_argument("jain_index: empty");
+  double sum = 0, sum_sq = 0;
+  for (double v : shares) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0) return 1.0;
+  return sum * sum / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+/// Windowed throughput time series: record deliveries as they happen, read
+/// back Gb/s per fixed window (Fig 5 samples goodput every 32 us).
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(sim::SimTime window) : window_(window) {
+    if (window.ns() <= 0) throw std::invalid_argument("ThroughputMeter: window must be > 0");
+  }
+
+  void record(sim::SimTime now, std::int64_t bytes) {
+    const auto bucket = static_cast<std::size_t>(now.ns() / window_.ns());
+    if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+    buckets_[bucket] += bytes;
+    total_bytes_ += bytes;
+  }
+
+  struct Sample {
+    sim::SimTime start;
+    double gbps;
+  };
+
+  /// One sample per window from t=0 through the last recorded window.
+  std::vector<Sample> series() const {
+    std::vector<Sample> out;
+    out.reserve(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      const double gbps =
+          static_cast<double>(buckets_[i]) * 8.0 / window_.sec() / 1e9;
+      out.push_back({sim::SimTime::nanoseconds(static_cast<std::int64_t>(i) * window_.ns()), gbps});
+    }
+    return out;
+  }
+
+  /// Average rate over [0, end of last window with data].
+  double average_gbps() const {
+    if (buckets_.empty()) return 0;
+    const double duration_s = static_cast<double>(buckets_.size()) * window_.sec();
+    return static_cast<double>(total_bytes_) * 8.0 / duration_s / 1e9;
+  }
+
+  std::int64_t total_bytes() const { return total_bytes_; }
+  sim::SimTime window() const { return window_; }
+
+ private:
+  sim::SimTime window_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t total_bytes_ = 0;
+};
+
+/// Flow/message completion-time recorder.
+class FctRecorder {
+ public:
+  void record(sim::SimTime fct, std::int64_t bytes) {
+    fct_us_.push_back(fct.us());
+    bytes_.push_back(bytes);
+  }
+
+  std::size_t count() const { return fct_us_.size(); }
+  double p99_us() const { return percentile(fct_us_, 99); }
+  double p50_us() const { return percentile(fct_us_, 50); }
+  double mean_us() const { return mean(fct_us_); }
+  double max_us() const { return *std::max_element(fct_us_.begin(), fct_us_.end()); }
+  const std::vector<double>& samples_us() const { return fct_us_; }
+
+ private:
+  std::vector<double> fct_us_;
+  std::vector<std::int64_t> bytes_;
+};
+
+/// Log-bucketed histogram for latency/size distributions: O(1) record, no
+/// per-sample storage, ~4% relative error on quantiles — the right tool when
+/// an experiment records millions of samples.
+class LogHistogram {
+ public:
+  /// Buckets are powers of `base` (>1); e.g. 1.08 gives ~4% resolution.
+  explicit LogHistogram(double base = 1.08) : log_base_(std::log(base)) {
+    if (!(base > 1.0)) throw std::invalid_argument("LogHistogram: base must be > 1");
+  }
+
+  void record(double v) {
+    ++count_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+    min_ = std::min(min_, v);
+    ++buckets_[bucket_of(v)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  double max_value() const { return count_ ? max_ : 0; }
+  double min_value() const { return count_ ? min_ : 0; }
+
+  /// Quantile estimate: upper edge of the bucket containing rank q.
+  double quantile(double q) const {
+    if (count_ == 0) throw std::invalid_argument("LogHistogram::quantile: empty");
+    if (q < 0 || q > 1) throw std::invalid_argument("LogHistogram::quantile: q in [0,1]");
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (const auto& [b, n] : buckets_) {
+      seen += n;
+      if (seen >= std::max<std::uint64_t>(rank, 1)) return upper_edge(b);
+    }
+    return max_;
+  }
+
+ private:
+  int bucket_of(double v) const {
+    if (v <= 0) return std::numeric_limits<int>::min() / 2;
+    return static_cast<int>(std::floor(std::log(v) / log_base_));
+  }
+  double upper_edge(int b) const {
+    if (b == std::numeric_limits<int>::min() / 2) return 0;
+    return std::exp(static_cast<double>(b + 1) * log_base_);
+  }
+
+  double log_base_;
+  std::map<int, std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double max_ = std::numeric_limits<double>::lowest();
+  double min_ = std::numeric_limits<double>::max();
+};
+
+/// Time series of arbitrary sampled values (queue occupancy, cwnd, ...).
+class TimeSeries {
+ public:
+  struct Point {
+    sim::SimTime t;
+    double value;
+  };
+
+  void record(sim::SimTime t, double v) { points_.push_back({t, v}); }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  double max_value() const {
+    double m = points_.empty() ? 0 : points_.front().value;
+    for (const auto& p : points_) m = std::max(m, p.value);
+    return m;
+  }
+  double final_value() const { return points_.empty() ? 0 : points_.back().value; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace mtp::stats

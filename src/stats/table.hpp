@@ -1,0 +1,66 @@
+// Console table rendering for the benchmark harness: the benches print the
+// same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mtp::stats {
+
+/// Fixed-width text table. Usage:
+///   Table t({"scheme", "p99 FCT (us)"});
+///   t.add_row({"ecmp", format("%.1f", v)});
+///   t.print();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string{};
+        std::fprintf(out, "| %-*s ", static_cast<int>(width[i]), cell.c_str());
+      }
+      std::fprintf(out, "|\n");
+    };
+    auto print_sep = [&] {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        std::fprintf(out, "|%s", std::string(width[i] + 2, '-').c_str());
+      }
+      std::fprintf(out, "|\n");
+    };
+    print_row(header_);
+    print_sep();
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style std::string helper.
+inline std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+inline std::string format(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace mtp::stats

@@ -1,0 +1,171 @@
+// Workload generation: message-size distributions and arrival processes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <variant>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace mtp::workload {
+
+/// Message-size model. The paper's Fig 6 workload is "10 KB-1 GB skewed
+/// toward short messages as per [DCTCP]"; skewed() builds that shape.
+class SizeDist {
+ public:
+  static SizeDist fixed(std::int64_t bytes) { return SizeDist{Fixed{bytes}}; }
+  static SizeDist bounded_pareto(std::int64_t lo, std::int64_t hi, double alpha) {
+    return SizeDist{sim::BoundedPareto(static_cast<double>(lo), static_cast<double>(hi), alpha)};
+  }
+  static SizeDist empirical(sim::EmpiricalCdf cdf) { return SizeDist{std::move(cdf)}; }
+
+  /// The paper's skewed mix over [lo, hi]: bounded Pareto with shape 1.2 —
+  /// the majority of messages land within ~4x of `lo`, with a heavy tail.
+  static SizeDist skewed(std::int64_t lo, std::int64_t hi) {
+    return bounded_pareto(lo, hi, 1.2);
+  }
+
+  /// Web-search workload (DCTCP paper, Fig. 2 shape): mostly short queries
+  /// with a minority of multi-MB background transfers.
+  static SizeDist web_search() {
+    return empirical(sim::EmpiricalCdf({{6'000, 0.0},
+                                        {10'000, 0.15},
+                                        {20'000, 0.40},
+                                        {50'000, 0.60},
+                                        {200'000, 0.75},
+                                        {1'000'000, 0.90},
+                                        {5'000'000, 0.97},
+                                        {30'000'000, 1.0}}));
+  }
+
+  /// Data-mining workload (VL2/DCTCP literature): extreme skew — ~80% of
+  /// flows under 10 KB, but most *bytes* in 100 MB-scale shuffles.
+  static SizeDist data_mining() {
+    return empirical(sim::EmpiricalCdf({{100, 0.0},
+                                        {1'000, 0.50},
+                                        {10'000, 0.80},
+                                        {1'000'000, 0.95},
+                                        {10'000'000, 0.98},
+                                        {100'000'000, 1.0}}));
+  }
+
+  std::int64_t sample(sim::Rng& rng) const {
+    return std::visit(
+        [&](const auto& d) -> std::int64_t {
+          using T = std::decay_t<decltype(d)>;
+          if constexpr (std::is_same_v<T, Fixed>) {
+            return d.bytes;
+          } else {
+            return std::max<std::int64_t>(1, d.sample_int(rng));
+          }
+        },
+        dist_);
+  }
+
+  double mean() const {
+    return std::visit(
+        [](const auto& d) -> double {
+          using T = std::decay_t<decltype(d)>;
+          if constexpr (std::is_same_v<T, Fixed>) {
+            return static_cast<double>(d.bytes);
+          } else {
+            return d.mean();
+          }
+        },
+        dist_);
+  }
+
+ private:
+  struct Fixed {
+    std::int64_t bytes;
+  };
+  using Variant = std::variant<Fixed, sim::BoundedPareto, sim::EmpiricalCdf>;
+  explicit SizeDist(Variant v) : dist_(std::move(v)) {}
+  Variant dist_;
+};
+
+/// Open-loop Poisson message generator: draws exponential inter-arrival
+/// times targeting `offered_load` of `capacity`, samples a size, and calls
+/// `send(bytes)`. Stop by destroying or calling stop().
+class PoissonGenerator {
+ public:
+  using SendFn = std::function<void(std::int64_t bytes)>;
+
+  PoissonGenerator(sim::Simulator& simulator, sim::Rng& rng, SizeDist sizes,
+                   sim::Bandwidth capacity, double offered_load, SendFn send)
+      : sim_(simulator),
+        rng_(rng),
+        sizes_(std::move(sizes)),
+        send_(std::move(send)) {
+    const double bytes_per_sec =
+        static_cast<double>(capacity.bits_per_sec()) / 8.0 * offered_load;
+    mean_interarrival_ = sim::SimTime::from_seconds(sizes_.mean() / bytes_per_sec);
+  }
+
+  void start() {
+    stopped_ = false;
+    schedule_next();
+  }
+  void stop() {
+    stopped_ = true;
+    sim_.cancel(next_);
+  }
+
+  std::uint64_t messages_sent() const { return sent_; }
+  sim::SimTime mean_interarrival() const { return mean_interarrival_; }
+
+ private:
+  void schedule_next() {
+    next_ = sim_.schedule(rng_.exponential_time(mean_interarrival_), [this] {
+      if (stopped_) return;
+      ++sent_;
+      send_(sizes_.sample(rng_));
+      schedule_next();
+    });
+  }
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  SizeDist sizes_;
+  SendFn send_;
+  sim::SimTime mean_interarrival_;
+  sim::EventId next_;
+  bool stopped_ = true;
+  std::uint64_t sent_ = 0;
+};
+
+/// Closed-loop generator: keeps exactly `concurrency` messages outstanding;
+/// the owner must call on_complete() when one finishes.
+class ClosedLoopGenerator {
+ public:
+  using SendFn = std::function<void(std::int64_t bytes)>;
+
+  ClosedLoopGenerator(sim::Rng& rng, SizeDist sizes, std::size_t concurrency, SendFn send)
+      : rng_(rng), sizes_(std::move(sizes)), concurrency_(concurrency), send_(std::move(send)) {}
+
+  void start() {
+    for (std::size_t i = 0; i < concurrency_; ++i) launch();
+  }
+  void on_complete() {
+    if (!stopped_) launch();
+  }
+  void stop() { stopped_ = true; }
+  std::uint64_t messages_sent() const { return sent_; }
+
+ private:
+  void launch() {
+    ++sent_;
+    send_(sizes_.sample(rng_));
+  }
+
+  sim::Rng& rng_;
+  SizeDist sizes_;
+  std::size_t concurrency_;
+  SendFn send_;
+  bool stopped_ = false;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace mtp::workload

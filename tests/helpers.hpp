@@ -1,0 +1,71 @@
+// Shared test topologies.
+#pragma once
+
+#include <memory>
+
+#include "net/forwarding.hpp"
+#include "net/network.hpp"
+
+namespace mtp::testing {
+
+using namespace mtp::sim::literals;
+
+/// host a -- switch -- host b, symmetric links.
+struct HostPair {
+  net::Network net;
+  net::Host* a;
+  net::Host* b;
+  net::Switch* sw;
+  net::Link* a_to_sw;
+  net::Link* sw_to_b;
+
+  explicit HostPair(sim::Bandwidth bw = sim::Bandwidth::gbps(100),
+                    sim::SimTime delay = 1_us,
+                    net::DropTailQueue::Config qcfg = {.capacity_pkts = 128,
+                                                       .ecn_threshold_pkts = 0},
+                    std::uint64_t seed = 1)
+      : net(seed) {
+    a = net.add_host("a");
+    b = net.add_host("b");
+    sw = net.add_switch("sw");
+    auto d1 = net.connect(*a, *sw, bw, delay, qcfg);
+    auto d2 = net.connect(*sw, *b, bw, delay, qcfg);
+    a_to_sw = d1.forward;
+    sw_to_b = d2.forward;
+    sw->add_route(a->id(), 0);  // port 0: back toward a
+    sw->add_route(b->id(), 1);  // port 1: toward b
+  }
+
+  sim::Simulator& sim() { return net.simulator(); }
+};
+
+/// n senders + 1 receiver through one bottleneck switch (dumbbell).
+struct Dumbbell {
+  net::Network net;
+  std::vector<net::Host*> senders;
+  net::Host* receiver;
+  net::Switch* sw;
+  net::Link* bottleneck;
+
+  Dumbbell(int n, sim::Bandwidth bw, sim::SimTime delay,
+           net::DropTailQueue::Config qcfg = {.capacity_pkts = 128,
+                                              .ecn_threshold_pkts = 0},
+           std::uint64_t seed = 1)
+      : net(seed) {
+    sw = net.add_switch("sw");
+    receiver = net.add_host("recv");
+    for (int i = 0; i < n; ++i) {
+      net::Host* h = net.add_host("h" + std::to_string(i));
+      senders.push_back(h);
+      net.connect(*h, *sw, bw, delay, qcfg);
+      sw->add_route(h->id(), static_cast<net::PortIndex>(i));
+    }
+    auto d = net.connect(*sw, *receiver, bw, delay, qcfg);
+    bottleneck = d.forward;
+    sw->add_route(receiver->id(), static_cast<net::PortIndex>(n));
+  }
+
+  sim::Simulator& sim() { return net.simulator(); }
+};
+
+}  // namespace mtp::testing

@@ -1,0 +1,503 @@
+// In-network computing device tests: terminating proxy, fair queues,
+// trimming, fair-share policer, KVS cache, mutation offload, L7 LB, and the
+// bulk/blob layer that rides on them.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "innetwork/device_endpoint.hpp"
+#include "innetwork/fair_policer.hpp"
+#include "innetwork/kvs_cache.hpp"
+#include "innetwork/l7_lb.hpp"
+#include "innetwork/mutation_offload.hpp"
+#include "innetwork/queues.hpp"
+#include "innetwork/tcp_proxy.hpp"
+#include "mtp/bulk.hpp"
+#include "mtp/endpoint.hpp"
+#include "transport/apps.hpp"
+
+namespace mtp::innetwork {
+namespace {
+
+using namespace mtp::sim::literals;
+using core::MtpEndpoint;
+using core::ReceivedMessage;
+using sim::Bandwidth;
+using sim::SimTime;
+
+net::Packet mtp_data(net::NodeId src, net::NodeId dst, proto::MsgId msg,
+                     std::uint32_t pkt, std::uint32_t total, std::uint32_t len,
+                     proto::TrafficClassId tc = 0) {
+  net::Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.payload_bytes = len;
+  p.header_bytes = 64;
+  p.tc = tc;
+  p.uid = net::Packet::next_uid();
+  proto::MtpHeader h;
+  h.msg_id = msg;
+  h.pkt_num = pkt;
+  h.msg_len_pkts = total;
+  h.msg_len_bytes = static_cast<std::uint64_t>(total) * len;
+  h.pkt_len = len;
+  h.tc = tc;
+  p.header = h;
+  return p;
+}
+
+// ------------------------------------------------------------------ queues
+
+TEST(WfqQueue, EqualServiceForUnequalArrivals) {
+  WfqQueue q({.per_tc_capacity_pkts = 1000, .quantum_bytes = 1500});
+  // TC1 floods 8x more than TC2.
+  for (int i = 0; i < 800; ++i) q.enqueue(mtp_data(1, 9, i, 0, 1, 1000, 1));
+  for (int i = 0; i < 100; ++i) q.enqueue(mtp_data(2, 9, 1000 + i, 0, 1, 1000, 2));
+  int tc1 = 0, tc2 = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto pkt = q.dequeue();
+    ASSERT_TRUE(pkt.has_value());
+    (pkt->tc == 1 ? tc1 : tc2)++;
+  }
+  // While both are backlogged, service alternates nearly equally.
+  EXPECT_NEAR(tc1, tc2, 4);
+}
+
+TEST(WfqQueue, PerTcIsolationOnDrops) {
+  WfqQueue q({.per_tc_capacity_pkts = 4});
+  for (int i = 0; i < 10; ++i) q.enqueue(mtp_data(1, 9, i, 0, 1, 1000, 1));
+  EXPECT_TRUE(q.enqueue(mtp_data(2, 9, 99, 0, 1, 1000, 2)));  // TC2 unaffected
+  EXPECT_EQ(q.stats().dropped, 6u);
+  EXPECT_EQ(q.tc_len_pkts(1), 4u);
+  EXPECT_EQ(q.tc_len_pkts(2), 1u);
+}
+
+TEST(WfqQueue, DrainsCompletely) {
+  WfqQueue q({});
+  for (int i = 0; i < 5; ++i) q.enqueue(mtp_data(1, 9, i, 0, 1, 500, i % 3));
+  int n = 0;
+  while (q.dequeue().has_value()) ++n;
+  EXPECT_EQ(n, 5);
+  EXPECT_EQ(q.len_pkts(), 0u);
+  EXPECT_EQ(q.len_bytes(), 0);
+}
+
+TEST(TrimmingQueue, TrimsMtpDataInsteadOfDropping) {
+  TrimmingQueue q({.capacity_pkts = 2});
+  q.enqueue(mtp_data(1, 9, 1, 0, 1, 1000));
+  q.enqueue(mtp_data(1, 9, 2, 0, 1, 1000));
+  q.enqueue(mtp_data(1, 9, 3, 0, 1, 1000));  // over capacity: trimmed
+  EXPECT_EQ(q.trimmed(), 1u);
+  EXPECT_EQ(q.stats().dropped, 0u);
+  // Trimmed header comes out FIRST (control lane priority).
+  auto first = q.dequeue();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->payload_bytes, 0u);
+  EXPECT_EQ(first->mtp().msg_id, 3u);
+  EXPECT_EQ(first->mtp().pkt_len, 1000u);  // header still says what was lost
+}
+
+TEST(TrimmingQueue, NonMtpOverflowStillDrops) {
+  TrimmingQueue q({.capacity_pkts = 1});
+  net::Packet p1;
+  p1.payload_bytes = 500;
+  net::Packet p2;
+  p2.payload_bytes = 500;
+  EXPECT_TRUE(q.enqueue(std::move(p1)));
+  EXPECT_FALSE(q.enqueue(std::move(p2)));
+  EXPECT_EQ(q.stats().dropped, 1u);
+}
+
+// -------------------------------------------------------------- tcp proxy
+
+struct ProxyRig {
+  net::Network net;
+  net::Host* client;
+  net::Host* proxy;
+  net::Host* server;
+
+  // client --100G-- proxy --40G-- server (the paper's Fig 2 rates).
+  ProxyRig() {
+    client = net.add_host("client");
+    proxy = net.add_host("proxy");
+    server = net.add_host("server");
+    net.connect(*client, *proxy, Bandwidth::gbps(100), 1_us,
+                {.capacity_pkts = 1024});
+    net.connect(*proxy, *server, Bandwidth::gbps(40), 1_us,
+                {.capacity_pkts = 1024});
+    // The proxy is dual-homed: port 0 faces the client, port 1 the server.
+    proxy->add_route(server->id(), 1);
+  }
+};
+
+TEST(TcpProxy, RelaysBytesEndToEnd) {
+  ProxyRig r;
+  transport::TcpStack cs(*r.client, {});
+  transport::TcpStack ps(*r.proxy, {});
+  transport::TcpStack ss(*r.server, {});
+  transport::TcpSink sink(ss, 80);
+  TcpProxy proxy(ps, {.listen_port = 80, .backend = r.server->id(), .backend_port = 80});
+  auto conn = cs.connect(r.proxy->id(), 80);
+  conn->on_established = [&] {
+    conn->send(200'000);
+    conn->close();
+  };
+  r.net.simulator().run(50_ms);
+  EXPECT_EQ(sink.bytes_received(), 200'000);
+  EXPECT_EQ(proxy.bytes_relayed(), 200'000);
+}
+
+TEST(TcpProxy, UnlimitedWindowBufferGrowsWithRateMismatch) {
+  ProxyRig r;
+  transport::TcpStack cs(*r.client, {});
+  transport::TcpStack ps(*r.proxy, {});  // default: effectively unlimited rwnd
+  transport::TcpStack ss(*r.server, {});
+  transport::TcpSink sink(ss, 80);
+  TcpProxy proxy(ps, {.listen_port = 80, .backend = r.server->id(), .backend_port = 80});
+  transport::TcpBulkSource src(cs, r.proxy->id(), 80);
+  std::int64_t peak = 0;
+  sim::PeriodicTask probe(r.net.simulator(), 20_us, [&] {
+    peak = std::max(peak, proxy.buffer_occupancy());
+  });
+  probe.start();
+  r.net.simulator().run(2_ms);
+  // 100G in, 40G out: ~60Gb/s of imbalance accumulates in the proxy.
+  // In 2ms that is ~15MB; require at least a few MB to show the trend.
+  EXPECT_GT(peak, 3'000'000);
+}
+
+TEST(TcpProxy, LimitedWindowBoundsBufferButAddsHolLatency) {
+  ProxyRig r;
+  transport::TcpStack cs(*r.client, {});
+  transport::TcpConfig pcfg;
+  pcfg.rcv_buf_bytes = 100 * 1000;  // 100 packets
+  transport::TcpStack ps(*r.proxy, pcfg);
+  transport::TcpStack ss(*r.server, {});
+  transport::TcpSink sink(ss, 80);
+  TcpProxy proxy(ps, {.listen_port = 80,
+                      .backend = r.server->id(),
+                      .backend_port = 80,
+                      .forward_buffer_bytes = 100 * 1000});
+  transport::TcpBulkSource src(cs, r.proxy->id(), 80);
+  std::int64_t peak = 0;
+  sim::PeriodicTask probe(r.net.simulator(), 20_us, [&] {
+    peak = std::max(peak, proxy.buffer_occupancy());
+  });
+  probe.start();
+  r.net.simulator().run(2_ms);
+  EXPECT_LT(peak, 250'000);  // bounded by rwnd + forward buffer
+  EXPECT_GT(sink.bytes_received(), 1'000'000);  // still flowing at ~40G
+}
+
+// --------------------------------------------------------------- policer
+
+TEST(FairSharePolicer, EqualizesTwoMtpTenantsOnSharedQueue) {
+  // Two senders (TC 1, TC 2) into one 10G bottleneck; tenant 2 sends 8x the
+  // messages. Shared drop-tail queue + policer; MTP per-TC windows react.
+  testing::Dumbbell t(2, Bandwidth::gbps(10), 2_us,
+                      {.capacity_pkts = 256, .ecn_threshold_pkts = 40});
+  t.bottleneck->set_pathlet({.id = 1, .feedback = proto::FeedbackType::kEcn});
+  auto policer = std::make_shared<FairSharePolicer>(
+      t.sim(), FairSharePolicer::Config{.egress = t.bottleneck});
+  t.sw->add_ingress(policer);
+
+  MtpEndpoint s1(*t.senders[0], {});
+  MtpEndpoint s2(*t.senders[1], {});
+  MtpEndpoint r(*t.receiver, {});
+  std::array<std::int64_t, 3> got{};
+  r.listen_any([&](const ReceivedMessage& m) { got[m.tc] += m.bytes; });
+
+  // Tenant 1: one outstanding 50KB message at a time. Tenant 2: eight.
+  std::function<void()> feed1 = [&] {
+    s1.send_message(t.receiver->id(), 50'000, {.tc = 1, .dst_port = 80},
+                    [&](proto::MsgId, SimTime) { feed1(); });
+  };
+  std::function<void()> feed2 = [&] {
+    s2.send_message(t.receiver->id(), 50'000, {.tc = 2, .dst_port = 80},
+                    [&](proto::MsgId, SimTime) { feed2(); });
+  };
+  feed1();
+  for (int i = 0; i < 8; ++i) feed2();
+  t.sim().run(20_ms);
+
+  const double g1 = static_cast<double>(got[1]);
+  const double g2 = static_cast<double>(got[2]);
+  EXPECT_GT(g1 + g2, 0);
+  // Near-equal split despite the 8x message-count imbalance.
+  EXPECT_GT(stats::jain_index({g1, g2}), 0.9);
+  EXPECT_GT(policer->marked() + policer->dropped(), 0u);
+}
+
+// -------------------------------------------------------------- kvs cache
+
+struct CacheRig {
+  testing::HostPair t;  // a = client, b = backend, sw between
+  MtpEndpoint client;
+  MtpEndpoint backend;
+  std::shared_ptr<KvsCache> cache;
+  std::uint64_t backend_requests = 0;
+
+  CacheRig() : t(), client(*t.a, {}), backend(*t.b, {}) {
+    cache = std::make_shared<KvsCache>(
+        *t.sw, KvsCache::Config{.backend = t.b->id(), .service_port = 80});
+    t.sw->add_ingress(cache);
+    backend.listen(80, [this](const ReceivedMessage& m) {
+      ++backend_requests;
+      // Backend answers GETs with a 4KB value.
+      core::MessageOptions opts;
+      opts.dst_port = m.src_port;
+      opts.app = net::AppData{m.app ? m.app->key : "", "value-from-backend"};
+      backend.send_message(m.src, 4000, std::move(opts));
+    });
+  }
+};
+
+TEST(KvsCache, HitAnsweredInNetworkBackendBypassed) {
+  CacheRig r;
+  r.cache->put("hot", "cached-value", 4000);
+  std::optional<ReceivedMessage> reply;
+  r.client.listen(9000, [&](const ReceivedMessage& m) { reply = m; });
+  core::MessageOptions opts;
+  opts.src_port = 9000;
+  opts.dst_port = 80;
+  opts.app = net::AppData{"hot", ""};
+  r.client.send_message(r.t.b->id(), 100, std::move(opts));
+  r.t.sim().run(20_ms);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->bytes, 4000);
+  EXPECT_EQ(reply->src, r.t.sw->id());  // answered by the switch, not b
+  ASSERT_TRUE(reply->app.has_value());
+  EXPECT_EQ(reply->app->value, "cached-value");
+  EXPECT_EQ(r.backend_requests, 0u);
+  EXPECT_EQ(r.cache->hits(), 1u);
+  EXPECT_EQ(r.client.outstanding_messages(), 0u);  // request acked by cache
+}
+
+TEST(KvsCache, MissPassesThroughAndLearns) {
+  CacheRig r;
+  std::optional<ReceivedMessage> reply;
+  r.client.listen(9000, [&](const ReceivedMessage& m) { reply = m; });
+  core::MessageOptions opts;
+  opts.src_port = 9000;
+  opts.dst_port = 80;
+  opts.app = net::AppData{"cold", ""};
+  r.client.send_message(r.t.b->id(), 100, std::move(opts));
+  r.t.sim().run(20_ms);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->src, r.t.b->id());  // backend answered
+  EXPECT_EQ(r.backend_requests, 1u);
+  EXPECT_EQ(r.cache->misses(), 1u);
+  EXPECT_TRUE(r.cache->contains("cold"));  // learned from the response
+}
+
+TEST(KvsCache, SecondRequestForLearnedKeyHits) {
+  CacheRig r;
+  int replies = 0;
+  std::vector<net::NodeId> reply_srcs;
+  r.client.listen(9000, [&](const ReceivedMessage& m) {
+    ++replies;
+    reply_srcs.push_back(m.src);
+  });
+  auto ask = [&] {
+    core::MessageOptions opts;
+    opts.src_port = 9000;
+    opts.dst_port = 80;
+    opts.app = net::AppData{"warm", ""};
+    r.client.send_message(r.t.b->id(), 100, std::move(opts));
+  };
+  ask();
+  r.t.sim().run(10_ms);
+  ask();
+  r.t.sim().run(30_ms);
+  EXPECT_EQ(replies, 2);
+  EXPECT_EQ(r.backend_requests, 1u);  // second one served from the cache
+  ASSERT_EQ(reply_srcs.size(), 2u);
+  EXPECT_EQ(reply_srcs[1], r.t.sw->id());
+}
+
+TEST(KvsCache, LruEvictsWhenOverCapacity) {
+  testing::HostPair t;
+  KvsCache cache(*t.sw, {.backend = t.b->id(), .service_port = 80,
+                         .capacity_entries = 2});
+  cache.put("a", "1", 100);
+  cache.put("b", "2", 100);
+  cache.put("c", "3", 100);  // evicts "a"
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+// -------------------------------------------------------- mutation offload
+
+TEST(MutationOffload, CompressesMessageInFlight) {
+  testing::HostPair t;
+  MtpEndpoint src(*t.a, {});
+  MtpEndpoint dst(*t.b, {});
+  auto offload = std::make_shared<MutationOffload>(
+      *t.sw, MutationOffload::Config{.match_port = 7000});
+  t.sw->add_ingress(offload);
+
+  std::optional<ReceivedMessage> got;
+  dst.listen(7000, [&](const ReceivedMessage& m) { got = m; });
+  bool sender_done = false;
+  src.send_message(t.b->id(), 100'000, {.dst_port = 7000},
+                   [&](proto::MsgId, SimTime) { sender_done = true; });
+  t.sim().run(50_ms);
+  // Sender completed against the offload; receiver got the compressed copy.
+  EXPECT_TRUE(sender_done);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->bytes, 50'000);
+  EXPECT_EQ(got->src, t.sw->id());
+  EXPECT_EQ(offload->messages_mutated(), 1u);
+  EXPECT_EQ(offload->bytes_in(), 100'000);
+  EXPECT_EQ(offload->bytes_out(), 50'000);
+}
+
+TEST(MutationOffload, ExpandingTransformAlsoWorks) {
+  testing::HostPair t;
+  MtpEndpoint src(*t.a, {});
+  MtpEndpoint dst(*t.b, {});
+  auto offload = std::make_shared<MutationOffload>(
+      *t.sw, MutationOffload::Config{.match_port = 7000},
+      [](const DeviceMessage& m) { return m.bytes * 3; });  // serialization blowup
+  t.sw->add_ingress(offload);
+  std::optional<ReceivedMessage> got;
+  dst.listen(7000, [&](const ReceivedMessage& m) { got = m; });
+  src.send_message(t.b->id(), 10'000, {.dst_port = 7000});
+  t.sim().run(50_ms);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->bytes, 30'000);
+}
+
+TEST(MutationOffload, OversizedMessagePassesThroughUntouched) {
+  testing::HostPair t;
+  MtpEndpoint src(*t.a, {});
+  MtpEndpoint dst(*t.b, {});
+  MutationOffload::Config cfg{.match_port = 7000};
+  cfg.receiver.max_message_bytes = 50'000;  // budget smaller than the message
+  auto offload = std::make_shared<MutationOffload>(*t.sw, cfg);
+  t.sw->add_ingress(offload);
+  std::optional<ReceivedMessage> got;
+  dst.listen(7000, [&](const ReceivedMessage& m) { got = m; });
+  src.send_message(t.b->id(), 200'000, {.dst_port = 7000});
+  t.sim().run(50_ms);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->bytes, 200'000);       // unmodified
+  EXPECT_EQ(got->src, t.a->id());       // straight from the sender
+  EXPECT_EQ(offload->messages_mutated(), 0u);
+}
+
+// ------------------------------------------------------------------ l7 lb
+
+TEST(L7LoadBalancer, SpreadsRequestsAcrossReplicas) {
+  net::Network net;
+  net::Host* client = net.add_host("client");
+  net::Switch* sw = net.add_switch("lb");
+  net::Host* r1 = net.add_host("r1");
+  net::Host* r2 = net.add_host("r2");
+  net.connect(*client, *sw, Bandwidth::gbps(100), 1_us);
+  net.connect(*sw, *r1, Bandwidth::gbps(100), 1_us);
+  net.connect(*sw, *r2, Bandwidth::gbps(100), 1_us);
+  sw->add_route(client->id(), 0);
+  sw->add_route(r1->id(), 1);
+  sw->add_route(r2->id(), 2);
+  const net::NodeId virtual_id = 1000;
+  sw->add_ingress(std::make_shared<L7LoadBalancer>(L7LoadBalancer::Config{
+      .virtual_service = virtual_id, .replicas = {r1->id(), r2->id()}}));
+
+  MtpEndpoint c(*client, {});
+  MtpEndpoint e1(*r1, {});
+  MtpEndpoint e2(*r2, {});
+  int n1 = 0, n2 = 0;
+  e1.listen(80, [&](const ReceivedMessage&) { ++n1; });
+  e2.listen(80, [&](const ReceivedMessage&) { ++n2; });
+  int done = 0;
+  for (int i = 0; i < 20; ++i) {
+    c.send_message(virtual_id, 5000, {.dst_port = 80},
+                   [&](proto::MsgId, SimTime) { ++done; });
+  }
+  net.simulator().run(50_ms);
+  EXPECT_EQ(n1 + n2, 20);
+  EXPECT_EQ(done, 20);  // replica ACKs complete the client's messages
+  EXPECT_GT(n1, 5);     // both replicas participate
+  EXPECT_GT(n2, 5);
+}
+
+// --------------------------------------------------------- trimming + mtp
+
+TEST(TrimmingNdp, NacksTriggerFastRetransmitWithoutTimeouts) {
+  // Bottleneck with a tiny trimming queue: overload trims instead of drops,
+  // NACKs come back in ~1 RTT, and the transfer completes quickly.
+  net::Network net;
+  net::Host* a = net.add_host("a");
+  net::Host* b = net.add_host("b");
+  net::Switch* sw = net.add_switch("sw");
+  net.connect(*a, *sw, Bandwidth::gbps(100), 1_us, {.capacity_pkts = 1024});
+  net.connect_simplex(*sw, *b, Bandwidth::gbps(10), 1_us,
+                      std::make_unique<TrimmingQueue>(
+                          TrimmingQueue::Config{.capacity_pkts = 16}));
+  net.connect_simplex(*b, *sw, Bandwidth::gbps(10), 1_us,
+                      std::make_unique<net::DropTailQueue>());
+  sw->add_route(a->id(), 0);
+  sw->add_route(b->id(), 1);
+
+  MtpEndpoint src(*a, {});
+  MtpEndpoint dst(*b, {});
+  std::int64_t got = 0;
+  dst.listen(80, [&](const ReceivedMessage& m) { got += m.bytes; });
+  src.send_message(b->id(), 300'000, {.dst_port = 80});
+  net.simulator().run(100_ms);
+  EXPECT_EQ(got, 300'000);
+  EXPECT_GT(src.pkts_retransmitted(), 0u);
+}
+
+// ------------------------------------------------------------- bulk blobs
+
+TEST(BulkChannel, BlobDeliveredAsIndependentMessages) {
+  testing::HostPair t;
+  MtpEndpoint src(*t.a, {});
+  MtpEndpoint dst(*t.b, {});
+  std::int64_t blob_bytes = 0;
+  int blobs = 0;
+  core::BulkReceiver rx(dst, 5000,
+                        [&](net::NodeId, std::uint64_t, std::int64_t bytes, SimTime) {
+                          ++blobs;
+                          blob_bytes = bytes;
+                        });
+  core::BulkSender tx(src, t.b->id(), 5000);
+  bool done = false;
+  tx.send_blob(250'000, [&](std::uint64_t, SimTime) { done = true; });
+  t.sim().run(100_ms);
+  EXPECT_EQ(blobs, 1);
+  EXPECT_EQ(blob_bytes, 250'000);
+  EXPECT_TRUE(done);
+}
+
+TEST(BulkChannel, SurvivesLossAndSpraying) {
+  // Two parallel paths with per-packet spraying and small queues: chunks
+  // arrive reordered and some are dropped; the blob still completes.
+  net::Network net;
+  net::Host* a = net.add_host("a");
+  net::Host* b = net.add_host("b");
+  net::Switch* sw = net.add_switch("sw");
+  net.connect(*a, *sw, Bandwidth::gbps(100), 1_us, {.capacity_pkts = 64});
+  net.connect(*sw, *b, Bandwidth::gbps(10), 1_us, {.capacity_pkts = 16});
+  net.connect(*sw, *b, Bandwidth::gbps(10), 2_us, {.capacity_pkts = 16});
+  sw->add_route(a->id(), 0);
+  sw->add_route(b->id(), 1);
+  sw->add_route(b->id(), 2);
+  sw->set_policy(std::make_unique<net::SprayPolicy>());
+
+  MtpEndpoint src(*a, {});
+  MtpEndpoint dst(*b, {});
+  int blobs = 0;
+  core::BulkReceiver rx(dst, 5000,
+                        [&](net::NodeId, std::uint64_t, std::int64_t, SimTime) { ++blobs; });
+  core::BulkSender tx(src, b->id(), 5000);
+  tx.send_blob(500'000);
+  net.simulator().run(200_ms);
+  EXPECT_EQ(blobs, 1);
+}
+
+}  // namespace
+}  // namespace mtp::innetwork

@@ -1,0 +1,389 @@
+// MTP core tests: connectionless message transport, SACK/NACK recovery,
+// pathlet congestion control (per-algorithm and end-to-end), path discovery,
+// exclusion, priorities, and traffic-class separation.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "mtp/cc_algorithm.hpp"
+#include "mtp/endpoint.hpp"
+#include "stats/stats.hpp"
+
+namespace mtp::core {
+namespace {
+
+using namespace mtp::sim::literals;
+using mtp::testing::HostPair;
+using sim::Bandwidth;
+using sim::SimTime;
+
+// ------------------------------------------------- cc algorithm unit tests
+
+TEST(DctcpCc, GrowsWithoutMarksShrinksWithMarks) {
+  CcConfig cfg;
+  DctcpCc cc(cfg);
+  const auto w0 = cc.window_bytes();
+  for (int i = 0; i < 20; ++i) {
+    cc.on_feedback({proto::FeedbackType::kEcn, 0}, 1000);
+    cc.on_ack(1000, 10_us);
+  }
+  EXPECT_GT(cc.window_bytes(), w0);  // slow start growth
+
+  // Saturate with marks: alpha rises, window decays toward the floor.
+  const auto w1 = cc.window_bytes();
+  for (int i = 0; i < 2000; ++i) {
+    cc.on_feedback({proto::FeedbackType::kEcn, 1}, 1000);
+    cc.on_ack(1000, 10_us);
+  }
+  EXPECT_LT(cc.window_bytes(), w1);
+  EXPECT_GT(cc.alpha(), 0.5);
+}
+
+TEST(DctcpCc, WindowNeverBelowOneMss) {
+  CcConfig cfg;
+  DctcpCc cc(cfg);
+  for (int i = 0; i < 100; ++i) cc.on_loss(LossKind::kTimeout);
+  EXPECT_GE(cc.window_bytes(), static_cast<std::int64_t>(cfg.mss));
+}
+
+TEST(RcpCc, WindowIsRateTimesRtt) {
+  CcConfig cfg;
+  RcpCc cc(cfg);
+  cc.on_feedback({proto::FeedbackType::kRate, 10'000'000'000}, 1000);  // 10 Gb/s
+  cc.on_ack(1000, 10_us);
+  // 10 Gb/s x 10us = 12500 bytes.
+  EXPECT_NEAR(static_cast<double>(cc.window_bytes()), 12500, 1500);
+}
+
+TEST(RcpCc, TracksRateChangesImmediately) {
+  CcConfig cfg;
+  RcpCc cc(cfg);
+  for (int i = 0; i < 50; ++i) {
+    cc.on_feedback({proto::FeedbackType::kRate, 100'000'000'000}, 1000);
+    cc.on_ack(1000, 10_us);
+  }
+  const auto w_fast = cc.window_bytes();
+  for (int i = 0; i < 50; ++i) {
+    cc.on_feedback({proto::FeedbackType::kRate, 1'000'000'000}, 1000);
+    cc.on_ack(1000, 10_us);
+  }
+  EXPECT_LT(cc.window_bytes(), w_fast / 10);
+}
+
+TEST(SwiftCc, ShrinksAboveTargetDelayGrowsBelow) {
+  CcConfig cfg;
+  cfg.swift_target_delay = 30_us;
+  SwiftCc cc(cfg);
+  const auto w0 = cc.window_bytes();
+  for (int i = 0; i < 50; ++i) {
+    cc.on_feedback({proto::FeedbackType::kDelay, 1'000}, 1000);  // 1us: below target
+    cc.on_ack(1000, 10_us);
+  }
+  EXPECT_GT(cc.window_bytes(), w0);
+  for (int i = 0; i < 200; ++i) {
+    cc.on_feedback({proto::FeedbackType::kDelay, 300'000}, 1000);  // 300us: way above
+    cc.on_ack(1000, 10_us);
+  }
+  EXPECT_LT(cc.window_bytes(), w0);
+}
+
+TEST(AimdCc, HalvesOnLoss) {
+  CcConfig cfg;
+  AimdCc cc(cfg);
+  for (int i = 0; i < 30; ++i) cc.on_ack(1000, 10_us);
+  const auto w = cc.window_bytes();
+  cc.on_loss(LossKind::kTimeout);
+  EXPECT_NEAR(static_cast<double>(cc.window_bytes()), static_cast<double>(w) / 2, 1.0);
+}
+
+TEST(CcFactory, MapsFeedbackTypeToAlgorithm) {
+  CcConfig cfg;
+  EXPECT_EQ(make_cc(proto::FeedbackType::kEcn, cfg)->name(), "dctcp");
+  EXPECT_EQ(make_cc(proto::FeedbackType::kRate, cfg)->name(), "rcp");
+  EXPECT_EQ(make_cc(proto::FeedbackType::kDelay, cfg)->name(), "swift");
+  EXPECT_EQ(make_cc(proto::FeedbackType::kNone, cfg)->name(), "aimd");
+}
+
+// --------------------------------------------------- message transport
+
+struct MtpPair {
+  HostPair t;
+  MtpEndpoint src;
+  MtpEndpoint dst;
+
+  explicit MtpPair(MtpConfig cfg = {},
+                   sim::Bandwidth bw = sim::Bandwidth::gbps(100),
+                   sim::SimTime delay = 1_us,
+                   net::DropTailQueue::Config qcfg = {.capacity_pkts = 128,
+                                                      .ecn_threshold_pkts = 20})
+      : t(bw, delay, qcfg), src(*t.a, cfg), dst(*t.b, cfg) {}
+};
+
+TEST(MtpTransport, DeliversSingleMessageWithoutConnectionSetup) {
+  MtpPair p;
+  std::optional<ReceivedMessage> got;
+  p.dst.listen(80, [&](const ReceivedMessage& m) { got = m; });
+  bool done = false;
+  p.src.send_message(p.t.b->id(), 5000, {.dst_port = 80},
+                     [&](proto::MsgId, SimTime) { done = true; });
+  p.t.sim().run(10_ms);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->bytes, 5000);
+  EXPECT_EQ(got->src, p.t.a->id());
+  EXPECT_TRUE(done);
+  EXPECT_EQ(p.src.outstanding_messages(), 0u);
+}
+
+class MtpMessageSizes : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(MtpMessageSizes, DeliversExactly) {
+  MtpPair p;
+  std::int64_t got = 0;
+  p.dst.listen(80, [&](const ReceivedMessage& m) { got += m.bytes; });
+  p.src.send_message(p.t.b->id(), GetParam(), {.dst_port = 80});
+  p.t.sim().run(100_ms);
+  EXPECT_EQ(got, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MtpMessageSizes,
+                         ::testing::Values(1, 999, 1000, 1001, 16'384, 250'000,
+                                           2'000'000));
+
+TEST(MtpTransport, PreservesMessageMetadata) {
+  MtpPair p;
+  std::optional<ReceivedMessage> got;
+  p.dst.listen(443, [&](const ReceivedMessage& m) { got = m; });
+  MessageOptions opts;
+  opts.priority = 9;
+  opts.tc = 3;
+  opts.src_port = 5555;
+  opts.dst_port = 443;
+  opts.app = net::AppData{"get:user/42", ""};
+  p.src.send_message(p.t.b->id(), 3000, opts);
+  p.t.sim().run(10_ms);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->priority, 9);
+  EXPECT_EQ(got->tc, 3);
+  EXPECT_EQ(got->src_port, 5555);
+  EXPECT_EQ(got->dst_port, 443);
+  ASSERT_TRUE(got->app.has_value());
+  EXPECT_EQ(got->app->key, "get:user/42");
+}
+
+TEST(MtpTransport, ManyInterleavedMessagesAllComplete) {
+  MtpPair p;
+  int completed = 0;
+  p.dst.listen(80, [&](const ReceivedMessage&) {});
+  for (int i = 0; i < 50; ++i) {
+    p.src.send_message(p.t.b->id(), 10'000 + i * 100, {.dst_port = 80},
+                       [&](proto::MsgId, SimTime) { ++completed; });
+  }
+  p.t.sim().run(100_ms);
+  EXPECT_EQ(completed, 50);
+  EXPECT_EQ(p.dst.msgs_delivered(), 50u);
+}
+
+TEST(MtpTransport, MessagesToDifferentPortsRouteToDifferentHandlers) {
+  MtpPair p;
+  int a = 0, b = 0, other = 0;
+  p.dst.listen(1, [&](const ReceivedMessage&) { ++a; });
+  p.dst.listen(2, [&](const ReceivedMessage&) { ++b; });
+  p.dst.listen_any([&](const ReceivedMessage&) { ++other; });
+  p.src.send_message(p.t.b->id(), 100, {.dst_port = 1});
+  p.src.send_message(p.t.b->id(), 100, {.dst_port = 2});
+  p.src.send_message(p.t.b->id(), 100, {.dst_port = 3});
+  p.t.sim().run(10_ms);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(other, 1);
+}
+
+TEST(MtpLoss, RecoversFromQueueDropsAndCompletes) {
+  MtpPair p({}, Bandwidth::gbps(100), 1_us,
+            {.capacity_pkts = 8, .ecn_threshold_pkts = 0});
+  std::int64_t got = 0;
+  p.dst.listen(80, [&](const ReceivedMessage& m) { got += m.bytes; });
+  p.src.send_message(p.t.b->id(), 500'000, {.dst_port = 80});
+  p.t.sim().run(100_ms);
+  EXPECT_EQ(got, 500'000);
+  EXPECT_GT(p.src.pkts_retransmitted(), 0u);
+}
+
+TEST(MtpLoss, LongTransferSaturatesWithEcnPathlet) {
+  MtpPair p({}, Bandwidth::gbps(10), 2_us,
+            {.capacity_pkts = 128, .ecn_threshold_pkts = 20});
+  p.t.a_to_sw->set_pathlet({.id = 1, .feedback = proto::FeedbackType::kEcn});
+  stats::ThroughputMeter meter(100_us);
+  p.dst.listen(80, [&](const ReceivedMessage& m) {
+    meter.record(p.t.sim().now(), m.bytes);
+  });
+  // Stream of 100KB messages, a few outstanding at a time.
+  int outstanding = 0;
+  std::function<void()> feed = [&] {
+    while (outstanding < 4) {
+      ++outstanding;
+      p.src.send_message(p.t.b->id(), 100'000, {.dst_port = 80},
+                         [&](proto::MsgId, SimTime) {
+                           --outstanding;
+                           feed();
+                         });
+    }
+  };
+  feed();
+  p.t.sim().run(10_ms);
+  EXPECT_GT(meter.average_gbps(), 8.0);
+}
+
+TEST(MtpLoss, EcnPathletKeepsQueueNearThreshold) {
+  MtpPair p({}, Bandwidth::gbps(10), 2_us,
+            {.capacity_pkts = 128, .ecn_threshold_pkts = 20});
+  p.t.a_to_sw->set_pathlet({.id = 1, .feedback = proto::FeedbackType::kEcn});
+  p.dst.listen(80, [&](const ReceivedMessage&) {});
+  p.src.send_message(p.t.b->id(), 20'000'000, {.dst_port = 80});
+  std::size_t peak = 0;
+  sim::PeriodicTask probe(p.t.sim(), 10_us, [&] {
+    peak = std::max(peak, p.t.a_to_sw->queue().len_pkts());
+  });
+  probe.start(3_ms);
+  p.t.sim().run(10_ms);
+  EXPECT_LT(peak, 70u);  // DCTCP-style control around K=20, not buffer-filling
+  EXPECT_GT(peak, 2u);   // but the link is actually loaded
+}
+
+TEST(MtpPathlets, DiscoversPathFromFeedback) {
+  MtpPair p;
+  p.t.a_to_sw->set_pathlet({.id = 11, .feedback = proto::FeedbackType::kEcn});
+  p.t.sw_to_b->set_pathlet({.id = 22, .feedback = proto::FeedbackType::kEcn});
+  p.dst.listen(80, [&](const ReceivedMessage&) {});
+  p.src.send_message(p.t.b->id(), 50'000, {.dst_port = 80});
+  p.t.sim().run(10_ms);
+  const auto path = p.src.current_path(p.t.b->id());
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 11u);
+  EXPECT_EQ(path[1], 22u);
+  EXPECT_NE(p.src.pathlet_cc(11, 0), nullptr);
+  EXPECT_NE(p.src.pathlet_cc(22, 0), nullptr);
+  EXPECT_EQ(p.src.pathlet_cc(11, 0)->name(), "dctcp");
+}
+
+TEST(MtpPathlets, PerTcCongestionStateIsSeparate) {
+  MtpPair p;
+  p.t.a_to_sw->set_pathlet({.id = 11, .feedback = proto::FeedbackType::kEcn});
+  p.dst.listen(80, [&](const ReceivedMessage&) {});
+  p.src.send_message(p.t.b->id(), 50'000, {.tc = 1, .dst_port = 80});
+  p.src.send_message(p.t.b->id(), 50'000, {.tc = 2, .dst_port = 80});
+  p.t.sim().run(10_ms);
+  const auto* cc1 = p.src.pathlet_cc(11, 1);
+  const auto* cc2 = p.src.pathlet_cc(11, 2);
+  ASSERT_NE(cc1, nullptr);
+  ASSERT_NE(cc2, nullptr);
+  EXPECT_NE(cc1, cc2);  // distinct evolving state per (pathlet, TC)
+}
+
+TEST(MtpPathlets, RcpPathletUsesExplicitRate) {
+  MtpPair p;
+  p.t.a_to_sw->set_pathlet({.id = 5,
+                            .feedback = proto::FeedbackType::kRate,
+                            .rcp_rtt = 10_us});
+  p.dst.listen(80, [&](const ReceivedMessage&) {});
+  p.src.send_message(p.t.b->id(), 100'000, {.dst_port = 80});
+  p.t.sim().run(10_ms);
+  const auto* cc = p.src.pathlet_cc(5, 0);
+  ASSERT_NE(cc, nullptr);
+  EXPECT_EQ(cc->name(), "rcp");
+  EXPECT_GT(static_cast<const RcpCc*>(cc)->rate_bps(), 0);
+}
+
+TEST(MtpPriority, HigherPriorityMessageFinishesFirstUnderContention) {
+  // Slow link so admission order matters; equal-size messages.
+  MtpPair p({}, Bandwidth::gbps(1), 2_us);
+  std::vector<int> completion_order;
+  p.dst.listen(80, [&](const ReceivedMessage& m) {
+    completion_order.push_back(m.priority);
+  });
+  // Low priority first into the queue, then high: high must win.
+  for (int i = 0; i < 3; ++i) {
+    p.src.send_message(p.t.b->id(), 200'000, {.priority = 1, .dst_port = 80});
+  }
+  p.src.send_message(p.t.b->id(), 200'000, {.priority = 7, .dst_port = 80});
+  p.t.sim().run(100_ms);
+  ASSERT_EQ(completion_order.size(), 4u);
+  EXPECT_EQ(completion_order.front(), 7);
+}
+
+TEST(MtpExclusion, ExcludedPathletRidesInHeadersAndExpires) {
+  MtpPair p;
+  p.src.exclude_pathlet(99, 1_ms);
+  p.dst.listen(80, [&](const ReceivedMessage&) {});
+  p.src.send_message(p.t.b->id(), 1000, {.dst_port = 80});
+  p.t.sim().run(5_ms);  // past expiry
+  p.src.send_message(p.t.b->id(), 1000, {.dst_port = 80});
+  p.t.sim().run(20_ms);
+  EXPECT_EQ(p.dst.msgs_delivered(), 2u);
+}
+
+TEST(MtpExclusion, MessageAwareSwitchAvoidsExcludedPathlet) {
+  // Two parallel paths from the switch to b; exclude the first's pathlet.
+  net::Network net;
+  net::Host* a = net.add_host("a");
+  net::Host* b = net.add_host("b");
+  net::Switch* sw = net.add_switch("sw");
+  net.connect(*a, *sw, Bandwidth::gbps(100), 1_us);
+  auto p1 = net.connect(*sw, *b, Bandwidth::gbps(100), 1_us);
+  auto p2 = net.connect(*sw, *b, Bandwidth::gbps(100), 1_us);
+  p1.forward->set_pathlet({.id = 1, .feedback = proto::FeedbackType::kEcn});
+  p2.forward->set_pathlet({.id = 2, .feedback = proto::FeedbackType::kEcn});
+  sw->add_route(a->id(), 0);
+  // Switch out-ports: 0 = back toward a, 1 = first sw->b link, 2 = second.
+  sw->add_route(b->id(), 1);
+  sw->add_route(b->id(), 2);
+  sw->set_policy(std::make_unique<net::MessageAwarePolicy>());
+
+  MtpEndpoint src(*a, {});
+  MtpEndpoint dst(*b, {});
+  dst.listen(80, [](const ReceivedMessage&) {});
+  src.exclude_pathlet(1, 100_ms);
+  src.send_message(b->id(), 200'000, {.dst_port = 80});
+  net.simulator().run(50_ms);
+  EXPECT_EQ(p1.forward->stats().pkts_delivered, 0u);
+  EXPECT_GT(p2.forward->stats().pkts_delivered, 100u);
+}
+
+TEST(MtpDuplicates, RetransmittedDataOfDeliveredMessageIsReAcked) {
+  // Force duplicate deliveries by dropping ACKs: tiny reverse queue.
+  MtpPair p;
+  // Shrink the b->sw reverse link queue to drop ACK bursts... instead use
+  // data-path drops: tiny forward queue ensures retransmissions, and the
+  // completed-message cache must keep re-acking so the sender finishes.
+  MtpPair q({}, Bandwidth::gbps(100), 1_us, {.capacity_pkts = 4});
+  std::int64_t got = 0;
+  q.dst.listen(80, [&](const ReceivedMessage& m) { got += m.bytes; });
+  q.src.send_message(q.t.b->id(), 300'000, {.dst_port = 80});
+  q.t.sim().run(200_ms);
+  EXPECT_EQ(got, 300'000);
+  EXPECT_EQ(q.src.outstanding_messages(), 0u);
+  (void)p;
+}
+
+TEST(MtpIndependence, OneStalledDestinationDoesNotBlockOthers) {
+  // a sends to b (reachable) and to an unrouted destination (blackhole):
+  // messages to b must still complete (per-message independence).
+  MtpPair p;
+  std::int64_t got = 0;
+  p.dst.listen(80, [&](const ReceivedMessage& m) { got += m.bytes; });
+  p.src.send_message(777 /* no route */, 50'000, {.dst_port = 80});
+  p.src.send_message(p.t.b->id(), 50'000, {.dst_port = 80});
+  p.t.sim().run(20_ms);
+  EXPECT_EQ(got, 50'000);
+}
+
+TEST(MtpRtt, SrttTracksPath) {
+  MtpPair p({}, Bandwidth::gbps(100), 5_us);
+  p.dst.listen(80, [&](const ReceivedMessage&) {});
+  p.src.send_message(p.t.b->id(), 100'000, {.dst_port = 80});
+  p.t.sim().run(20_ms);
+  EXPECT_GT(p.src.srtt().us(), 19.0);
+  EXPECT_LT(p.src.srtt().us(), 100.0);
+}
+
+}  // namespace
+}  // namespace mtp::core

@@ -1,0 +1,379 @@
+// Network-substrate tests: queue behaviour (drops, ECN), link timing
+// (serialization + propagation), switch routing and forwarding policies,
+// and pathlet feedback stamping.
+#include <gtest/gtest.h>
+
+#include "net/forwarding.hpp"
+#include "net/network.hpp"
+
+namespace mtp::net {
+namespace {
+
+using namespace mtp::sim::literals;
+using sim::Bandwidth;
+using sim::SimTime;
+
+Packet make_pkt(NodeId src, NodeId dst, std::uint32_t bytes, Ecn ecn = Ecn::kNotEct) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.payload_bytes = bytes;
+  p.ecn = ecn;
+  p.uid = Packet::next_uid();
+  return p;
+}
+
+/// Test sink node recording arrivals with timestamps.
+class SinkNode : public Node {
+ public:
+  using Node::Node;
+  void receive(Packet&& pkt, PortIndex) override {
+    arrival_times.push_back(sim_.now());
+    pkts.push_back(std::move(pkt));
+  }
+  std::vector<Packet> pkts;
+  std::vector<SimTime> arrival_times;
+};
+
+// ----------------------------------------------------------------- queues
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q({.capacity_pkts = 4});
+  for (std::uint32_t i = 1; i <= 3; ++i) q.enqueue(make_pkt(0, 1, i * 100));
+  EXPECT_EQ(q.len_pkts(), 3u);
+  EXPECT_EQ(q.dequeue()->payload_bytes, 100u);
+  EXPECT_EQ(q.dequeue()->payload_bytes, 200u);
+  EXPECT_EQ(q.dequeue()->payload_bytes, 300u);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTailQueue, DropsWhenFull) {
+  DropTailQueue q({.capacity_pkts = 2});
+  EXPECT_TRUE(q.enqueue(make_pkt(0, 1, 100)));
+  EXPECT_TRUE(q.enqueue(make_pkt(0, 1, 100)));
+  EXPECT_FALSE(q.enqueue(make_pkt(0, 1, 100)));
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.stats().bytes_dropped, 100u);
+}
+
+TEST(DropTailQueue, TracksByteOccupancy) {
+  DropTailQueue q({.capacity_pkts = 10});
+  q.enqueue(make_pkt(0, 1, 500));
+  q.enqueue(make_pkt(0, 1, 300));
+  EXPECT_EQ(q.len_bytes(), 800);
+  q.dequeue();
+  EXPECT_EQ(q.len_bytes(), 300);
+}
+
+TEST(DropTailQueue, EcnMarksAboveThreshold) {
+  DropTailQueue q({.capacity_pkts = 10, .ecn_threshold_pkts = 2});
+  q.enqueue(make_pkt(0, 1, 100, Ecn::kEct));
+  q.enqueue(make_pkt(0, 1, 100, Ecn::kEct));
+  q.enqueue(make_pkt(0, 1, 100, Ecn::kEct));  // queue len 2 at enqueue: marked
+  EXPECT_EQ(q.dequeue()->ecn, Ecn::kEct);
+  EXPECT_EQ(q.dequeue()->ecn, Ecn::kEct);
+  EXPECT_EQ(q.dequeue()->ecn, Ecn::kCe);
+  EXPECT_EQ(q.stats().ecn_marked, 1u);
+}
+
+TEST(DropTailQueue, NeverMarksNonEctPackets) {
+  DropTailQueue q({.capacity_pkts = 10, .ecn_threshold_pkts = 0});
+  DropTailQueue q2({.capacity_pkts = 10, .ecn_threshold_pkts = 1});
+  q2.enqueue(make_pkt(0, 1, 100, Ecn::kNotEct));
+  q2.enqueue(make_pkt(0, 1, 100, Ecn::kNotEct));
+  EXPECT_EQ(q2.dequeue()->ecn, Ecn::kNotEct);
+  EXPECT_EQ(q2.dequeue()->ecn, Ecn::kNotEct);
+  (void)q;
+}
+
+// ------------------------------------------------------------------ links
+
+TEST(Link, DeliversAfterSerializationPlusPropagation) {
+  sim::Simulator sim;
+  SinkNode sink(sim, 1, "sink");
+  Link link(sim, "l", Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>());
+  link.connect_to(sink, 0);
+  link.send(make_pkt(0, 1, 1000));  // 1000B at 10G = 800ns tx
+  sim.run();
+  ASSERT_EQ(sink.pkts.size(), 1u);
+  EXPECT_EQ(sink.arrival_times[0], 800_ns + 1_us);
+}
+
+TEST(Link, BackToBackPacketsSerializeSequentially) {
+  sim::Simulator sim;
+  SinkNode sink(sim, 1, "sink");
+  Link link(sim, "l", Bandwidth::gbps(10), SimTime::zero(),
+            std::make_unique<DropTailQueue>());
+  link.connect_to(sink, 0);
+  for (int i = 0; i < 3; ++i) link.send(make_pkt(0, 1, 1000));
+  sim.run();
+  ASSERT_EQ(sink.pkts.size(), 3u);
+  EXPECT_EQ(sink.arrival_times[0], 800_ns);
+  EXPECT_EQ(sink.arrival_times[1], 1600_ns);
+  EXPECT_EQ(sink.arrival_times[2], 2400_ns);
+}
+
+TEST(Link, PipelinesSerializationWithPropagation) {
+  // Propagation >> serialization: deliveries are spaced by the serialization
+  // time, not serialized+propagated (the pipe holds many packets).
+  sim::Simulator sim;
+  SinkNode sink(sim, 1, "sink");
+  Link link(sim, "l", Bandwidth::gbps(100), 10_us, std::make_unique<DropTailQueue>());
+  link.connect_to(sink, 0);
+  for (int i = 0; i < 2; ++i) link.send(make_pkt(0, 1, 1250));  // 100ns each
+  sim.run();
+  ASSERT_EQ(sink.pkts.size(), 2u);
+  EXPECT_EQ(sink.arrival_times[1] - sink.arrival_times[0], 100_ns);
+}
+
+TEST(Link, CountsDeliveredBytes) {
+  sim::Simulator sim;
+  SinkNode sink(sim, 1, "sink");
+  Link link(sim, "l", Bandwidth::gbps(10), SimTime::zero(),
+            std::make_unique<DropTailQueue>());
+  link.connect_to(sink, 0);
+  link.send(make_pkt(0, 1, 700));
+  sim.run();
+  EXPECT_EQ(link.stats().pkts_delivered, 1u);
+  EXPECT_EQ(link.stats().bytes_delivered, 700u);
+}
+
+TEST(Link, StampsEcnPathletFeedbackOnMtpData) {
+  sim::Simulator sim;
+  SinkNode sink(sim, 1, "sink");
+  Link link(sim, "l", Bandwidth::gbps(10), SimTime::zero(),
+            std::make_unique<DropTailQueue>(
+                DropTailQueue::Config{.capacity_pkts = 16, .ecn_threshold_pkts = 1}));
+  link.connect_to(sink, 0);
+  link.set_pathlet({.id = 42, .feedback = proto::FeedbackType::kEcn});
+
+  auto mk = [](bool ack) {
+    Packet p = make_pkt(0, 1, 1000, Ecn::kEct);
+    proto::MtpHeader h;
+    h.type = ack ? proto::MtpPacketType::kAck : proto::MtpPacketType::kData;
+    h.tc = 3;
+    h.msg_len_pkts = 1;
+    p.header = h;
+    return p;
+  };
+  link.send(mk(false));  // dequeued for tx immediately: queue empty, no mark
+  link.send(mk(false));  // queue empty at enqueue (pkt 0 in serializer): no mark
+  link.send(mk(false));  // pkt 1 still queued: occupancy 1 >= K=1, marked
+  link.send(mk(true));   // ACK: never stamped
+  sim.run();
+  ASSERT_EQ(sink.pkts.size(), 4u);
+  const auto& fb0 = sink.pkts[0].mtp().path_feedback;
+  ASSERT_EQ(fb0.size(), 1u);
+  EXPECT_EQ(fb0[0].pathlet, 42u);
+  EXPECT_EQ(fb0[0].tc, 3);
+  EXPECT_EQ(fb0[0].feedback.type, proto::FeedbackType::kEcn);
+  EXPECT_EQ(fb0[0].feedback.value, 0u);
+  EXPECT_EQ(sink.pkts[1].mtp().path_feedback[0].feedback.value, 0u);
+  EXPECT_EQ(sink.pkts[2].mtp().path_feedback[0].feedback.value, 1u);
+  EXPECT_TRUE(sink.pkts[3].mtp().path_feedback.empty());
+}
+
+TEST(Link, DoesNotBlameUpstreamCeMarks) {
+  sim::Simulator sim;
+  SinkNode sink(sim, 1, "sink");
+  Link link(sim, "l", Bandwidth::gbps(10), SimTime::zero(),
+            std::make_unique<DropTailQueue>());
+  link.connect_to(sink, 0);
+  link.set_pathlet({.id = 7, .feedback = proto::FeedbackType::kEcn});
+  Packet p = make_pkt(0, 1, 1000, Ecn::kCe);  // already marked upstream
+  proto::MtpHeader h;
+  h.msg_len_pkts = 1;
+  p.header = h;
+  link.send(std::move(p));
+  sim.run();
+  ASSERT_EQ(sink.pkts.size(), 1u);
+  EXPECT_EQ(sink.pkts[0].mtp().path_feedback[0].feedback.value, 0u);
+}
+
+TEST(Link, DelayFeedbackReportsQueueingDelay) {
+  sim::Simulator sim;
+  SinkNode sink(sim, 1, "sink");
+  Link link(sim, "l", Bandwidth::gbps(10), SimTime::zero(),
+            std::make_unique<DropTailQueue>());
+  link.connect_to(sink, 0);
+  link.set_pathlet({.id = 7, .feedback = proto::FeedbackType::kDelay});
+  for (int i = 0; i < 2; ++i) {
+    Packet p = make_pkt(0, 1, 1000, Ecn::kEct);
+    proto::MtpHeader h;
+    h.msg_len_pkts = 1;
+    p.header = h;
+    link.send(std::move(p));
+  }
+  sim.run();
+  ASSERT_EQ(sink.pkts.size(), 2u);
+  // First packet: no queueing. Second waited one serialization time (800ns).
+  EXPECT_EQ(sink.pkts[0].mtp().path_feedback[0].feedback.value, 0u);
+  EXPECT_EQ(sink.pkts[1].mtp().path_feedback[0].feedback.value, 800u);
+}
+
+TEST(PathletState, RcpRateConvergesTowardCapacityWhenIdle) {
+  PathletConfig cfg{.id = 1, .feedback = proto::FeedbackType::kRate};
+  PathletState st(cfg, Bandwidth::gbps(100));
+  // Start from a clamped-down rate, no arrivals, empty queue: rate recovers.
+  for (int i = 0; i < 50; ++i) st.periodic_update(0);
+  EXPECT_EQ(st.rcp_rate().bits_per_sec(), Bandwidth::gbps(100).bits_per_sec());
+}
+
+TEST(PathletState, RcpRateDropsUnderOverload) {
+  PathletConfig cfg{.id = 1, .feedback = proto::FeedbackType::kRate};
+  cfg.rcp_period = 10_us;
+  cfg.rcp_rtt = 10_us;
+  PathletState st(cfg, Bandwidth::gbps(10));
+  // Offer 2x capacity with a standing queue for a while.
+  const std::int64_t bytes_per_period = Bandwidth::gbps(20).bytes_in(10_us);
+  for (int i = 0; i < 100; ++i) {
+    st.on_arrival(bytes_per_period);
+    st.periodic_update(/*queue_bytes=*/100'000);
+  }
+  EXPECT_LT(st.rcp_rate().bits_per_sec(), Bandwidth::gbps(10).bits_per_sec());
+}
+
+// --------------------------------------------------------------- switches
+
+TEST(Switch, RoutesToConfiguredPort) {
+  Network net;
+  Host* a = net.add_host("a");
+  Switch* sw = net.add_switch("sw");
+  Host* b = net.add_host("b");
+  net.connect(*a, *sw, Bandwidth::gbps(10), 100_ns);
+  net.connect(*sw, *b, Bandwidth::gbps(10), 100_ns);
+  // Switch out-ports: 0 = back toward a, 1 = toward b.
+  sw->add_route(b->id(), 1);
+  sw->add_route(a->id(), 0);
+
+  int got = 0;
+  b->set_udp_handler(9, [&](Packet&&) { ++got; });
+  Packet p = make_pkt(a->id(), b->id(), 100);
+  p.header = proto::UdpHeader{1, 9, 100};
+  a->send(std::move(p));
+  net.simulator().run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Switch, DropsWhenNoRoute) {
+  Network net;
+  Host* a = net.add_host("a");
+  Switch* sw = net.add_switch("sw");
+  net.connect(*a, *sw, Bandwidth::gbps(10), 100_ns);
+  a->send(make_pkt(a->id(), 77, 100));
+  net.simulator().run();
+  EXPECT_EQ(sw->no_route_drops(), 1u);
+}
+
+TEST(ForwardingPolicies, SprayAlternatesPorts) {
+  SprayPolicy spray;
+  const std::vector<PortIndex> cands{3, 5};
+  Network net;
+  Switch* sw = net.add_switch("sw");
+  Packet p = make_pkt(0, 1, 100);
+  EXPECT_EQ(spray.select(p, cands, *sw), 3u);
+  EXPECT_EQ(spray.select(p, cands, *sw), 5u);
+  EXPECT_EQ(spray.select(p, cands, *sw), 3u);
+}
+
+TEST(ForwardingPolicies, EcmpIsDeterministicPerFlow) {
+  EcmpPolicy ecmp;
+  const std::vector<PortIndex> cands{0, 1, 2, 3};
+  Network net;
+  Switch* sw = net.add_switch("sw");
+  Packet p = make_pkt(0, 1, 100);
+  p.flow_hash = 0x1234567890;
+  const PortIndex first = ecmp.select(p, cands, *sw);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ecmp.select(p, cands, *sw), first);
+}
+
+TEST(ForwardingPolicies, EcmpSpreadsAcrossFlows) {
+  EcmpPolicy ecmp;
+  const std::vector<PortIndex> cands{0, 1, 2, 3};
+  Network net;
+  Switch* sw = net.add_switch("sw");
+  std::vector<int> hits(4, 0);
+  sim::Rng rng(17);
+  for (int i = 0; i < 4000; ++i) {
+    Packet p = make_pkt(0, 1, 100);
+    p.flow_hash = rng.next_u64();
+    ++hits[ecmp.select(p, cands, *sw)];
+  }
+  for (int h : hits) EXPECT_NEAR(h, 1000, 150);
+}
+
+TEST(ForwardingPolicies, AlternatingFlipsOnPeriod) {
+  Network net;
+  Switch* sw = net.add_switch("sw");
+  AlternatingPathPolicy alt(384_us);
+  const std::vector<PortIndex> cands{0, 1};
+  Packet p = make_pkt(0, 1, 100);
+  EXPECT_EQ(alt.select(p, cands, *sw), 0u);  // t = 0
+  net.simulator().run(385_us);               // advance the clock
+  EXPECT_EQ(alt.select(p, cands, *sw), 1u);
+  net.simulator().run(769_us);
+  EXPECT_EQ(alt.select(p, cands, *sw), 0u);
+}
+
+TEST(ForwardingPolicies, MessageAwarePinsWholeMessage) {
+  Network net;
+  Switch* sw = net.add_switch("sw");
+  SinkNode sink_a(net.simulator(), 50, "a"), sink_b(net.simulator(), 51, "b");
+  Link* la = net.connect_simplex(*sw, sink_a, Bandwidth::gbps(100), 100_ns,
+                                 std::make_unique<DropTailQueue>());
+  Link* lb = net.connect_simplex(*sw, sink_b, Bandwidth::gbps(100), 100_ns,
+                                 std::make_unique<DropTailQueue>());
+  (void)la;
+  (void)lb;
+  MessageAwarePolicy policy;
+  const std::vector<PortIndex> cands{0, 1};
+
+  auto mk = [](proto::MsgId msg, std::uint32_t pkt, std::uint32_t total) {
+    Packet p = make_pkt(7, 1, 1000);
+    proto::MtpHeader h;
+    h.msg_id = msg;
+    h.pkt_num = pkt;
+    h.msg_len_pkts = total;
+    p.header = h;
+    return p;
+  };
+  const PortIndex first = policy.select(mk(1, 0, 5), cands, *sw);
+  for (std::uint32_t k = 1; k < 5; ++k) {
+    EXPECT_EQ(policy.select(mk(1, k, 5), cands, *sw), first);
+  }
+  // Pin is released after the last packet.
+  EXPECT_EQ(policy.pinned_messages(), 0u);
+}
+
+TEST(ForwardingPolicies, MessageAwarePrefersLessLoadedPath) {
+  Network net;
+  Switch* sw = net.add_switch("sw");
+  SinkNode sink(net.simulator(), 50, "s");
+  net.connect_simplex(*sw, sink, Bandwidth::gbps(100), 100_ns,
+                      std::make_unique<DropTailQueue>());
+  Link* lb = net.connect_simplex(*sw, sink, Bandwidth::gbps(100), 100_ns,
+                                 std::make_unique<DropTailQueue>());
+  // Pre-load path 0 (port 0) with traffic.
+  for (int i = 0; i < 32; ++i) sw->out_port(0)->send(make_pkt(7, 50, 1500));
+  (void)lb;
+  MessageAwarePolicy policy;
+  const std::vector<PortIndex> cands{0, 1};
+  Packet p = make_pkt(7, 50, 1000);
+  proto::MtpHeader h;
+  h.msg_id = 9;
+  h.msg_len_pkts = 1;
+  p.header = h;
+  EXPECT_EQ(policy.select(p, cands, *sw), 1u);
+}
+
+TEST(Network, CountsNodesAndLinks) {
+  Network net;
+  Host* a = net.add_host("a");
+  Host* b = net.add_host("b");
+  net.connect(*a, *b, Bandwidth::gbps(10), 1_us);
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_EQ(net.link_count(), 2u);  // duplex = two simplex links
+}
+
+}  // namespace
+}  // namespace mtp::net

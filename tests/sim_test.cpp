@@ -1,0 +1,257 @@
+// Unit tests for the simulation kernel: time arithmetic, event ordering,
+// cancellation, periodic tasks, and RNG distributions.
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace mtp::sim {
+namespace {
+
+using namespace mtp::sim::literals;
+
+TEST(SimTime, UnitConstructorsAgree) {
+  EXPECT_EQ(SimTime::microseconds(1), SimTime::nanoseconds(1000));
+  EXPECT_EQ(SimTime::milliseconds(1), SimTime::microseconds(1000));
+  EXPECT_EQ(SimTime::seconds(1), SimTime::milliseconds(1000));
+  EXPECT_EQ(384_us, SimTime::nanoseconds(384'000));
+}
+
+TEST(SimTime, Arithmetic) {
+  EXPECT_EQ(3_us + 2_us, 5_us);
+  EXPECT_EQ(3_us - 2_us, 1_us);
+  EXPECT_EQ((2_us) * 3, 6_us);
+  EXPECT_EQ((6_us) / 3, 2_us);
+  EXPECT_DOUBLE_EQ((6_us) / (3_us), 2.0);
+  EXPECT_EQ((100_ns).scaled(2.5), 250_ns);
+}
+
+TEST(SimTime, FromSecondsRounds) {
+  EXPECT_EQ(SimTime::from_seconds(1e-6), 1_us);
+  EXPECT_EQ(SimTime::from_seconds(1.5e-9), 2_ns);
+}
+
+TEST(SimTime, ToStringPicksUnits) {
+  EXPECT_EQ((384_us).to_string(), "384us");
+  EXPECT_EQ((5_ns).to_string(), "5ns");
+  EXPECT_EQ((1_s + 500_ms).to_string(), "1.5s");
+}
+
+TEST(Bandwidth, SerializationDelay) {
+  // 1500 bytes at 100 Gb/s = 120 ns.
+  EXPECT_EQ(Bandwidth::gbps(100).serialization_delay(1500), 120_ns);
+  // 1000 bytes at 10 Gb/s = 800 ns.
+  EXPECT_EQ(Bandwidth::gbps(10).serialization_delay(1000), 800_ns);
+}
+
+TEST(Bandwidth, SerializationDelayNoOverflowOnHugePayloads) {
+  // 1 GB at 1 Gb/s = 8 s; would overflow naive int64 ns math at
+  // intermediate steps if done carelessly.
+  const auto t = Bandwidth::gbps(1).serialization_delay(std::int64_t{1} << 30);
+  EXPECT_NEAR(t.sec(), 8.59, 0.01);
+}
+
+TEST(Bandwidth, BytesIn) {
+  EXPECT_EQ(Bandwidth::gbps(100).bytes_in(1_us), 12500);
+  EXPECT_EQ(Bandwidth::gbps(10).bytes_in(8_us), 10000);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30_ns, [&] { order.push_back(3); });
+  sim.schedule(10_ns, [&] { order.push_back(1); });
+  sim.schedule(20_ns, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30_ns);
+}
+
+TEST(Simulator, EqualTimestampsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    sim.schedule(5_ns, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1_ns, [&] {
+    sim.schedule(1_ns, [&] {
+      sim.schedule(1_ns, [&] { ++fired; });
+      ++fired;
+    });
+    ++fired;
+  });
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 3_ns);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule(10_ns, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelIsIdempotentAndNullSafe) {
+  Simulator sim;
+  sim.cancel(EventId{});  // null id: no-op
+  bool ran = false;
+  const EventId id = sim.schedule(10_ns, [&] { ran = true; });
+  sim.cancel(id);
+  sim.cancel(id);  // double-cancel: no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10_ns, [&] { ++fired; });
+  sim.schedule(30_ns, [&] { ++fired; });
+  sim.run(20_ns);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20_ns);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsNegativeDelayAndPastTimes) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(SimTime::nanoseconds(-1), [] {}), std::invalid_argument);
+  sim.schedule(10_ns, [&sim] {
+    EXPECT_THROW(sim.schedule_at(5_ns, [] {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 100; ++i) sim.schedule(SimTime::nanoseconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(PeriodicTask, FiresAtPeriod) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task(sim, 10_ns, [&] { ++ticks; });
+  task.start();
+  sim.run(100_ns);
+  EXPECT_EQ(ticks, 9);  // t=10..90
+}
+
+TEST(PeriodicTask, StopWorksFromInsideCallback) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task(sim, 10_ns, [&] {
+    if (++ticks == 3) task.stop();
+  });
+  task.start();
+  sim.run();
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto v = rng.uniform_int(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(BoundedPareto, SamplesStayInRange) {
+  Rng rng(3);
+  BoundedPareto dist(10e3, 1e9, 1.2);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = dist.sample(rng);
+    EXPECT_GE(v, 10e3);
+    EXPECT_LE(v, 1e9);
+  }
+}
+
+TEST(BoundedPareto, SkewedTowardShort) {
+  Rng rng(3);
+  BoundedPareto dist(10e3, 1e9, 1.2);
+  int below_100k = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) below_100k += dist.sample(rng) < 100e3;
+  // With alpha 1.2 the vast majority of messages are near the low end.
+  EXPECT_GT(below_100k, n * 8 / 10);
+}
+
+TEST(BoundedPareto, EmpiricalMeanMatchesAnalytic) {
+  Rng rng(5);
+  BoundedPareto dist(1e4, 1e6, 1.5);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += dist.sample(rng);
+  EXPECT_NEAR(sum / n / dist.mean(), 1.0, 0.05);
+}
+
+TEST(BoundedPareto, RejectsBadParameters) {
+  EXPECT_THROW(BoundedPareto(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(BoundedPareto(10, 5, 1), std::invalid_argument);
+  EXPECT_THROW(BoundedPareto(1, 10, 0), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, InterpolatesKnots) {
+  EmpiricalCdf cdf({{0, 0.0}, {100, 0.5}, {1000, 1.0}});
+  Rng rng(9);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = cdf.sample(rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1000.0);
+    low += v <= 100.0;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.5, 0.03);
+}
+
+TEST(EmpiricalCdf, MeanOfPiecewiseLinear) {
+  EmpiricalCdf cdf({{0, 0.0}, {100, 1.0}});
+  EXPECT_DOUBLE_EQ(cdf.mean(), 50.0);
+}
+
+TEST(EmpiricalCdf, RejectsMalformedKnots) {
+  EXPECT_THROW(EmpiricalCdf({{0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalCdf({{0, 0.1}, {1, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalCdf({{0, 0.0}, {1, 0.5}, {0.5, 1.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtp::sim
