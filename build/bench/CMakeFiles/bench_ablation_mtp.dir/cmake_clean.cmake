@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mtp.dir/bench_ablation_mtp.cpp.o"
+  "CMakeFiles/bench_ablation_mtp.dir/bench_ablation_mtp.cpp.o.d"
+  "bench_ablation_mtp"
+  "bench_ablation_mtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_short_flows.cpp" "bench/CMakeFiles/bench_fig3_short_flows.dir/bench_fig3_short_flows.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_short_flows.dir/bench_fig3_short_flows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mtp_bench_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtp/CMakeFiles/mtp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mtp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mtp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/mtp_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_short_flows.dir/bench_fig3_short_flows.cpp.o"
+  "CMakeFiles/bench_fig3_short_flows.dir/bench_fig3_short_flows.cpp.o.d"
+  "bench_fig3_short_flows"
+  "bench_fig3_short_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_short_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_loadbalance.dir/bench_fig6_loadbalance.cpp.o"
+  "CMakeFiles/bench_fig6_loadbalance.dir/bench_fig6_loadbalance.cpp.o.d"
+  "bench_fig6_loadbalance"
+  "bench_fig6_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

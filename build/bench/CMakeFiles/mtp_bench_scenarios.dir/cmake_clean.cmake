@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libmtp_bench_scenarios.a"
+  "../lib/libmtp_bench_scenarios.pdb"
+  "CMakeFiles/mtp_bench_scenarios.dir/scenarios.cpp.o"
+  "CMakeFiles/mtp_bench_scenarios.dir/scenarios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_bench_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

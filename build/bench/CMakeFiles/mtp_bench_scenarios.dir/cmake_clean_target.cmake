@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libmtp_bench_scenarios.a"
+)

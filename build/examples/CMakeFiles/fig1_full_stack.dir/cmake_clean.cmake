@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_full_stack.dir/fig1_full_stack.cpp.o"
+  "CMakeFiles/fig1_full_stack.dir/fig1_full_stack.cpp.o.d"
+  "fig1_full_stack"
+  "fig1_full_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_full_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_allreduce.dir/ml_allreduce.cpp.o"
+  "CMakeFiles/ml_allreduce.dir/ml_allreduce.cpp.o.d"
+  "ml_allreduce"
+  "ml_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_bulk.dir/multipath_bulk.cpp.o"
+  "CMakeFiles/multipath_bulk.dir/multipath_bulk.cpp.o.d"
+  "multipath_bulk"
+  "multipath_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

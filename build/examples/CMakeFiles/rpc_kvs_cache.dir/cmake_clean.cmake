@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_kvs_cache.dir/rpc_kvs_cache.cpp.o"
+  "CMakeFiles/rpc_kvs_cache.dir/rpc_kvs_cache.cpp.o.d"
+  "rpc_kvs_cache"
+  "rpc_kvs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_kvs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

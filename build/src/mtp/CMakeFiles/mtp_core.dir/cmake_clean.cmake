@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_core.dir/endpoint.cpp.o"
+  "CMakeFiles/mtp_core.dir/endpoint.cpp.o.d"
+  "libmtp_core.a"
+  "libmtp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

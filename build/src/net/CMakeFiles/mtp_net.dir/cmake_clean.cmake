@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_net.dir/link.cpp.o"
+  "CMakeFiles/mtp_net.dir/link.cpp.o.d"
+  "libmtp_net.a"
+  "libmtp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

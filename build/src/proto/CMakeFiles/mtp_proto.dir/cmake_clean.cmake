@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_proto.dir/mtp_header.cpp.o"
+  "CMakeFiles/mtp_proto.dir/mtp_header.cpp.o.d"
+  "CMakeFiles/mtp_proto.dir/tcp_header.cpp.o"
+  "CMakeFiles/mtp_proto.dir/tcp_header.cpp.o.d"
+  "libmtp_proto.a"
+  "libmtp_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_sim.dir/logging.cpp.o"
+  "CMakeFiles/mtp_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/mtp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mtp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mtp_sim.dir/time.cpp.o"
+  "CMakeFiles/mtp_sim.dir/time.cpp.o.d"
+  "libmtp_sim.a"
+  "libmtp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

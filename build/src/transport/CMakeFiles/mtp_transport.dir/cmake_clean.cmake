@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtp_transport.dir/tcp.cpp.o"
+  "CMakeFiles/mtp_transport.dir/tcp.cpp.o.d"
+  "libmtp_transport.a"
+  "libmtp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_test.dir/advanced_test.cpp.o"
+  "CMakeFiles/advanced_test.dir/advanced_test.cpp.o.d"
+  "advanced_test"
+  "advanced_test.pdb"
+  "advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innetwork_test.dir/innetwork_test.cpp.o"
+  "CMakeFiles/innetwork_test.dir/innetwork_test.cpp.o.d"
+  "innetwork_test"
+  "innetwork_test.pdb"
+  "innetwork_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innetwork_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

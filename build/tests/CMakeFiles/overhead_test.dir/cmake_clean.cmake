@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_test.dir/overhead_test.cpp.o"
+  "CMakeFiles/overhead_test.dir/overhead_test.cpp.o.d"
+  "overhead_test"
+  "overhead_test.pdb"
+  "overhead_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_workload_test.dir/stats_workload_test.cpp.o"
+  "CMakeFiles/stats_workload_test.dir/stats_workload_test.cpp.o.d"
+  "stats_workload_test"
+  "stats_workload_test.pdb"
+  "stats_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
