@@ -14,6 +14,7 @@
 #include "net/network.hpp"
 #include "scenarios.hpp"
 #include "stats/table.hpp"
+#include "telemetry/report.hpp"
 
 using namespace mtp;
 using namespace mtp::bench;
@@ -26,6 +27,7 @@ struct Result {
   double relay_p50_us = 0;
   double client_gbps = 0;
   double server_gbps = 0;
+  telemetry::RegistrySnapshot registry;
 };
 
 Result run(bool limited_window, sim::SimTime duration) {
@@ -66,6 +68,7 @@ Result run(bool limited_window, sim::SimTime duration) {
   r.client_gbps = static_cast<double>(src.connection().bytes_delivered()) * 8.0 /
                   duration.sec() / 1e9;
   r.server_gbps = server_meter.average_gbps();
+  r.registry = telemetry::MetricRegistry::global().snapshot();
   return r;
 }
 
@@ -107,5 +110,19 @@ int main() {
                     stats::format("%.3f", limited.buffer_series[i].second)});
   }
   series.print();
+
+  telemetry::RunReport report("fig2_proxy");
+  auto fill = [&](const char* config, const Result& r) {
+    auto& sec = report.section(config);
+    sec.add_scalar("client_gbps", r.client_gbps);
+    sec.add_scalar("server_gbps", r.server_gbps);
+    sec.add_scalar("final_buffer_mb", r.buffer_series.back().second);
+    sec.add_scalar("relay_p50_us", r.relay_p50_us);
+    sec.add_scalar("relay_p99_us", r.relay_p99_us);
+    sec.set_registry(r.registry);
+  };
+  fill("unlimited_rwnd", unlimited);
+  fill("limited_rwnd", limited);
+  report.write();
   return 0;
 }

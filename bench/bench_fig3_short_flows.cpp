@@ -13,6 +13,7 @@
 #include "net/network.hpp"
 #include "scenarios.hpp"
 #include "stats/table.hpp"
+#include "telemetry/report.hpp"
 
 using namespace mtp;
 using namespace mtp::bench;
@@ -44,6 +45,7 @@ struct Result {
   std::vector<stats::ThroughputMeter::Sample> series;
   double avg_gbps = 0;
   double cov = 0;  ///< coefficient of variation of the 32us samples
+  telemetry::RegistrySnapshot registry;
 };
 
 Result summarize(const stats::ThroughputMeter& meter, sim::SimTime duration) {
@@ -80,7 +82,9 @@ Result run_persistent(sim::SimTime duration) {
         *stacks.back(), rig.receiver->id(), 80));
   }
   rig.net.simulator().run(duration);
-  return summarize(meter, duration);
+  Result r = summarize(meter, duration);
+  r.registry = telemetry::MetricRegistry::global().snapshot();
+  return r;
 }
 
 Result run_per_message(sim::SimTime duration) {
@@ -108,7 +112,9 @@ Result run_per_message(sim::SimTime duration) {
   }
   for (auto& f : next) f();
   rig.net.simulator().run(duration);
-  return summarize(meter, duration);
+  Result r = summarize(meter, duration);
+  r.registry = telemetry::MetricRegistry::global().snapshot();
+  return r;
 }
 
 }  // namespace
@@ -142,5 +148,16 @@ int main() {
                     stats::format("%.1f", per_msg.series[i].gbps)});
   }
   series.print();
+
+  telemetry::RunReport report("fig3_short_flows");
+  auto fill = [&](const char* scheme, const Result& r) {
+    auto& sec = report.section(scheme);
+    sec.add_scalar("avg_gbps", r.avg_gbps);
+    sec.add_scalar("sample_cov", r.cov);
+    sec.set_registry(r.registry);
+  };
+  fill("persistent", persistent);
+  fill("per_message", per_msg);
+  report.write();
   return 0;
 }

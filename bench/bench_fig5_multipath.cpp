@@ -13,6 +13,7 @@
 
 #include "scenarios.hpp"
 #include "stats/table.hpp"
+#include "telemetry/report.hpp"
 
 using namespace mtp;
 using namespace mtp::bench;
@@ -55,5 +56,18 @@ int main() {
                     fast ? "fast(100G)" : "slow(10G)"});
   }
   series.print();
+
+  telemetry::RunReport report("fig5_multipath");
+  auto fill = [&](const char* scheme, const Fig5Result& r) {
+    auto& sec = report.section(scheme);
+    sec.add_scalar("avg_gbps", r.avg_gbps);
+    sec.add_scalar("fast_phase_gbps", r.fast_phase_gbps);
+    sec.add_scalar("slow_phase_gbps", r.slow_phase_gbps);
+    sec.set_registry(r.registry);
+  };
+  fill("dctcp", dctcp);
+  fill("mtp", mtp);
+  report.section("mtp").add_scalar("goodput_gain_pct", gain);
+  report.write();
   return 0;
 }

@@ -15,6 +15,7 @@
 
 #include "scenarios.hpp"
 #include "stats/table.hpp"
+#include "telemetry/report.hpp"
 
 using namespace mtp;
 using namespace mtp::bench;
@@ -33,14 +34,22 @@ int main() {
 
   stats::Table t({"scheme", "p50 FCT (us)", "p99 FCT (us)", "mean (us)",
                   "bytes on path A", "completed"});
+  telemetry::RunReport report("fig6_loadbalance");
   for (const std::string scheme : {"ecmp", "spray", "mtp-lb"}) {
-    const Fig6Result r = run_fig6(scheme, messages, /*seed=*/7);
+    const Fig6Result r = run_fig6(scheme, messages, /*seed=*/7, cap);
     t.add_row({r.scheme, stats::format("%.0f", r.p50_us), stats::format("%.0f", r.p99_us),
                stats::format("%.0f", r.mean_us),
                stats::format("%.0f%%", r.path_a_bytes_frac * 100.0),
                stats::format("%zu", r.messages)});
+    auto& sec = report.section(r.scheme);
+    sec.add_scalar("completed", static_cast<double>(r.messages));
+    sec.add_scalar("path_a_bytes_frac", r.path_a_bytes_frac);
+    // Split at 1 MB: "short" messages vs the heavy tail.
+    sec.add_fct("fct", r.fct, /*split_bytes=*/1 << 20);
+    sec.set_registry(r.registry);
   }
   t.print();
+  report.write();
   std::printf(
       "\npaper shape: mtp-lb has the lowest tail FCT; ecmp suffers hash imbalance\n"
       "(bytes far from 50/50 + collisions); spraying balances bytes but reorders.\n");

@@ -12,6 +12,7 @@
 
 #include "scenarios.hpp"
 #include "stats/table.hpp"
+#include "telemetry/report.hpp"
 
 using namespace mtp;
 using namespace mtp::bench;
@@ -23,14 +24,21 @@ int main() {
 
   stats::Table t({"system", "tenant 1 (Gb/s)", "tenant 2 (Gb/s)", "ratio t2/t1",
                   "Jain index"});
+  telemetry::RunReport report("fig7_isolation");
   for (const std::string system : {"dctcp-shared", "dctcp-queues", "mtp-fairshare"}) {
     const Fig7Result r = run_fig7(system, duration);
     t.add_row({r.system, stats::format("%.1f", r.tenant1_gbps),
                stats::format("%.1f", r.tenant2_gbps),
                stats::format("%.1f", r.tenant1_gbps > 0 ? r.tenant2_gbps / r.tenant1_gbps : 0),
                stats::format("%.3f", r.jain)});
+    auto& sec = report.section(r.system);
+    sec.add_scalar("tenant1_gbps", r.tenant1_gbps);
+    sec.add_scalar("tenant2_gbps", r.tenant2_gbps);
+    sec.add_scalar("jain_index", r.jain);
+    sec.set_registry(r.registry);
   }
   t.print();
+  report.write();
   std::printf(
       "\npaper shape: shared queue -> ~8x skew (~80/10); separate queues and the\n"
       "MTP-enabled shared queue -> near-equal sharing of the 100G link.\n");

@@ -45,7 +45,9 @@ Fig5Result run_fig5_dctcp(sim::SimTime duration, sim::SimTime flip_period,
   transport::TcpSink sink(rcv, 80, &meter);
   transport::TcpBulkSource src(snd, rig.receiver->id(), 80);
   rig.net.simulator().run(duration);
-  return summarize_fig5(meter, flip_period, duration);
+  Fig5Result r = summarize_fig5(meter, flip_period, duration);
+  r.registry = telemetry::MetricRegistry::global().snapshot();
+  return r;
 }
 
 Fig5Result run_fig5_mtp(sim::SimTime duration, sim::SimTime flip_period,
@@ -66,7 +68,9 @@ Fig5Result run_fig5_mtp(sim::SimTime duration, sim::SimTime flip_period,
   // A long-lasting flow: one very large message (it will not finish).
   src.send_message(rig.receiver->id(), std::int64_t{1} << 30, {.dst_port = 80});
   rig.net.simulator().run(duration);
-  return summarize_fig5(meter, flip_period, duration);
+  Fig5Result r = summarize_fig5(meter, flip_period, duration);
+  r.registry = telemetry::MetricRegistry::global().snapshot();
+  return r;
 }
 
 Fig6Result run_fig6(const std::string& scheme, int messages, std::uint64_t seed,
@@ -142,6 +146,7 @@ Fig6Result run_fig6(const std::string& scheme, int messages, std::uint64_t seed,
       });
     }
     net.simulator().run();
+    result.registry = telemetry::MetricRegistry::global().snapshot();
   } else {
     // Per-message DCTCP connections (so ECMP places each message once).
     transport::TcpConfig cfg;
@@ -162,6 +167,7 @@ Fig6Result run_fig6(const std::string& scheme, int messages, std::uint64_t seed,
       });
     }
     net.simulator().run();
+    result.registry = telemetry::MetricRegistry::global().snapshot();
   }
 
   result.messages = fct.count();
@@ -173,6 +179,7 @@ Fig6Result run_fig6(const std::string& scheme, int messages, std::uint64_t seed,
   const double a = static_cast<double>(path_a->stats().bytes_delivered);
   const double b = static_cast<double>(path_b->stats().bytes_delivered);
   result.path_a_bytes_frac = (a + b) > 0 ? a / (a + b) : 0;
+  result.fct = fct;
   return result;
 }
 
@@ -221,10 +228,15 @@ Fig7Result run_fig7(const std::string& system, sim::SimTime duration) {
     // stream keeps two 1MB messages outstanding so completion round-trips
     // don't bubble the pipe.
     constexpr std::int64_t kMsgBytes = 1'000'000;
+    // The scenario owns the self-rescheduling generators; the callbacks hold
+    // only raw pointers, so no generator keeps itself alive via a
+    // shared_ptr cycle once the run ends.
+    std::vector<std::unique_ptr<std::function<void()>>> generators;
     std::function<void(core::MtpEndpoint&, proto::TrafficClassId, int)> feed =
         [&](core::MtpEndpoint& ep, proto::TrafficClassId tc, int streams) {
           for (int s = 0; s < 2 * streams; ++s) {
-            auto again = std::make_shared<std::function<void()>>();
+            generators.push_back(std::make_unique<std::function<void()>>());
+            std::function<void()>* again = generators.back().get();
             *again = [&ep, tc, &delivered, again, rcv] {
               core::MessageOptions opts;
               opts.tc = tc;
@@ -241,6 +253,7 @@ Fig7Result run_fig7(const std::string& system, sim::SimTime duration) {
     feed(*s1, 1, 1);
     feed(*s2, 2, 8);
     net.simulator().run(duration);
+    result.registry = telemetry::MetricRegistry::global().snapshot();
   } else {
     // DCTCP tenants: tenant 1 has one long flow, tenant 2 has eight (the
     // paper's "8x the number of messages" expressed as flow count).
@@ -268,6 +281,7 @@ Fig7Result run_fig7(const std::string& system, sim::SimTime duration) {
     tenant_flows(s1, 1, 8000);
     tenant_flows(s2, 8, 9000);
     net.simulator().run(duration);
+    result.registry = telemetry::MetricRegistry::global().snapshot();
     std::int64_t b1 = 0, b2 = 0;
     for (std::size_t i = 0; i < sinks.size(); ++i) {
       if (i == 0) {

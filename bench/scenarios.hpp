@@ -14,6 +14,7 @@
 #include "net/forwarding.hpp"
 #include "net/network.hpp"
 #include "stats/stats.hpp"
+#include "telemetry/metrics.hpp"
 #include "transport/apps.hpp"
 #include "transport/tcp.hpp"
 
@@ -59,6 +60,8 @@ struct Fig5Result {
   double avg_gbps = 0;
   double fast_phase_gbps = 0;  ///< mean goodput while routed via the fast path
   double slow_phase_gbps = 0;
+  /// Registry state at end of run (captured while the rig is still alive).
+  telemetry::RegistrySnapshot registry;
 };
 
 /// Run the Fig 5 scenario with DCTCP. A long-lived flow; goodput sampled
@@ -83,6 +86,8 @@ struct Fig6Result {
   double p99_us = 0;
   double mean_us = 0;
   double path_a_bytes_frac = 0;  ///< fraction of bytes on the first path
+  stats::FctRecorder fct;        ///< full FCT sample set (size-bucket slicing)
+  telemetry::RegistrySnapshot registry;
 };
 
 /// Fig 6: two 100G paths, one with +1us extra delay; skewed message sizes.
@@ -98,6 +103,7 @@ struct Fig7Result {
   double tenant1_gbps = 0;
   double tenant2_gbps = 0;
   double jain = 0;
+  telemetry::RegistrySnapshot registry;
 };
 
 /// Fig 7: two tenants over a shared 100G/10us link; tenant 2 sends 8x the

@@ -8,11 +8,15 @@
 
 #include "mtp/endpoint.hpp"
 #include "net/network.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace mtp;
 using namespace mtp::sim::literals;
 
 int main() {
+  // 0. Turn on packet-event tracing (off by default; zero cost when off).
+  telemetry::TraceSink::set_enabled(true);
   // 1. A network: two hosts joined by a switch; 100 Gb/s links, 1 us delay.
   net::Network net;
   net::Host* alice = net.add_host("alice");
@@ -66,6 +70,22 @@ int main() {
                 static_cast<long long>(cc->window_bytes()));
   } else {
     std::printf("\n");
+  }
+
+  // 5. Telemetry: every component registered itself in the global metric
+  // registry; read one metric and dump the first few trace events as JSONL.
+  const telemetry::RegistrySnapshot snap = telemetry::MetricRegistry::global().snapshot();
+  if (const auto v = snap.value("link", "alice->tor", "pkts_delivered")) {
+    std::printf("registry: link alice->tor delivered %.0f packets\n", *v);
+  }
+  std::printf("registry: %.0f acks across all MTP endpoints\n",
+              snap.total("mtp", "acks_sent"));
+
+  const auto& sink = telemetry::trace();
+  std::printf("\ntrace: %zu events recorded (first 5 as JSONL):\n", sink.size());
+  const auto events = sink.events();
+  for (std::size_t i = 0; i < events.size() && i < 5; ++i) {
+    std::printf("  %s\n", telemetry::to_json(events[i]).c_str());
   }
   return 0;
 }

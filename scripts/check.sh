@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure + build the asan preset and run the full test
+# suite under AddressSanitizer/UBSan. Run from anywhere; operates on the
+# repo root.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset asan -S "$repo"
+cmake --build --preset asan -j "$jobs"
+ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"

@@ -38,6 +38,14 @@ class FairSharePolicer final : public net::IngressProcessor {
     task_ = std::make_unique<sim::PeriodicTask>(sim_, cfg_.update_period,
                                                 [this] { update(); });
     task_->start();
+    metrics_ = telemetry::MetricRegistry::global().add(
+        "policer", cfg_.egress ? cfg_.egress->name() : "unattached",
+        [this](std::vector<telemetry::MetricSample>& out) {
+          using telemetry::MetricKind;
+          out.push_back({"marked", MetricKind::kCounter, static_cast<double>(marked_)});
+          out.push_back({"dropped", MetricKind::kCounter, static_cast<double>(dropped_)});
+          out.push_back({"fair_rate_bps", MetricKind::kGauge, fair_rate_bps_});
+        });
   }
 
   bool process(net::Packet& pkt, net::Switch&) override {
@@ -99,6 +107,7 @@ class FairSharePolicer final : public net::IngressProcessor {
   std::uint64_t marked_ = 0;
   std::uint64_t dropped_ = 0;
   std::unique_ptr<sim::PeriodicTask> task_;
+  telemetry::Registration metrics_;
 };
 
 }  // namespace mtp::innetwork

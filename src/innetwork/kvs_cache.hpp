@@ -36,7 +36,15 @@ class KvsCache final : public net::IngressProcessor {
   };
 
   KvsCache(net::Switch& sw, Config cfg)
-      : sw_(sw), cfg_(cfg), rx_(sw, cfg.receiver), tx_(sw, cfg.sender) {}
+      : sw_(sw), cfg_(cfg), rx_(sw, cfg.receiver), tx_(sw, cfg.sender) {
+    metrics_ = telemetry::MetricRegistry::global().add(
+        "kvs_cache", sw_.name(), [this](std::vector<telemetry::MetricSample>& out) {
+          using telemetry::MetricKind;
+          out.push_back({"hits", MetricKind::kCounter, static_cast<double>(hits_)});
+          out.push_back({"misses", MetricKind::kCounter, static_cast<double>(misses_)});
+          out.push_back({"entries", MetricKind::kGauge, static_cast<double>(map_.size())});
+        });
+  }
 
   /// Preload a key (value modelled by size; contents by the string).
   void put(const std::string& key, std::string value, std::int64_t value_bytes) {
@@ -139,6 +147,7 @@ class KvsCache final : public net::IngressProcessor {
   std::list<std::string> lru_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  telemetry::Registration metrics_;
 };
 
 }  // namespace mtp::innetwork

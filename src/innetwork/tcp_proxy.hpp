@@ -66,15 +66,27 @@ class TcpProxy {
     session->client = std::move(client);
     session->client->set_auto_consume(false);
     session->server = stack_.connect(cfg_.backend, cfg_.backend_port);
-    session->server->on_established = [this, session] {
-      session->server_ready = true;
-      pump(*session);
+    // The connections' callbacks must not capture the session by shared_ptr:
+    // the session owns the connections, so that would be a reference cycle
+    // and neither side would ever be freed. The proxy's sessions_ vector
+    // keeps the session alive; the weak_ptr guards connection callbacks that
+    // fire after the proxy (and thus the session) is gone.
+    std::weak_ptr<Session> weak = session;
+    session->server->on_established = [this, weak] {
+      if (auto s = weak.lock()) {
+        s->server_ready = true;
+        pump(*s);
+      }
     };
-    session->client->on_data = [this, session](std::int64_t bytes) {
-      session->arrivals.emplace_back(bytes, stack_.host().simulator().now());
-      pump(*session);
+    session->client->on_data = [this, weak](std::int64_t bytes) {
+      if (auto s = weak.lock()) {
+        s->arrivals.emplace_back(bytes, stack_.host().simulator().now());
+        pump(*s);
+      }
     };
-    session->server->on_send_progress = [this, session] { pump(*session); };
+    session->server->on_send_progress = [this, weak] {
+      if (auto s = weak.lock()) pump(*s);
+    };
     sessions_.push_back(std::move(session));
   }
 

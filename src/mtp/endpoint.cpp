@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "sim/logging.hpp"
+#include "telemetry/trace.hpp"
 
 namespace mtp::core {
 
@@ -31,6 +32,24 @@ MtpEndpoint::MtpEndpoint(net::Host& host, MtpConfig cfg)
                                                    [this] { retx_scan(); });
   ack_flush_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, cfg_.ack_flush_timeout, [this] { flush_acks(); });
+  metrics_ = telemetry::MetricRegistry::global().add(
+      "mtp", host_.name(), [this](std::vector<telemetry::MetricSample>& out) {
+        using telemetry::MetricKind;
+        out.push_back({"pkts_sent", MetricKind::kCounter,
+                       static_cast<double>(pkts_sent_)});
+        out.push_back({"pkts_retransmitted", MetricKind::kCounter,
+                       static_cast<double>(pkts_retx_)});
+        out.push_back({"acks_sent", MetricKind::kCounter,
+                       static_cast<double>(acks_sent_)});
+        out.push_back({"msgs_delivered", MetricKind::kCounter,
+                       static_cast<double>(msgs_delivered_)});
+        out.push_back({"outstanding_messages", MetricKind::kGauge,
+                       static_cast<double>(outgoing_.size())});
+        out.push_back({"known_pathlets", MetricKind::kGauge,
+                       static_cast<double>(cc_.size())});
+        out.push_back({"srtt_us", MetricKind::kGauge,
+                       rtt_valid_ ? static_cast<double>(srtt_.ns()) / 1000.0 : 0.0});
+      });
 }
 
 MtpEndpoint::~MtpEndpoint() = default;
@@ -305,6 +324,20 @@ void MtpEndpoint::retx_scan() {
       uncharge(msg.charged_path[pkt], msg.opts.tc, bytes);
       msg.retx_queue.push_back(pkt);
       any_lost = true;
+      if (telemetry::TraceSink::enabled()) {
+        telemetry::TraceEvent ev;
+        ev.t = now;
+        ev.type = telemetry::TraceEventType::kRto;
+        ev.component = host_.name();
+        ev.src = host_.id();
+        ev.dst = msg.dst;
+        ev.msg_id = id;
+        ev.pkt_num = pkt;
+        ev.bytes = static_cast<std::uint32_t>(bytes);
+        ev.tc = msg.opts.tc;
+        ev.value = static_cast<std::uint64_t>(deadline.ns());
+        telemetry::trace().record(ev);
+      }
       for (const proto::PathletId p : paths_[msg.charged_path[pkt]]) {
         penalize(p, msg.opts.tc, LossKind::kTimeout);
       }
@@ -386,6 +419,30 @@ void MtpEndpoint::emit_ack(PendingAck& pa) {
                                               (hdr.sack.size() + hdr.nack.size()) * 12);
   p.header = std::move(hdr);
   ++acks_sent_;
+  if (telemetry::TraceSink::enabled()) {
+    const auto& h = p.mtp();
+    telemetry::TraceEvent ev;
+    ev.t = sim_.now();
+    ev.type = telemetry::TraceEventType::kAck;
+    ev.component = host_.name();
+    ev.src = p.src;
+    ev.dst = p.dst;
+    ev.msg_id = h.msg_id;
+    ev.pkt_num = h.pkt_num;
+    ev.bytes = p.size_bytes();
+    ev.tc = p.tc;
+    ev.flow = p.flow_hash;
+    ev.value = h.sack.size();
+    telemetry::trace().record(ev);
+    for (const auto& n : h.nack) {
+      telemetry::TraceEvent ne = ev;
+      ne.type = telemetry::TraceEventType::kNack;
+      ne.msg_id = n.msg_id;
+      ne.pkt_num = n.pkt_num;
+      ne.value = 0;
+      telemetry::trace().record(ne);
+    }
+  }
   host_.send(std::move(p));
 }
 
@@ -477,6 +534,23 @@ void MtpEndpoint::on_data(net::Packet&& pkt) {
 
 void MtpEndpoint::on_ack(const net::Packet& pkt) {
   const auto& hdr = pkt.mtp();
+
+  if (telemetry::TraceSink::enabled()) {
+    for (const auto& pf : hdr.ack_path_feedback) {
+      telemetry::TraceEvent ev;
+      ev.t = sim_.now();
+      ev.type = telemetry::TraceEventType::kPathletFeedback;
+      ev.component = host_.name();
+      ev.src = pkt.src;
+      ev.dst = pkt.dst;
+      ev.msg_id = hdr.msg_id;
+      ev.tc = pf.tc;
+      ev.flow = pkt.flow_hash;
+      ev.pathlet = pf.pathlet;
+      ev.value = pf.feedback.value;
+      telemetry::trace().record(ev);
+    }
+  }
 
   // Learn the destination's current path from the echoed feedback, and feed
   // each pathlet's algorithm. (The ACK's source is the message destination.)

@@ -35,6 +35,7 @@
 #include "mtp/cc_algorithm.hpp"
 #include "net/host.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace mtp::core {
 
@@ -279,6 +280,7 @@ class MtpEndpoint {
   std::unordered_map<net::NodeId, PendingAck> pending_acks_;
   std::unique_ptr<sim::PeriodicTask> ack_flush_task_;
   std::uint64_t acks_sent_ = 0;
+  telemetry::Registration metrics_;
 
  public:
   std::uint64_t acks_sent() const { return acks_sent_; }

@@ -15,7 +15,16 @@ class Host : public Node {
  public:
   using Handler = std::function<void(Packet&&)>;
 
-  using Node::Node;
+  Host(sim::Simulator& simulator, NodeId id, std::string name)
+      : Node(simulator, id, std::move(name)) {
+    metrics_ = telemetry::MetricRegistry::global().add(
+        "host", this->name(), [this](std::vector<telemetry::MetricSample>& out) {
+          out.push_back({"unhandled_packets", telemetry::MetricKind::kCounter,
+                         static_cast<double>(unhandled_)});
+          out.push_back({"misdelivered_packets", telemetry::MetricKind::kCounter,
+                         static_cast<double>(misdelivered_)});
+        });
+  }
 
   /// Transmit toward pkt.dst: the route table picks the uplink; unknown
   /// destinations use the first attached link (single-homed hosts never need
@@ -65,6 +74,7 @@ class Host : public Node {
   std::unordered_map<NodeId, PortIndex> routes_;
   std::uint64_t unhandled_ = 0;
   std::uint64_t misdelivered_ = 0;
+  telemetry::Registration metrics_;
 };
 
 }  // namespace mtp::net

@@ -6,6 +6,43 @@
 
 namespace mtp::net {
 
+void Link::register_metrics() {
+  using telemetry::MetricKind;
+  auto& registry = telemetry::MetricRegistry::global();
+  link_metrics_ = registry.add("link", name_, [this](std::vector<telemetry::MetricSample>& out) {
+    out.push_back({"pkts_delivered", MetricKind::kCounter,
+                   static_cast<double>(stats_.pkts_delivered)});
+    out.push_back({"bytes_delivered", MetricKind::kCounter,
+                   static_cast<double>(stats_.bytes_delivered)});
+    out.push_back({"pkts_dropped_down", MetricKind::kCounter,
+                   static_cast<double>(stats_.pkts_dropped_down)});
+    out.push_back({"backlog_bytes", MetricKind::kGauge,
+                   static_cast<double>(backlog_bytes())});
+    out.push_back({"up", MetricKind::kGauge, up_ ? 1.0 : 0.0});
+  });
+  queue_metrics_ = registry.add("queue", name_, [this](std::vector<telemetry::MetricSample>& out) {
+    queue_->append_metrics(out);
+  });
+}
+
+telemetry::TraceEvent Link::trace_event(telemetry::TraceEventType type,
+                                        const Packet& pkt) const {
+  telemetry::TraceEvent ev;
+  ev.t = sim_.now();
+  ev.type = type;
+  ev.component = name_;
+  ev.src = pkt.src;
+  ev.dst = pkt.dst;
+  ev.bytes = pkt.size_bytes();
+  ev.tc = pkt.tc;
+  ev.flow = pkt.flow_hash;
+  if (pkt.is_mtp()) {
+    ev.msg_id = pkt.mtp().msg_id;
+    ev.pkt_num = pkt.mtp().pkt_num;
+  }
+  return ev;
+}
+
 void Link::set_pathlet(PathletConfig cfg) {
   pathlet_.emplace(cfg, bandwidth_);
   if (cfg.feedback == proto::FeedbackType::kRate) {
@@ -31,6 +68,9 @@ void Link::send(Packet&& pkt) {
   assert(dst_ != nullptr && "Link::connect_to must be called before send");
   if (!up_) {
     ++stats_.pkts_dropped_down;
+    if (telemetry::TraceSink::enabled()) {
+      telemetry::trace().record(trace_event(telemetry::TraceEventType::kDrop, pkt));
+    }
     return;
   }
   // Per-hop scratch: when the packet was queued here, and whether it arrived
@@ -38,7 +78,27 @@ void Link::send(Packet&& pkt) {
   pkt.hop_enqueued_at = sim_.now();
   pkt.hop_was_ce = pkt.ecn == Ecn::kCe;
   if (pathlet_) pathlet_->on_arrival(pkt.size_bytes());
-  if (!queue_->enqueue(std::move(pkt))) {
+  if (telemetry::TraceSink::enabled()) {
+    // The packet is consumed by enqueue() whether it is accepted, marked or
+    // dropped, so snapshot the event now and classify it from the queue's
+    // counter deltas afterwards. Works for every Queue subclass unchanged.
+    telemetry::TraceEvent ev = trace_event(telemetry::TraceEventType::kEnqueue, pkt);
+    const QueueStats before = queue_->stats();
+    const bool accepted = queue_->enqueue(std::move(pkt));
+    const QueueStats& after = queue_->stats();
+    if (!accepted) {
+      ev.type = telemetry::TraceEventType::kDrop;
+      telemetry::trace().record(ev);
+      MTP_TRACE(sim_.now(), name_, "drop (queue full)");
+      return;
+    }
+    if (after.ecn_marked > before.ecn_marked) {
+      telemetry::TraceEvent mark = ev;
+      mark.type = telemetry::TraceEventType::kEcnMark;
+      telemetry::trace().record(mark);
+    }
+    telemetry::trace().record(ev);
+  } else if (!queue_->enqueue(std::move(pkt))) {
     MTP_TRACE(sim_.now(), name_, "drop (queue full)");
     return;
   }
@@ -61,6 +121,9 @@ void Link::try_transmit() {
   if (!next) return;
   transmitting_ = true;
   Packet pkt = std::move(*next);
+  if (telemetry::TraceSink::enabled()) {
+    telemetry::trace().record(trace_event(telemetry::TraceEventType::kDequeue, pkt));
+  }
   // Queueing delay (excluding this packet's own serialization time).
   const sim::SimTime qdelay = sim_.now() - pkt.hop_enqueued_at;
   const std::uint32_t size = pkt.size_bytes();
@@ -71,7 +134,13 @@ void Link::try_transmit() {
     stamp(pkt, qdelay);
     stats_.pkts_delivered++;
     stats_.bytes_delivered += pkt.size_bytes();
+    if (telemetry::TraceSink::enabled()) {
+      telemetry::trace().record(trace_event(telemetry::TraceEventType::kTx, pkt));
+    }
     sim_.schedule(delay_, [this, pkt = std::move(pkt)]() mutable {
+      if (telemetry::TraceSink::enabled()) {
+        telemetry::trace().record(trace_event(telemetry::TraceEventType::kRx, pkt));
+      }
       dst_->receive(std::move(pkt), dst_in_port_);
     });
     transmitting_ = false;

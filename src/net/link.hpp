@@ -19,6 +19,8 @@
 #include "net/queue.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace mtp::net {
 
@@ -36,7 +38,9 @@ class Link {
         name_(std::move(name)),
         bandwidth_(bandwidth),
         delay_(propagation_delay),
-        queue_(std::move(queue)) {}
+        queue_(std::move(queue)) {
+    register_metrics();
+  }
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
@@ -76,6 +80,9 @@ class Link {
  private:
   void try_transmit();
   void stamp(Packet& pkt, sim::SimTime queue_delay);
+  void register_metrics();
+  telemetry::TraceEvent trace_event(telemetry::TraceEventType type,
+                                    const Packet& pkt) const;
 
   sim::Simulator& sim_;
   std::string name_;
@@ -90,6 +97,8 @@ class Link {
   LinkStats stats_;
   std::optional<PathletState> pathlet_;
   std::unique_ptr<sim::PeriodicTask> rcp_task_;
+  telemetry::Registration link_metrics_;
+  telemetry::Registration queue_metrics_;
 };
 
 }  // namespace mtp::net

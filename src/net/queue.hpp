@@ -9,9 +9,14 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
+
+namespace mtp::telemetry {
+struct MetricSample;
+}
 
 namespace mtp::net {
 
@@ -38,6 +43,14 @@ class Queue {
   bool empty() const { return len_pkts() == 0; }
 
   const QueueStats& stats() const { return stats_; }
+
+  /// Telemetry provider: append this queue's counters and occupancy gauges.
+  /// The owning Link registers it under component "queue" with the link's
+  /// name, so every queue in a topology is queryable from the registry.
+  /// Subclasses with extra state may override and call the base first.
+  /// Defined out of line (queue.cpp) so this header — included by every hot
+  /// queue implementation — does not pull in the telemetry headers.
+  virtual void append_metrics(std::vector<telemetry::MetricSample>& out) const;
 
  protected:
   QueueStats stats_;

@@ -42,7 +42,14 @@ class IngressProcessor {
 
 class Switch : public Node {
  public:
-  using Node::Node;
+  Switch(sim::Simulator& simulator, NodeId id, std::string name)
+      : Node(simulator, id, std::move(name)) {
+    metrics_ = telemetry::MetricRegistry::global().add(
+        "switch", this->name(), [this](std::vector<telemetry::MetricSample>& out) {
+          out.push_back({"no_route_drops", telemetry::MetricKind::kCounter,
+                         static_cast<double>(no_route_drops_)});
+        });
+  }
 
   /// Add `port` as a candidate egress for `dst`. Call repeatedly to create
   /// multipath candidate sets.
@@ -85,6 +92,7 @@ class Switch : public Node {
   std::unique_ptr<ForwardingPolicy> policy_;
   std::vector<std::shared_ptr<IngressProcessor>> ingress_;
   std::uint64_t no_route_drops_ = 0;
+  telemetry::Registration metrics_;
 };
 
 }  // namespace mtp::net

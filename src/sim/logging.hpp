@@ -23,6 +23,19 @@ class Log {
 
   static void write(LogLevel l, SimTime now, std::string_view component, std::string_view msg);
 
+  /// Overwrite the tail of `buf` with a truncation marker when snprintf
+  /// reported a formatted length >= size. Returns buf as a string_view.
+  static std::string_view mark_truncated(char* buf, std::size_t size, int formatted_len) {
+    constexpr std::string_view kMarker = "...[truncated]";
+    if (formatted_len >= 0 && static_cast<std::size_t>(formatted_len) >= size &&
+        size > kMarker.size()) {
+      std::char_traits<char>::copy(buf + size - 1 - kMarker.size(), kMarker.data(),
+                                   kMarker.size());
+      buf[size - 1] = '\0';
+    }
+    return std::string_view(buf);
+  }
+
  private:
   static inline LogLevel level_ = LogLevel::kOff;
 };
@@ -31,8 +44,12 @@ class Log {
   do {                                                                         \
     if (::mtp::sim::Log::enabled(lvl)) {                                       \
       char mtp_log_buf_[512];                                                  \
-      std::snprintf(mtp_log_buf_, sizeof(mtp_log_buf_), __VA_ARGS__);          \
-      ::mtp::sim::Log::write(lvl, (sim_now), (component), mtp_log_buf_);       \
+      const int mtp_log_len_ =                                                 \
+          std::snprintf(mtp_log_buf_, sizeof(mtp_log_buf_), __VA_ARGS__);      \
+      ::mtp::sim::Log::write(                                                  \
+          lvl, (sim_now), (component),                                         \
+          ::mtp::sim::Log::mark_truncated(mtp_log_buf_, sizeof(mtp_log_buf_),  \
+                                          mtp_log_len_));                      \
     }                                                                          \
   } while (0)
 

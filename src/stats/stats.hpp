@@ -91,23 +91,83 @@ class ThroughputMeter {
 };
 
 /// Flow/message completion-time recorder.
+///
+/// Quantile reads are served from a sorted view that is cached between
+/// records (a record invalidates it), so `p50_us(); p99_us(); ...` sorts
+/// once instead of copying and re-sorting the full sample set per call.
+/// Message sizes are kept alongside the times so tail latency can be sliced
+/// by size bucket (the paper's Fig 3 contrasts short and long messages).
 class FctRecorder {
  public:
   void record(sim::SimTime fct, std::int64_t bytes) {
     fct_us_.push_back(fct.us());
     bytes_.push_back(bytes);
+    total_bytes_ += bytes;
+    sorted_dirty_ = true;
   }
 
   std::size_t count() const { return fct_us_.size(); }
-  double p99_us() const { return percentile(fct_us_, 99); }
-  double p50_us() const { return percentile(fct_us_, 50); }
+  double p99_us() const { return percentile_us(99); }
+  double p50_us() const { return percentile_us(50); }
   double mean_us() const { return mean(fct_us_); }
   double max_us() const { return *std::max_element(fct_us_.begin(), fct_us_.end()); }
   const std::vector<double>& samples_us() const { return fct_us_; }
+  const std::vector<std::int64_t>& sample_bytes() const { return bytes_; }
+  std::int64_t total_bytes() const { return total_bytes_; }
+
+  /// Nearest-rank percentile over all samples, via the cached sorted view.
+  double percentile_us(double p) const {
+    if (fct_us_.empty()) throw std::invalid_argument("FctRecorder: empty sample set");
+    if (p < 0 || p > 100) throw std::invalid_argument("FctRecorder: p out of range");
+    const auto& s = sorted();
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(s.size())));
+    return s[rank == 0 ? 0 : rank - 1];
+  }
+
+  /// FCT summary restricted to one message-size bucket.
+  struct SizeSlice {
+    std::size_t count = 0;
+    double mean_us = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+    double max_us = 0;
+  };
+
+  /// Summary over messages with min_bytes <= size < max_bytes (half-open;
+  /// pass max_bytes = INT64_MAX for an unbounded upper edge). Zero-valued
+  /// when no message falls in the bucket.
+  SizeSlice slice(std::int64_t min_bytes, std::int64_t max_bytes) const {
+    std::vector<double> xs;
+    for (std::size_t i = 0; i < fct_us_.size(); ++i) {
+      if (bytes_[i] >= min_bytes && bytes_[i] < max_bytes) xs.push_back(fct_us_[i]);
+    }
+    SizeSlice out;
+    if (xs.empty()) return out;
+    std::sort(xs.begin(), xs.end());
+    out.count = xs.size();
+    out.mean_us = mean(xs);
+    out.p50_us = percentile(xs, 50);
+    out.p99_us = percentile(xs, 99);
+    out.max_us = xs.back();
+    return out;
+  }
 
  private:
+  const std::vector<double>& sorted() const {
+    if (sorted_dirty_) {
+      sorted_ = fct_us_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_dirty_ = false;
+    }
+    return sorted_;
+  }
+
   std::vector<double> fct_us_;
   std::vector<std::int64_t> bytes_;
+  std::int64_t total_bytes_ = 0;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_dirty_ = false;
 };
 
 /// Log-bucketed histogram for latency/size distributions: O(1) record, no

@@ -1,0 +1,123 @@
+#include "telemetry/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace mtp::telemetry {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fct_summary_json(const stats::FctRecorder::SizeSlice& s) {
+  std::string out = "{\"count\":" + std::to_string(s.count);
+  if (s.count > 0) {
+    out += ",\"mean_us\":" + num(s.mean_us) + ",\"p50_us\":" + num(s.p50_us) +
+           ",\"p99_us\":" + num(s.p99_us) + ",\"max_us\":" + num(s.max_us);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void RunReport::Section::add_fct(std::string key, const stats::FctRecorder& fct,
+                                 std::int64_t split_bytes) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  std::string block = "\"" + json_escape(key) + "\":";
+  std::string body = fct_summary_json(fct.slice(0, kMax));
+  if (fct.count() > 0 && split_bytes > 0) {
+    body.pop_back();  // reopen the object to append the size buckets
+    body += ",\"split_bytes\":" + std::to_string(split_bytes);
+    body += ",\"short\":" + fct_summary_json(fct.slice(0, split_bytes));
+    body += ",\"long\":" + fct_summary_json(fct.slice(split_bytes, kMax));
+    body += "}";
+  }
+  if (!blocks_.empty()) blocks_ += ",";
+  blocks_ += block + body;
+}
+
+void RunReport::Section::add_throughput(std::string key,
+                                        const stats::ThroughputMeter& meter) {
+  if (!blocks_.empty()) blocks_ += ",";
+  blocks_ += "\"" + json_escape(key) + "\":{\"avg_gbps\":" +
+             num(meter.average_gbps()) +
+             ",\"total_bytes\":" + std::to_string(meter.total_bytes()) +
+             ",\"window_us\":" + num(meter.window().us()) + "}";
+}
+
+RunReport::Section& RunReport::section(const std::string& name) {
+  for (auto& s : sections_) {
+    if (s.name_ == name) return s;
+  }
+  sections_.emplace_back();
+  sections_.back().name_ = name;
+  return sections_.back();
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{\n  \"experiment\": \"" + json_escape(experiment_) +
+                    "\",\n  \"schema\": \"mtp.telemetry.run_report/v1\",\n"
+                    "  \"sections\": [";
+  bool first = true;
+  for (const auto& s : sections_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\":\"" + json_escape(s.name_) + "\"";
+    if (!s.scalars_.empty()) {
+      out += ",\"scalars\":{";
+      bool f = true;
+      for (const auto& [k, v] : s.scalars_) {
+        if (!f) out += ",";
+        f = false;
+        out += "\"" + json_escape(k) + "\":" + num(v);
+      }
+      out += "}";
+    }
+    if (!s.texts_.empty()) {
+      out += ",\"text\":{";
+      bool f = true;
+      for (const auto& [k, v] : s.texts_) {
+        if (!f) out += ",";
+        f = false;
+        out += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+      }
+      out += "}";
+    }
+    if (!s.blocks_.empty()) out += "," + s.blocks_;
+    if (s.registry_) out += ",\"registry\":" + s.registry_->to_json();
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string RunReport::default_path() const {
+  const char* dir = std::getenv("MTP_REPORT_DIR");
+  std::string base = dir != nullptr && *dir != '\0' ? dir : ".";
+  if (base.back() != '/') base += '/';
+  return base + experiment_ + "_report.json";
+}
+
+bool RunReport::write() const {
+  const std::string path = default_path();
+  const bool ok = write_file(path);
+  std::fprintf(stderr, "%s run report: %s\n", ok ? "wrote" : "FAILED to write",
+               path.c_str());
+  return ok;
+}
+
+}  // namespace mtp::telemetry

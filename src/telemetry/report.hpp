@@ -1,0 +1,72 @@
+// mtp::telemetry — per-experiment run reports.
+//
+// A RunReport collects everything one experiment produced — scalar results,
+// registry snapshots, FCT / throughput recorder summaries — into a single
+// JSON document, so every figure's raw data is regenerable from one
+// artifact. Benches write `<experiment>_report.json` into the directory
+// named by $MTP_REPORT_DIR (default: the current directory).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/stats.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace mtp::telemetry {
+
+class RunReport {
+ public:
+  /// One named sub-experiment (a scheme, a config, a protocol under test).
+  class Section {
+   public:
+    void add_scalar(std::string key, double value) {
+      scalars_.emplace_back(std::move(key), value);
+    }
+    void add_text(std::string key, std::string value) {
+      texts_.emplace_back(std::move(key), std::move(value));
+    }
+    /// Attach a registry snapshot (take it while the scenario is alive —
+    /// providers deregister when their components are destroyed).
+    void set_registry(RegistrySnapshot snap) { registry_ = std::move(snap); }
+
+    /// Summarize an FCT recorder: count/mean/p50/p99/max, plus short/long
+    /// message slices when `split_bytes` > 0 (messages < split vs >= split).
+    void add_fct(std::string key, const stats::FctRecorder& fct,
+                 std::int64_t split_bytes = 0);
+
+    /// Summarize a throughput meter: average rate and total bytes.
+    void add_throughput(std::string key, const stats::ThroughputMeter& meter);
+
+   private:
+    friend class RunReport;
+    std::string name_;
+    std::vector<std::pair<std::string, double>> scalars_;
+    std::vector<std::pair<std::string, std::string>> texts_;
+    std::optional<RegistrySnapshot> registry_;
+    std::string blocks_;  ///< pre-rendered JSON members from add_fct & co
+  };
+
+  explicit RunReport(std::string experiment) : experiment_(std::move(experiment)) {}
+
+  /// Get or create a section; sections render in first-use order.
+  Section& section(const std::string& name);
+
+  const std::string& experiment() const { return experiment_; }
+
+  std::string to_json() const;
+  bool write_file(const std::string& path) const;
+  /// $MTP_REPORT_DIR/<experiment>_report.json (or ./ if the env var is unset).
+  std::string default_path() const;
+  /// write_file(default_path()), with a one-line note on stderr.
+  bool write() const;
+
+ private:
+  std::string experiment_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace mtp::telemetry

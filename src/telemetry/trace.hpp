@@ -1,0 +1,118 @@
+// mtp::telemetry — packet-event tracing.
+//
+// A bounded ring buffer of typed packet events. The hooks are always
+// compiled in, but the fast path is a single predictable branch on a static
+// flag (mirroring sim::Log::enabled) so benchmarks pay ~nothing while
+// tracing is off. When the ring fills, the oldest events are overwritten —
+// memory stays bounded no matter how long the experiment runs.
+//
+// Record-time filters restrict capture to one message, one node, or one
+// flow hash, so a long run can trace a single transfer without drowning in
+// background traffic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mtp::telemetry {
+
+enum class TraceEventType : std::uint8_t {
+  kEnqueue,          ///< packet accepted by an egress queue
+  kDequeue,          ///< packet left the queue for the serializer
+  kDrop,             ///< packet discarded (queue full, link down, no route)
+  kEcnMark,          ///< queue set the CE codepoint
+  kTx,               ///< serialization onto the wire finished
+  kRx,               ///< delivered to the receiving node
+  kAck,              ///< transport emitted an acknowledgement
+  kNack,             ///< transport emitted a negative acknowledgement
+  kRto,              ///< sender declared a packet lost on timeout
+  kPathletFeedback,  ///< sender consumed an echoed pathlet feedback TLV
+};
+
+const char* to_string(TraceEventType t);
+std::optional<TraceEventType> trace_event_type_from_string(std::string_view s);
+
+struct TraceEvent {
+  sim::SimTime t;
+  TraceEventType type = TraceEventType::kEnqueue;
+  std::string component;      ///< emitting link / node / endpoint name
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t msg_id = 0;   ///< MTP message id (0 for non-MTP packets)
+  std::uint32_t pkt_num = 0;  ///< MTP packet number within the message
+  std::uint32_t bytes = 0;    ///< wire size of the packet involved
+  std::uint8_t tc = 0;
+  std::uint64_t flow = 0;     ///< flow hash (all protocols)
+  std::uint32_t pathlet = 0;  ///< kPathletFeedback: which pathlet
+  std::uint64_t value = 0;    ///< type detail: queue depth, feedback value, ...
+};
+
+class TraceSink {
+ public:
+  /// Fast-path gate: every hook tests this before building an event.
+  static bool enabled() { return enabled_; }
+  static void set_enabled(bool on) { enabled_ = on; }
+
+  /// The process-wide sink (single-threaded simulator, like Log).
+  static TraceSink& instance();
+
+  /// Resize the ring (also clears it). Default capacity: 65536 events.
+  void set_capacity(std::size_t events);
+  std::size_t capacity() const { return cap_; }
+  void clear();
+
+  // --- Record-time filters; unset means match-all.
+  void filter_message(std::optional<std::uint64_t> msg_id) { msg_filter_ = msg_id; }
+  void filter_node(std::optional<std::uint32_t> node) { node_filter_ = node; }
+  void filter_flow(std::optional<std::uint64_t> flow) { flow_filter_ = flow; }
+  void clear_filters();
+
+  void record(TraceEvent ev);
+
+  /// Events currently buffered, oldest first.
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const { return ring_.size(); }
+  /// Count of buffered events of one type.
+  std::uint64_t count(TraceEventType type) const;
+
+  std::uint64_t recorded() const { return recorded_; }      ///< accepted (incl. overwritten)
+  std::uint64_t suppressed() const { return suppressed_; }  ///< rejected by a filter
+
+  /// One JSON object per line, oldest first (schema: docs/telemetry.md).
+  std::string to_jsonl() const;
+  /// Parse a JSONL export back into events (round-trip for tooling/tests).
+  /// Lines that are not valid trace events are skipped.
+  static std::vector<TraceEvent> parse_jsonl(std::string_view text);
+
+ private:
+  bool passes_filters(const TraceEvent& ev) const {
+    if (msg_filter_ && ev.msg_id != *msg_filter_) return false;
+    if (node_filter_ && ev.src != *node_filter_ && ev.dst != *node_filter_) return false;
+    if (flow_filter_ && ev.flow != *flow_filter_) return false;
+    return true;
+  }
+
+  static inline bool enabled_ = false;
+
+  std::size_t cap_ = 1 << 16;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  ///< overwrite cursor once the ring is full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t suppressed_ = 0;
+  std::optional<std::uint64_t> msg_filter_;
+  std::optional<std::uint32_t> node_filter_;
+  std::optional<std::uint64_t> flow_filter_;
+};
+
+/// Shorthand for the global sink.
+inline TraceSink& trace() { return TraceSink::instance(); }
+
+/// Serialize one event as a JSON object (no trailing newline).
+std::string to_json(const TraceEvent& ev);
+
+}  // namespace mtp::telemetry

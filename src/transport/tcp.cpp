@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "sim/logging.hpp"
+#include "telemetry/trace.hpp"
 
 namespace mtp::transport {
 
@@ -29,6 +30,18 @@ std::uint64_t make_flow_hash(net::NodeId a, proto::PortNum ap, net::NodeId b,
 
 TcpStack::TcpStack(net::Host& host, TcpConfig cfg) : host_(host), cfg_(cfg) {
   host_.set_tcp_handler([this](net::Packet&& pkt) { on_packet(std::move(pkt)); });
+  metrics_ = telemetry::MetricRegistry::global().add(
+      "tcp", host_.name(), [this](std::vector<telemetry::MetricSample>& out) {
+        using telemetry::MetricKind;
+        out.push_back({"pkts_sent", MetricKind::kCounter,
+                       static_cast<double>(pkts_sent_)});
+        out.push_back({"retransmits", MetricKind::kCounter,
+                       static_cast<double>(retransmits_)});
+        out.push_back({"timeouts", MetricKind::kCounter,
+                       static_cast<double>(timeouts_)});
+        out.push_back({"open_connections", MetricKind::kGauge,
+                       static_cast<double>(conns_.size())});
+      });
 }
 
 std::shared_ptr<TcpConnection> TcpStack::connect(net::NodeId dst, proto::PortNum dst_port) {
@@ -228,6 +241,7 @@ void TcpConnection::emit_segment(std::uint64_t seq, std::uint32_t len, bool retr
   pkt.header = hdr;
   if (retransmit) {
     ++retransmits_;
+    ++stack_.retransmits_;
     rtt_seq_ = 0;  // Karn: invalidate the in-flight RTT measurement
   } else if (rtt_seq_ == 0) {
     rtt_seq_ = seq + len;
@@ -273,7 +287,10 @@ void TcpConnection::send_ack() {
   send_control(flags, snd_nxt_);
 }
 
-void TcpConnection::transmit(net::Packet&& pkt) { stack_.host().send(std::move(pkt)); }
+void TcpConnection::transmit(net::Packet&& pkt) {
+  ++stack_.pkts_sent_;
+  stack_.host().send(std::move(pkt));
+}
 
 void TcpConnection::on_packet(net::Packet&& pkt) {
   const proto::TcpHeader hdr = pkt.tcp();
@@ -653,6 +670,18 @@ void TcpConnection::disarm_rto() {
 void TcpConnection::on_rto() {
   const auto& cfg = stack_.config();
   ++timeouts_;
+  ++stack_.timeouts_;
+  if (telemetry::TraceSink::enabled()) {
+    telemetry::TraceEvent ev;
+    ev.t = simulator().now();
+    ev.type = telemetry::TraceEventType::kRto;
+    ev.component = stack_.host().name();
+    ev.src = stack_.host().id();
+    ev.dst = peer_;
+    ev.flow = make_flow_hash(stack_.host().id(), local_port_, peer_, peer_port_);
+    ev.value = static_cast<std::uint64_t>(flight());
+    telemetry::trace().record(ev);
+  }
   if (++consecutive_timeouts_ > cfg.max_consecutive_timeouts) {
     // Peer unreachable (or gone mid-close): abort instead of retrying
     // forever — otherwise the simulation never quiesces.

@@ -23,6 +23,7 @@
 
 #include "net/host.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace mtp::transport {
 
@@ -228,6 +229,12 @@ class TcpStack {
   net::Host& host() { return host_; }
   std::size_t open_connections() const { return conns_.size(); }
 
+  // Stack-wide aggregates across all connections, living and closed (the
+  // per-connection counters die with the connection object).
+  std::uint64_t total_pkts_sent() const { return pkts_sent_; }
+  std::uint64_t total_retransmits() const { return retransmits_; }
+  std::uint64_t total_timeouts() const { return timeouts_; }
+
  private:
   friend class TcpConnection;
   struct ConnKey {
@@ -252,6 +259,10 @@ class TcpStack {
   std::unordered_map<ConnKey, std::shared_ptr<TcpConnection>, ConnKeyHash> conns_;
   std::unordered_map<proto::PortNum, AcceptFn> listeners_;
   proto::PortNum next_ephemeral_ = 10000;
+  std::uint64_t pkts_sent_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+  telemetry::Registration metrics_;
 };
 
 }  // namespace mtp::transport

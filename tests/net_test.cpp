@@ -138,6 +138,59 @@ TEST(Link, CountsDeliveredBytes) {
   EXPECT_EQ(link.stats().bytes_delivered, 700u);
 }
 
+TEST(Link, DownLinkBlackholesSendsAndCountsThem) {
+  sim::Simulator sim;
+  SinkNode sink(sim, 1, "sink");
+  Link link(sim, "l", Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>());
+  link.connect_to(sink, 0);
+  link.set_up(false);
+  EXPECT_FALSE(link.is_up());
+  for (int i = 0; i < 3; ++i) link.send(make_pkt(0, 1, 1000));
+  sim.run();
+  EXPECT_TRUE(sink.pkts.empty());
+  EXPECT_EQ(link.stats().pkts_dropped_down, 3u);
+  EXPECT_EQ(link.stats().pkts_delivered, 0u);
+}
+
+TEST(Link, GoingDownDiscardsQueuedButDeliversInFlight) {
+  // Propagation 10us >> serialization 800ns: cut the fiber while packet 1 is
+  // propagating, packet 2 is serializing and packet 3 still queued. The
+  // propagating and serializing packets are already "in the fiber" behind
+  // the cut and arrive; the queued one is discarded by the port flap.
+  sim::Simulator sim;
+  SinkNode sink(sim, 1, "sink");
+  Link link(sim, "l", Bandwidth::gbps(10), 10_us, std::make_unique<DropTailQueue>());
+  link.connect_to(sink, 0);
+  for (int i = 0; i < 3; ++i) link.send(make_pkt(0, 1, 1000));  // 800ns tx each
+  sim.schedule_at(1_us, [&] {
+    EXPECT_EQ(link.queue().len_pkts(), 1u);  // pkt 3 queued, pkt 2 serializing
+    link.set_up(false);
+    EXPECT_EQ(link.queue().len_pkts(), 0u);  // flap discarded the queue
+  });
+  sim.run();
+  EXPECT_EQ(sink.pkts.size(), 2u);
+  EXPECT_EQ(link.stats().pkts_delivered, 2u);
+}
+
+TEST(Link, FlapToUpResumesTransmission) {
+  sim::Simulator sim;
+  SinkNode sink(sim, 1, "sink");
+  Link link(sim, "l", Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>());
+  link.connect_to(sink, 0);
+  link.set_up(false);
+  link.send(make_pkt(0, 1, 1000));  // blackholed while down
+  sim.schedule_at(5_us, [&] {
+    link.set_up(true);
+    EXPECT_TRUE(link.is_up());
+    link.send(make_pkt(0, 1, 1000));  // flows again after the flap
+  });
+  sim.run();
+  ASSERT_EQ(sink.pkts.size(), 1u);
+  EXPECT_EQ(sink.arrival_times[0], 5_us + 800_ns + 1_us);
+  EXPECT_EQ(link.stats().pkts_dropped_down, 1u);
+  EXPECT_EQ(link.stats().pkts_delivered, 1u);
+}
+
 TEST(Link, StampsEcnPathletFeedbackOnMtpData) {
   sim::Simulator sim;
   SinkNode sink(sim, 1, "sink");

@@ -84,6 +84,52 @@ TEST(FctRecorder, PercentilesOverRecords) {
   EXPECT_DOUBLE_EQ(r.mean_us(), 50.5);
 }
 
+TEST(FctRecorder, CachedSortedViewSurvivesInterleavedRecords) {
+  FctRecorder r;
+  // Record out of order, read, record more, read again: the cached sorted
+  // view must be invalidated by each record and stay correct.
+  r.record(SimTime::microseconds(30), 1000);
+  r.record(SimTime::microseconds(10), 1000);
+  r.record(SimTime::microseconds(20), 1000);
+  EXPECT_DOUBLE_EQ(r.p50_us(), 20.0);
+  EXPECT_DOUBLE_EQ(r.percentile_us(100), 30.0);
+  r.record(SimTime::microseconds(5), 1000);
+  EXPECT_DOUBLE_EQ(r.percentile_us(0), 5.0);
+  EXPECT_DOUBLE_EQ(r.p50_us(), 10.0);
+  EXPECT_DOUBLE_EQ(r.percentile_us(100), 30.0);
+}
+
+TEST(FctRecorder, SliceBucketsBySizeHalfOpen) {
+  FctRecorder r;
+  r.record(SimTime::microseconds(10), 500);      // short
+  r.record(SimTime::microseconds(20), 999);      // short (below edge)
+  r.record(SimTime::microseconds(300), 1000);    // long (edge is inclusive-min)
+  r.record(SimTime::microseconds(500), 50'000);  // long
+  const auto s = r.slice(0, 1000);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_us, 15.0);
+  EXPECT_DOUBLE_EQ(s.p50_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 20.0);
+  const auto l = r.slice(1000, std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(l.count, 2u);
+  EXPECT_DOUBLE_EQ(l.p99_us, 500.0);
+  EXPECT_DOUBLE_EQ(l.max_us, 500.0);
+  // Empty bucket: zero-valued summary, no throw.
+  const auto none = r.slice(1'000'000, 2'000'000);
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_DOUBLE_EQ(none.mean_us, 0.0);
+  EXPECT_DOUBLE_EQ(none.p99_us, 0.0);
+}
+
+TEST(FctRecorder, TracksBytesAlongsideTimes) {
+  FctRecorder r;
+  r.record(SimTime::microseconds(1), 100);
+  r.record(SimTime::microseconds(2), 250);
+  ASSERT_EQ(r.sample_bytes().size(), 2u);
+  EXPECT_EQ(r.sample_bytes()[1], 250);
+  EXPECT_EQ(r.total_bytes(), 350);
+}
+
 TEST(TimeSeries, TracksMaxAndFinal) {
   TimeSeries ts;
   EXPECT_TRUE(ts.empty());

@@ -1,0 +1,362 @@
+// mtp::telemetry tests: registry lifecycle and lookup, trace ring semantics,
+// filters, JSONL round-trip, end-to-end event ordering on a real transfer,
+// and run-report rendering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "mtp/endpoint.hpp"
+#include "net/network.hpp"
+#include "stats/stats.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
+
+namespace mtp::telemetry {
+namespace {
+
+using namespace mtp::sim::literals;
+
+/// Every test starts from a clean, disabled sink and leaves it that way —
+/// the sink is process-global state shared with every other test.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceSink::set_enabled(false);
+    trace().set_capacity(1 << 16);  // also clears
+    trace().clear_filters();
+  }
+  void TearDown() override {
+    TraceSink::set_enabled(false);
+    trace().set_capacity(1 << 16);
+    trace().clear_filters();
+  }
+};
+
+TraceEvent make_event(std::uint64_t msg_id, TraceEventType type = TraceEventType::kTx) {
+  TraceEvent ev;
+  ev.t = sim::SimTime::nanoseconds(static_cast<std::int64_t>(msg_id));
+  ev.type = type;
+  ev.component = "test";
+  ev.msg_id = msg_id;
+  return ev;
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST_F(TelemetryTest, RegistryProviderAppearsInSnapshotAndDeregistersOnDrop) {
+  auto& reg = MetricRegistry::global();
+  const std::size_t before = reg.provider_count();
+  double live = 7;
+  {
+    Registration r = reg.add("widget", "w0", [&](std::vector<MetricSample>& out) {
+      out.push_back({"spins", MetricKind::kCounter, live});
+    });
+    EXPECT_EQ(reg.provider_count(), before + 1);
+
+    RegistrySnapshot snap = reg.snapshot();
+    ASSERT_TRUE(snap.value("widget", "w0", "spins").has_value());
+    EXPECT_EQ(*snap.value("widget", "w0", "spins"), 7);
+
+    // Snapshots sample live state: the provider is re-polled each time.
+    live = 8;
+    EXPECT_EQ(*reg.snapshot().value("widget", "w0", "spins"), 8);
+  }
+  EXPECT_EQ(reg.provider_count(), before);
+  EXPECT_FALSE(reg.snapshot().value("widget", "w0", "spins").has_value());
+}
+
+TEST_F(TelemetryTest, RegistrationIsMovable) {
+  auto& reg = MetricRegistry::global();
+  const std::size_t before = reg.provider_count();
+  Registration outer;
+  {
+    Registration inner = reg.add("widget", "w1", [](std::vector<MetricSample>& out) {
+      out.push_back({"x", MetricKind::kGauge, 1});
+    });
+    outer = std::move(inner);
+    EXPECT_FALSE(inner.active());  // NOLINT(bugprone-use-after-move)
+  }
+  // The provider survived its original handle's scope via the move.
+  EXPECT_EQ(reg.provider_count(), before + 1);
+  EXPECT_TRUE(outer.active());
+  outer.reset();
+  EXPECT_EQ(reg.provider_count(), before);
+}
+
+TEST_F(TelemetryTest, SnapshotTotalSumsAcrossInstances) {
+  auto& reg = MetricRegistry::global();
+  auto mk = [&](const char* inst, double v) {
+    return reg.add("widget", inst, [v](std::vector<MetricSample>& out) {
+      out.push_back({"spins", MetricKind::kCounter, v});
+    });
+  };
+  Registration a = mk("a", 3), b = mk("b", 4);
+  EXPECT_EQ(reg.snapshot().total("widget", "spins"), 7);
+  EXPECT_EQ(reg.snapshot().total("widget", "absent"), 0);
+}
+
+TEST_F(TelemetryTest, SnapshotJsonEscapesAndRenders) {
+  auto& reg = MetricRegistry::global();
+  Registration r = reg.add("widget", "quo\"te", [](std::vector<MetricSample>& out) {
+    out.push_back({"spins", MetricKind::kCounter, 42});
+  });
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"quo\\\"te\""), std::string::npos);
+  EXPECT_NE(json.find("\"spins\":42"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- sink
+
+TEST_F(TelemetryTest, EnabledFlagGatesInstrumentation) {
+  // The flag is the contract every hook checks before building an event;
+  // with it off, an instrumented simulation records nothing.
+  EXPECT_FALSE(TraceSink::enabled());
+
+  net::Network net;
+  net::Host* a = net.add_host("a");
+  net::Host* b = net.add_host("b");
+  net.connect(*a, *b, sim::Bandwidth::gbps(10), 1_us, {.capacity_pkts = 16});
+  core::MtpEndpoint tx(*a, {});
+  core::MtpEndpoint rx(*b, {});
+  rx.listen(80, [](const core::ReceivedMessage&) {});
+  tx.send_message(b->id(), 5'000, {.dst_port = 80});
+  net.simulator().run();
+
+  EXPECT_GT(tx.pkts_sent(), 0u);
+  EXPECT_EQ(trace().size(), 0u);
+  EXPECT_EQ(trace().recorded(), 0u);
+}
+
+TEST_F(TelemetryTest, RingBoundsMemoryAndOverwritesOldest) {
+  TraceSink::set_enabled(true);
+  trace().set_capacity(8);
+  for (std::uint64_t i = 0; i < 20; ++i) trace().record(make_event(i));
+  EXPECT_EQ(trace().size(), 8u);
+  EXPECT_EQ(trace().capacity(), 8u);
+  EXPECT_EQ(trace().recorded(), 20u);
+
+  const auto events = trace().events();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].msg_id, 12 + i) << "oldest-first order after wrap";
+  }
+}
+
+TEST_F(TelemetryTest, FiltersSuppressNonMatchingEvents) {
+  TraceSink::set_enabled(true);
+  trace().filter_message(5);
+  trace().record(make_event(5));
+  trace().record(make_event(6));
+  EXPECT_EQ(trace().size(), 1u);
+  EXPECT_EQ(trace().suppressed(), 1u);
+  EXPECT_EQ(trace().events().front().msg_id, 5u);
+
+  trace().clear_filters();
+  trace().record(make_event(6));
+  EXPECT_EQ(trace().size(), 2u);
+}
+
+TEST_F(TelemetryTest, NodeFilterMatchesEitherEndpoint) {
+  TraceSink::set_enabled(true);
+  trace().filter_node(9);
+  TraceEvent from = make_event(1);
+  from.src = 9;
+  TraceEvent to = make_event(2);
+  to.dst = 9;
+  TraceEvent neither = make_event(3);
+  trace().record(from);
+  trace().record(to);
+  trace().record(neither);
+  EXPECT_EQ(trace().size(), 2u);
+  EXPECT_EQ(trace().suppressed(), 1u);
+}
+
+TEST_F(TelemetryTest, CountByType) {
+  TraceSink::set_enabled(true);
+  trace().record(make_event(1, TraceEventType::kTx));
+  trace().record(make_event(2, TraceEventType::kTx));
+  trace().record(make_event(3, TraceEventType::kDrop));
+  EXPECT_EQ(trace().count(TraceEventType::kTx), 2u);
+  EXPECT_EQ(trace().count(TraceEventType::kDrop), 1u);
+  EXPECT_EQ(trace().count(TraceEventType::kRto), 0u);
+}
+
+TEST_F(TelemetryTest, EventTypeNamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(TraceEventType::kPathletFeedback); ++i) {
+    const auto type = static_cast<TraceEventType>(i);
+    const auto back = trace_event_type_from_string(to_string(type));
+    ASSERT_TRUE(back.has_value()) << to_string(type);
+    EXPECT_EQ(*back, type);
+  }
+  EXPECT_FALSE(trace_event_type_from_string("bogus").has_value());
+}
+
+TEST_F(TelemetryTest, JsonlRoundTrips) {
+  TraceSink::set_enabled(true);
+  TraceEvent ev;
+  ev.t = 1500_ns;
+  ev.type = TraceEventType::kEcnMark;
+  ev.component = "sw->rcv";
+  ev.src = 3;
+  ev.dst = 4;
+  ev.msg_id = 77;
+  ev.pkt_num = 12;
+  ev.bytes = 1064;
+  ev.tc = 2;
+  ev.flow = 0xdeadbeefcafeULL;
+  ev.pathlet = 9;
+  ev.value = 123;
+  trace().record(ev);
+  trace().record(make_event(78, TraceEventType::kAck));
+
+  const std::string jsonl = trace().to_jsonl();
+  const auto parsed = TraceSink::parse_jsonl(jsonl);
+  ASSERT_EQ(parsed.size(), 2u);
+  const TraceEvent& p = parsed.front();
+  EXPECT_EQ(p.t, ev.t);
+  EXPECT_EQ(p.type, ev.type);
+  EXPECT_EQ(p.component, ev.component);
+  EXPECT_EQ(p.src, ev.src);
+  EXPECT_EQ(p.dst, ev.dst);
+  EXPECT_EQ(p.msg_id, ev.msg_id);
+  EXPECT_EQ(p.pkt_num, ev.pkt_num);
+  EXPECT_EQ(p.bytes, ev.bytes);
+  EXPECT_EQ(p.tc, ev.tc);
+  EXPECT_EQ(p.flow, ev.flow);
+  EXPECT_EQ(p.pathlet, ev.pathlet);
+  EXPECT_EQ(p.value, ev.value);
+}
+
+TEST_F(TelemetryTest, ParseJsonlSkipsGarbageLines) {
+  const auto parsed = TraceSink::parse_jsonl(
+      "not json\n"
+      "{\"t_ns\":5,\"type\":\"tx\",\"component\":\"l\",\"src\":1,\"dst\":2,"
+      "\"msg_id\":3,\"pkt_num\":4,\"bytes\":5,\"tc\":6,\"flow\":7,\"pathlet\":8,"
+      "\"value\":9}\n"
+      "{\"type\":\"unknowntype\",\"t_ns\":1}\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.front().msg_id, 3u);
+}
+
+// ----------------------------------------------------- end-to-end transfer
+
+TEST_F(TelemetryTest, TwoHostTransferProducesOrderedEvents) {
+  TraceSink::set_enabled(true);
+
+  net::Network net;
+  net::Host* alice = net.add_host("alice");
+  net::Host* bob = net.add_host("bob");
+  net::Switch* sw = net.add_switch("tor");
+  net.connect(*alice, *sw, sim::Bandwidth::gbps(100), 1_us, {.capacity_pkts = 128});
+  net.connect(*sw, *bob, sim::Bandwidth::gbps(100), 1_us, {.capacity_pkts = 128});
+  sw->add_route(alice->id(), 0);
+  sw->add_route(bob->id(), 1);
+
+  core::MtpEndpoint tx(*alice, {});
+  core::MtpEndpoint rx(*bob, {});
+  rx.listen(80, [](const core::ReceivedMessage&) {});
+  const proto::MsgId msg = tx.send_message(bob->id(), 50'000, {.dst_port = 80});
+  net.simulator().run();
+
+  const std::uint32_t total_pkts = 50;  // 50'000 bytes / 1000 MSS
+  ASSERT_EQ(tx.pkts_sent(), total_pkts);
+  ASSERT_EQ(tx.pkts_retransmitted(), 0u);
+
+  // Per-(link, packet) lifecycle: every data packet on the first hop was
+  // enqueued, dequeued, serialized and delivered, in that time order.
+  std::map<std::uint32_t, std::map<TraceEventType, sim::SimTime>> uplink;
+  for (const auto& ev : trace().events()) {
+    if (ev.component == "alice->tor" && ev.msg_id == msg) {
+      uplink[ev.pkt_num][ev.type] = ev.t;
+    }
+  }
+  ASSERT_EQ(uplink.size(), total_pkts);
+  for (const auto& [pkt, stages] : uplink) {
+    ASSERT_TRUE(stages.contains(TraceEventType::kEnqueue)) << "pkt " << pkt;
+    ASSERT_TRUE(stages.contains(TraceEventType::kDequeue)) << "pkt " << pkt;
+    ASSERT_TRUE(stages.contains(TraceEventType::kTx)) << "pkt " << pkt;
+    ASSERT_TRUE(stages.contains(TraceEventType::kRx)) << "pkt " << pkt;
+    EXPECT_LE(stages.at(TraceEventType::kEnqueue), stages.at(TraceEventType::kDequeue));
+    EXPECT_LE(stages.at(TraceEventType::kDequeue), stages.at(TraceEventType::kTx));
+    EXPECT_LE(stages.at(TraceEventType::kTx), stages.at(TraceEventType::kRx));
+  }
+
+  // ACK events come from the receiving endpoint and match its counter.
+  EXPECT_EQ(trace().count(TraceEventType::kAck), rx.acks_sent());
+  EXPECT_GT(rx.acks_sent(), 0u);
+  // Clean run: no drops, losses or NACKs.
+  EXPECT_EQ(trace().count(TraceEventType::kDrop), 0u);
+  EXPECT_EQ(trace().count(TraceEventType::kRto), 0u);
+  EXPECT_EQ(trace().count(TraceEventType::kNack), 0u);
+
+  // The registry agrees with the component accessors while the rig is alive.
+  const RegistrySnapshot snap = MetricRegistry::global().snapshot();
+  EXPECT_EQ(*snap.value("mtp", "alice", "pkts_sent"), static_cast<double>(tx.pkts_sent()));
+  EXPECT_EQ(*snap.value("mtp", "bob", "acks_sent"), static_cast<double>(rx.acks_sent()));
+  EXPECT_EQ(*snap.value("mtp", "bob", "msgs_delivered"), 1.0);
+  EXPECT_GE(*snap.value("link", "alice->tor", "pkts_delivered"),
+            static_cast<double>(total_pkts));
+  EXPECT_EQ(*snap.value("queue", "alice->tor", "dropped"), 0.0);
+  EXPECT_EQ(*snap.value("host", "bob", "unhandled_packets"), 0.0);
+  EXPECT_EQ(*snap.value("switch", "tor", "no_route_drops"), 0.0);
+}
+
+// ----------------------------------------------------------------- report
+
+TEST_F(TelemetryTest, RunReportRendersSectionsScalarsAndRegistry) {
+  auto& reg = MetricRegistry::global();
+  Registration r = reg.add("widget", "w0", [](std::vector<MetricSample>& out) {
+    out.push_back({"spins", MetricKind::kCounter, 11});
+  });
+
+  stats::FctRecorder fct;
+  fct.record(10_us, 1'000);    // short
+  fct.record(20_us, 1'000);    // short
+  fct.record(500_us, 900'000); // long
+
+  RunReport report("unit_test");
+  auto& sec = report.section("scheme_a");
+  sec.add_scalar("goodput_gbps", 87.5);
+  sec.add_text("note", "hello \"world\"");
+  sec.add_fct("fct", fct, /*split_bytes=*/100'000);
+  sec.set_registry(reg.snapshot());
+  report.section("scheme_b").add_scalar("goodput_gbps", 42.0);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"experiment\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"mtp.telemetry.run_report/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheme_a\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheme_b\""), std::string::npos);
+  EXPECT_NE(json.find("\"goodput_gbps\":87.5"), std::string::npos);
+  EXPECT_NE(json.find("hello \\\"world\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"spins\":11"), std::string::npos);
+  // FCT summary with the short/long split present.
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"short\""), std::string::npos);
+  EXPECT_NE(json.find("\"long\""), std::string::npos);
+
+  // Section lookup is get-or-create: the same name returns the same section.
+  report.section("scheme_a").add_scalar("extra", 1.0);
+  EXPECT_NE(report.to_json().find("\"extra\":1"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, RunReportWritesFile) {
+  RunReport report("file_test");
+  report.section("only").add_scalar("x", 3.0);
+  const std::string path = ::testing::TempDir() + "telemetry_file_test.json";
+  ASSERT_TRUE(report.write_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  EXPECT_NE(std::string(buf).find("\"file_test\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mtp::telemetry
