@@ -1,17 +1,30 @@
 // Figure 3: one message per flow breaks congestion control.
 //
-// Four hosts in a dumbbell with 100 Gb/s links send 16 KB messages to one
+// Four hosts in a dumbbell with 100 Gb/s links send messages to one
 // receiver. Baseline: persistent connections (one flow per host, messages
 // streamed). Anti-pattern (the paper's figure): a brand-new TCP connection
 // per message — every message pays a handshake and restarts from the initial
-// window, so aggregate throughput is noisy and low.
+// window, so aggregate throughput is noisy and low. The sweep runs the
+// per-message pattern at several message sizes to show the penalty shrink as
+// messages grow (amortizing the handshake), and records per-message flow
+// completion times via the client's done-callback.
+//
+// Scenarios are independent simulations, so they run on a sim::ParallelSweep
+// by default; `--serial` runs them inline on one thread. Results are
+// bit-identical either way (the determinism contract in docs/perf.md), which
+// `tests/parallel_test.cpp` locks in for the same rig shape.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "net/network.hpp"
 #include "scenarios.hpp"
+#include "sim/parallel.hpp"
+#include "stats/stats.hpp"
 #include "stats/table.hpp"
 #include "telemetry/report.hpp"
 
@@ -41,15 +54,26 @@ struct Rig {
   }
 };
 
+struct Scenario {
+  std::string name;
+  bool per_message = false;
+  std::int64_t msg_bytes = 0;  ///< unused for the persistent baseline
+};
+
 struct Result {
+  std::string name;
   std::vector<stats::ThroughputMeter::Sample> series;
   double avg_gbps = 0;
   double cov = 0;  ///< coefficient of variation of the 32us samples
+  // Per-message FCTs from the client's done-callback (empty for persistent).
+  std::size_t fct_count = 0;
+  double fct_mean_us = 0;
+  double fct_p50_us = 0;
+  double fct_p99_us = 0;
   telemetry::RegistrySnapshot registry;
 };
 
-Result summarize(const stats::ThroughputMeter& meter, sim::SimTime duration) {
-  Result r;
+void summarize(Result& r, const stats::ThroughputMeter& meter, sim::SimTime duration) {
   r.series = meter.series();
   r.avg_gbps = static_cast<double>(meter.total_bytes()) * 8.0 / duration.sec() / 1e9;
   // Skip the first 10% (startup) when computing variability.
@@ -64,10 +88,9 @@ Result summarize(const stats::ThroughputMeter& meter, sim::SimTime duration) {
     var /= static_cast<double>(xs.size());
     r.cov = m > 0 ? std::sqrt(var) / m : 0;
   }
-  return r;
 }
 
-Result run_persistent(sim::SimTime duration) {
+Result run_scenario(const Scenario& sc, sim::SimTime duration) {
   Rig rig;
   transport::TcpConfig cfg;
   cfg.dctcp = true;
@@ -75,89 +98,127 @@ Result run_persistent(sim::SimTime duration) {
   transport::TcpStack rs(*rig.receiver, cfg);
   stats::ThroughputMeter meter(32_us);
   transport::TcpSink sink(rs, 80, &meter);
+
   std::vector<std::unique_ptr<transport::TcpBulkSource>> sources;
-  for (auto* h : rig.senders) {
-    stacks.push_back(std::make_unique<transport::TcpStack>(*h, cfg));
-    sources.push_back(std::make_unique<transport::TcpBulkSource>(
-        *stacks.back(), rig.receiver->id(), 80));
-  }
-  rig.net.simulator().run(duration);
-  Result r = summarize(meter, duration);
-  r.registry = telemetry::MetricRegistry::global().snapshot();
-  return r;
-}
-
-Result run_per_message(sim::SimTime duration) {
-  Rig rig;
-  transport::TcpConfig cfg;
-  cfg.dctcp = true;
-  std::vector<std::unique_ptr<transport::TcpStack>> stacks;
-  transport::TcpStack rs(*rig.receiver, cfg);
-  stats::ThroughputMeter meter(32_us);
-  transport::TcpSink sink(rs, 80, &meter);
   std::vector<std::unique_ptr<transport::TcpPerMessageClient>> clients;
-  // Closed loop, one outstanding message per host (the paper's pattern): as
-  // soon as a message's connection closes, open the next one — so every
-  // message pays the full handshake + slow-start + teardown cost.
   std::vector<std::function<void()>> next;
-  for (auto* h : rig.senders) {
-    stacks.push_back(std::make_unique<transport::TcpStack>(*h, cfg));
-    clients.push_back(std::make_unique<transport::TcpPerMessageClient>(
-        *stacks.back(), rig.receiver->id(), 80));
-    auto* client = clients.back().get();
-    next.push_back([client, &next, idx = next.size()]() {
-      client->send_message(16'384,
-                           [&next, idx](sim::SimTime, std::int64_t) { next[idx](); });
-    });
+  stats::FctRecorder fcts;
+
+  if (!sc.per_message) {
+    for (auto* h : rig.senders) {
+      stacks.push_back(std::make_unique<transport::TcpStack>(*h, cfg));
+      sources.push_back(std::make_unique<transport::TcpBulkSource>(
+          *stacks.back(), rig.receiver->id(), 80));
+    }
+  } else {
+    // Closed loop, one outstanding message per host (the paper's pattern): as
+    // soon as a message's connection closes, record its FCT and open the next
+    // one — so every message pays the full handshake + slow-start + teardown.
+    for (auto* h : rig.senders) {
+      stacks.push_back(std::make_unique<transport::TcpStack>(*h, cfg));
+      clients.push_back(std::make_unique<transport::TcpPerMessageClient>(
+          *stacks.back(), rig.receiver->id(), 80));
+      auto* client = clients.back().get();
+      next.push_back([client, &next, &fcts, bytes = sc.msg_bytes, idx = next.size()]() {
+        client->send_message(bytes, [&next, &fcts, idx](sim::SimTime fct,
+                                                        std::int64_t done_bytes) {
+          fcts.record(fct, done_bytes);
+          next[idx]();
+        });
+      });
+    }
+    for (auto& f : next) f();
   }
-  for (auto& f : next) f();
+
   rig.net.simulator().run(duration);
-  Result r = summarize(meter, duration);
+
+  Result r;
+  r.name = sc.name;
+  summarize(r, meter, duration);
+  if (fcts.count() > 0) {
+    r.fct_count = fcts.count();
+    r.fct_mean_us = fcts.mean_us();
+    r.fct_p50_us = fcts.p50_us();
+    r.fct_p99_us = fcts.p99_us();
+  }
+  // Snapshot inside the job: the registry is thread-local, so this must run
+  // on the worker thread that ran the simulation.
   r.registry = telemetry::MetricRegistry::global().snapshot();
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool serial = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serial") == 0) serial = true;
+  }
+
   const sim::SimTime duration = 4_ms;
+  const std::vector<Scenario> scenarios = {
+      {.name = "persistent flows", .per_message = false},
+      {.name = "one 4 KB msg per flow", .per_message = true, .msg_bytes = 4'096},
+      {.name = "one 16 KB msg per flow", .per_message = true, .msg_bytes = 16'384},
+      {.name = "one 64 KB msg per flow", .per_message = true, .msg_bytes = 65'536},
+  };
+
   std::printf(
-      "=== Figure 3: one 16 KB message per TCP flow (4 hosts, 100G dumbbell) ===\n\n");
+      "=== Figure 3: one message per TCP flow (4 hosts, 100G dumbbell) ===\n\n");
 
-  const Result persistent = run_persistent(duration);
-  const Result per_msg = run_per_message(duration);
+  sim::ParallelSweep pool(serial ? 1u : 0u);
+  std::printf("running %zu scenarios on %u worker(s)%s\n\n", scenarios.size(),
+              pool.workers(), serial ? " (--serial)" : "");
+  const std::vector<Result> results = pool.map(
+      scenarios.size(), [&](std::size_t i) { return run_scenario(scenarios[i], duration); });
 
-  stats::Table t({"scheme", "aggregate goodput (Gb/s)", "sample CoV"});
-  t.add_row({"persistent flows", stats::format("%.1f", persistent.avg_gbps),
-             stats::format("%.2f", persistent.cov)});
-  t.add_row({"one message per flow", stats::format("%.1f", per_msg.avg_gbps),
-             stats::format("%.2f", per_msg.cov)});
+  stats::Table t({"scheme", "aggregate goodput (Gb/s)", "sample CoV", "msgs done",
+                  "FCT p50 (us)", "FCT p99 (us)"});
+  for (const Result& r : results) {
+    const bool has_fct = r.fct_count > 0;
+    t.add_row({r.name, stats::format("%.1f", r.avg_gbps), stats::format("%.2f", r.cov),
+               has_fct ? stats::format("%zu", r.fct_count) : "-",
+               has_fct ? stats::format("%.1f", r.fct_p50_us) : "-",
+               has_fct ? stats::format("%.1f", r.fct_p99_us) : "-"});
+  }
   t.print();
 
   std::printf(
       "\npaper shape: per-message flows are noisy (high variation) and leave the\n"
-      "bottleneck underutilized; persistent flows are smooth and saturating.\n\n");
+      "bottleneck underutilized; persistent flows are smooth and saturating. The\n"
+      "penalty shrinks as messages grow (handshake + slow-start amortize).\n\n");
 
+  const Result& persistent = results[0];
+  const Result& per_msg_16k = results[2];
   std::printf("throughput series (Gb/s per 32 us window, first 2 ms):\n");
-  stats::Table series({"t (us)", "persistent", "one-msg-per-flow"});
-  const std::size_t n =
-      std::min({persistent.series.size(), per_msg.series.size(), std::size_t{2000 / 32}});
+  stats::Table series({"t (us)", "persistent", "one-16KB-msg-per-flow"});
+  const std::size_t n = std::min(
+      {persistent.series.size(), per_msg_16k.series.size(), std::size_t{2000 / 32}});
   for (std::size_t i = 0; i < n; ++i) {
     series.add_row({stats::format("%.0f", persistent.series[i].start.us()),
                     stats::format("%.1f", persistent.series[i].gbps),
-                    stats::format("%.1f", per_msg.series[i].gbps)});
+                    stats::format("%.1f", per_msg_16k.series[i].gbps)});
   }
   series.print();
 
   telemetry::RunReport report("fig3_short_flows");
-  auto fill = [&](const char* scheme, const Result& r) {
-    auto& sec = report.section(scheme);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Scenario& sc = scenarios[i];
+    const Result& r = results[i];
+    // Section names are stable keys: persistent, per_message_4096, ...
+    const std::string key =
+        sc.per_message ? "per_message_" + std::to_string(sc.msg_bytes) : "persistent";
+    auto& sec = report.section(key);
     sec.add_scalar("avg_gbps", r.avg_gbps);
     sec.add_scalar("sample_cov", r.cov);
+    if (r.fct_count > 0) {
+      sec.add_scalar("messages_completed", static_cast<double>(r.fct_count));
+      sec.add_scalar("fct_mean_us", r.fct_mean_us);
+      sec.add_scalar("fct_p50_us", r.fct_p50_us);
+      sec.add_scalar("fct_p99_us", r.fct_p99_us);
+    }
     sec.set_registry(r.registry);
-  };
-  fill("persistent", persistent);
-  fill("per_message", per_msg);
+  }
   report.write();
   return 0;
 }

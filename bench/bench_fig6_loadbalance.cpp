@@ -11,16 +11,30 @@
 // Paper result (tail FCT): ECMP suffers from load imbalance, spraying from
 // reordering; the MTP-enabled balancer achieves near-perfect balance without
 // reordering.
+//
+// The three schemes are independent simulations, so they run on a
+// sim::ParallelSweep by default; `--serial` runs them inline on one thread.
+// Output is bit-identical either way (results come back in job order and
+// each job snapshots its own thread-local registry).
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "scenarios.hpp"
+#include "sim/parallel.hpp"
 #include "stats/table.hpp"
 #include "telemetry/report.hpp"
 
 using namespace mtp;
 using namespace mtp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bool serial = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serial") == 0) serial = true;
+  }
+
   // The paper's distribution runs to 1 GB; the simulated tail is capped at
   // 16 MB to bound run time (documented in EXPERIMENTS.md) — the skew that
   // drives the result is preserved.
@@ -32,11 +46,16 @@ int main() {
       "short)\n\n",
       messages);
 
+  const std::vector<std::string> schemes = {"ecmp", "spray", "mtp-lb"};
+  sim::ParallelSweep pool(serial ? 1u : 0u);
+  const std::vector<Fig6Result> results = pool.map(schemes.size(), [&](std::size_t i) {
+    return run_fig6(schemes[i], messages, /*seed=*/7, cap);
+  });
+
   stats::Table t({"scheme", "p50 FCT (us)", "p99 FCT (us)", "mean (us)",
                   "bytes on path A", "completed"});
   telemetry::RunReport report("fig6_loadbalance");
-  for (const std::string scheme : {"ecmp", "spray", "mtp-lb"}) {
-    const Fig6Result r = run_fig6(scheme, messages, /*seed=*/7, cap);
+  for (const Fig6Result& r : results) {
     t.add_row({r.scheme, stats::format("%.0f", r.p50_us), stats::format("%.0f", r.p99_us),
                stats::format("%.0f", r.mean_us),
                stats::format("%.0f%%", r.path_a_bytes_frac * 100.0),

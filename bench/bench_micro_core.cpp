@@ -2,13 +2,66 @@
 // operations, header serialization, queue datapaths, and end-to-end
 // simulated-packet throughput. These guard the simulator's performance —
 // packet-level experiments execute tens of millions of events.
+//
+// Two extra facilities beyond plain google-benchmark:
+//  - a global operator new/delete counter, so the hot benchmarks report
+//    allocs_per_event alongside events_per_sec (the allocation-free core
+//    contract, docs/perf.md);
+//  - a --smoke mode that runs a fixed workload and prints machine-readable
+//    `events_per_sec=` / `allocs_per_event=` lines for scripts/check.sh to
+//    compare against the recorded baseline in BENCH_core.json.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string_view>
 
 #include "innetwork/queues.hpp"
 #include "mtp/endpoint.hpp"
 #include "net/network.hpp"
 #include "proto/mtp_header.hpp"
 #include "sim/simulator.hpp"
+
+namespace {
+// Counts every heap allocation in the process (benchmark library included).
+// Benchmarks read deltas around their timed loop, so the noise floor is
+// whatever the loop itself allocates — which is exactly the number we want.
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  if (void* p = std::aligned_alloc(a, (n + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void* operator new[](std::size_t n, std::align_val_t al) { return ::operator new(n, al); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 using namespace mtp;
 using namespace mtp::sim::literals;
@@ -29,6 +82,33 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1024)->Arg(16384);
+
+// Steady-state scheduler churn: one warmed-up simulator, waves of
+// schedule+run. This is the shape every long experiment settles into, and
+// the allocation-free contract applies exactly here: allocs_per_event must
+// read 0.00 (slot pool, heap storage, and free list are all recycled).
+void BM_SimulatorSteadyChurn(benchmark::State& state) {
+  sim::Simulator sim;
+  int counter = 0;
+  for (int i = 0; i < 512; ++i) {
+    sim.schedule(sim::SimTime::nanoseconds(i % 64), [&counter] { ++counter; });
+  }
+  sim.run();  // warm-up: grow pool and heap to steady state
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 512; ++i) {
+      sim.schedule(sim::SimTime::nanoseconds(i % 64), [&counter] { ++counter; });
+    }
+    events += sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["allocs_per_event"] =
+      benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(events));
+}
+BENCHMARK(BM_SimulatorSteadyChurn);
 
 void BM_SimulatorCancel(benchmark::State& state) {
   for (auto _ : state) {
@@ -118,30 +198,98 @@ void BM_WfqQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_WfqQueue);
 
+// One end-to-end MTP transfer over host -> switch -> host; the workload
+// behind BM_EndToEndMtpTransfer and the --smoke probe. Returns the number of
+// simulator events executed.
+std::uint64_t run_e2e_transfer() {
+  net::Network net;
+  auto* a = net.add_host("a");
+  auto* b = net.add_host("b");
+  auto* sw = net.add_switch("sw");
+  net.connect(*a, *sw, sim::Bandwidth::gbps(100), 1_us);
+  net.connect(*sw, *b, sim::Bandwidth::gbps(100), 1_us);
+  sw->add_route(a->id(), 0);
+  sw->add_route(b->id(), 1);
+  core::MtpEndpoint src(*a, {});
+  core::MtpEndpoint dst(*b, {});
+  dst.listen(80, [](const core::ReceivedMessage&) {});
+  src.send_message(b->id(), 1'000'000, {.dst_port = 80});
+  net.simulator().run();
+  benchmark::DoNotOptimize(dst.msgs_delivered());
+  return net.simulator().events_executed();
+}
+
 // End-to-end: packets/second the full stack simulates (hosts, switch,
-// queues, MTP endpoints with acking).
+// queues, MTP endpoints with acking). Reports events_per_sec and
+// allocs_per_event (whole-stack: endpoint bookkeeping included, so this is
+// the honest per-event allocation trajectory, not just the kernel's).
 void BM_EndToEndMtpTransfer(benchmark::State& state) {
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t events = 0;
   for (auto _ : state) {
-    net::Network net;
-    auto* a = net.add_host("a");
-    auto* b = net.add_host("b");
-    auto* sw = net.add_switch("sw");
-    net.connect(*a, *sw, sim::Bandwidth::gbps(100), 1_us);
-    net.connect(*sw, *b, sim::Bandwidth::gbps(100), 1_us);
-    sw->add_route(a->id(), 0);
-    sw->add_route(b->id(), 1);
-    core::MtpEndpoint src(*a, {});
-    core::MtpEndpoint dst(*b, {});
-    dst.listen(80, [](const core::ReceivedMessage&) {});
-    src.send_message(b->id(), 1'000'000, {.dst_port = 80});
-    net.simulator().run();
-    benchmark::DoNotOptimize(dst.msgs_delivered());
+    events += run_e2e_transfer();
   }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
   // 1000 data packets + 1000 acks per iteration.
   state.SetItemsProcessed(state.iterations() * 2000);
+  state.counters["events_per_sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["allocs_per_event"] =
+      benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(events));
 }
 BENCHMARK(BM_EndToEndMtpTransfer)->Unit(benchmark::kMicrosecond);
 
+// --smoke: fixed workload, machine-readable output, no benchmark machinery.
+// scripts/check.sh compares events_per_sec against BENCH_core.json (>25%
+// regression fails) and bounds allocs_per_event on the pure-scheduler churn.
+int smoke_main() {
+  using Clock = std::chrono::steady_clock;
+
+  // Throughput probe: the end-to-end transfer, best-of-3 to shrug off
+  // scheduler noise on shared CI machines.
+  double best_events_per_sec = 0.0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::uint64_t events = 0;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < 20; ++i) events += run_e2e_transfer();
+    const std::chrono::duration<double> dt = Clock::now() - t0;
+    best_events_per_sec = std::max(best_events_per_sec, static_cast<double>(events) / dt.count());
+  }
+
+  // Allocation probe: steady-state scheduler churn only (the kernel
+  // contract; endpoint bookkeeping is measured by the benchmark counters).
+  sim::Simulator sim;
+  int counter = 0;
+  for (int i = 0; i < 512; ++i) {
+    sim.schedule(sim::SimTime::nanoseconds(i % 64), [&counter] { ++counter; });
+  }
+  sim.run();
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t churn_events = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 512; ++i) {
+      sim.schedule(sim::SimTime::nanoseconds(i % 64), [&counter] { ++counter; });
+    }
+    churn_events += sim.run();
+  }
+  const std::uint64_t churn_allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  benchmark::DoNotOptimize(counter);
+
+  std::printf("events_per_sec=%.0f\n", best_events_per_sec);
+  std::printf("allocs_per_event=%.6f\n",
+              static_cast<double>(churn_allocs) / static_cast<double>(churn_events));
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") return smoke_main();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,12 +1,76 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configure + build the asan preset and run the full test
-# suite under AddressSanitizer/UBSan. Run from anywhere; operates on the
-# repo root.
+# CI gates. Run from anywhere; operates on the repo root.
+#
+#   check.sh [asan]        sanitizer gate: full test suite under ASan/UBSan
+#   check.sh tsan          thread gate: ParallelSweep tests under TSan
+#   check.sh bench-smoke   perf gate: bench_micro_core --smoke vs BENCH_core.json
+#   check.sh all           every gate in sequence
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
+mode="${1:-asan}"
 
-cmake --preset asan -S "$repo"
-cmake --build --preset asan -j "$jobs"
-ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+run_asan() {
+  cmake --preset asan -S "$repo"
+  cmake --build --preset asan -j "$jobs"
+  ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+}
+
+run_tsan() {
+  # ThreadSanitizer over the multi-threaded surface: ParallelSweep jobs
+  # exercise the thread-local telemetry singletons, the synchronized logger,
+  # and per-simulator packet uids from several workers at once.
+  cmake --preset tsan -S "$repo"
+  cmake --build --preset tsan -j "$jobs" --target parallel_test
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -R 'ParallelSweep'
+}
+
+run_bench_smoke() {
+  # Fails on a >25% events/sec regression against the recorded baseline, or
+  # on any violation of the allocation-free scheduler contract.
+  cmake --preset release -S "$repo"
+  cmake --build --preset release -j "$jobs" --target bench_micro_core
+  local out
+  out="$("$repo/build/bench/bench_micro_core" --smoke)"
+  echo "$out"
+  local events allocs baseline allocs_max
+  events="$(echo "$out" | sed -n 's/^events_per_sec=//p')"
+  allocs="$(echo "$out" | sed -n 's/^allocs_per_event=//p')"
+  baseline="$(sed -n 's/.*"events_per_sec": \([0-9]*\).*/\1/p' "$repo/BENCH_core.json" | head -1)"
+  allocs_max="$(sed -n 's/.*"allocs_per_event_max": \([0-9.]*\).*/\1/p' "$repo/BENCH_core.json" | head -1)"
+  if [ -z "$events" ] || [ -z "$baseline" ]; then
+    echo "bench-smoke: failed to parse events_per_sec (got '$events') or baseline (got '$baseline')" >&2
+    exit 1
+  fi
+  awk -v got="$events" -v base="$baseline" 'BEGIN {
+    floor = base * 0.75;
+    if (got < floor) {
+      printf "bench-smoke: FAIL events_per_sec %.0f < 75%% of baseline %.0f (floor %.0f)\n", got, base, floor;
+      exit 1;
+    }
+    printf "bench-smoke: OK events_per_sec %.0f >= floor %.0f (baseline %.0f)\n", got, floor, base;
+  }'
+  awk -v got="$allocs" -v max="$allocs_max" 'BEGIN {
+    if (got > max) {
+      printf "bench-smoke: FAIL allocs_per_event %f > %f\n", got, max;
+      exit 1;
+    }
+    printf "bench-smoke: OK allocs_per_event %f <= %f\n", got, max;
+  }'
+}
+
+case "$mode" in
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  bench-smoke) run_bench_smoke ;;
+  all)
+    run_asan
+    run_tsan
+    run_bench_smoke
+    ;;
+  *)
+    echo "usage: check.sh [asan|tsan|bench-smoke|all]" >&2
+    exit 2
+    ;;
+esac

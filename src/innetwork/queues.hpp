@@ -8,7 +8,6 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <optional>
 
 #include "net/queue.hpp"
@@ -66,8 +65,7 @@ class WfqQueue final : public net::Queue {
       const auto head_size = q.pkts.front().size_bytes();
       if (q.deficit >= head_size) {
         q.deficit -= head_size;
-        net::Packet pkt = std::move(q.pkts.front());
-        q.pkts.pop_front();
+        net::Packet pkt = q.pkts.pop_front();
         q.bytes -= head_size;
         bytes_ -= head_size;
         --pkts_;
@@ -83,8 +81,7 @@ class WfqQueue final : public net::Queue {
     for (std::size_t i = 0; i < queues_.size(); ++i) {
       TcQueue& q = queues_[(rr_ + i) % queues_.size()];
       if (!q.pkts.empty()) {
-        net::Packet pkt = std::move(q.pkts.front());
-        q.pkts.pop_front();
+        net::Packet pkt = q.pkts.pop_front();
         q.bytes -= pkt.size_bytes();
         bytes_ -= pkt.size_bytes();
         --pkts_;
@@ -102,7 +99,7 @@ class WfqQueue final : public net::Queue {
 
  private:
   struct TcQueue {
-    std::deque<net::Packet> pkts;
+    sim::RingBuffer<net::Packet> pkts;
     std::int64_t bytes = 0;
     std::int64_t deficit = 0;
     std::uint64_t dropped = 0;
@@ -153,8 +150,7 @@ class StrictPriorityQueue final : public net::Queue {
     for (int level = 255; level >= 0; --level) {
       auto& q = levels_[static_cast<std::size_t>(level)];
       if (q.empty()) continue;
-      net::Packet pkt = std::move(q.front());
-      q.pop_front();
+      net::Packet pkt = q.pop_front();
       bytes_ -= pkt.size_bytes();
       --pkts_;
       ++stats_.dequeued;
@@ -169,7 +165,7 @@ class StrictPriorityQueue final : public net::Queue {
 
  private:
   Config cfg_;
-  std::array<std::deque<net::Packet>, 256> levels_;
+  std::array<sim::RingBuffer<net::Packet>, 256> levels_;
   std::size_t pkts_ = 0;
   std::int64_t bytes_ = 0;
 };
@@ -230,9 +226,8 @@ class TrimmingQueue final : public net::Queue {
   }
 
   std::optional<net::Packet> dequeue() override {
-    auto take = [this](std::deque<net::Packet>& q) {
-      net::Packet pkt = std::move(q.front());
-      q.pop_front();
+    auto take = [this](sim::RingBuffer<net::Packet>& q) {
+      net::Packet pkt = q.pop_front();
       bytes_ -= pkt.size_bytes();
       ++stats_.dequeued;
       return pkt;
@@ -248,8 +243,8 @@ class TrimmingQueue final : public net::Queue {
 
  private:
   Config cfg_;
-  std::deque<net::Packet> data_;
-  std::deque<net::Packet> control_;
+  sim::RingBuffer<net::Packet> data_;
+  sim::RingBuffer<net::Packet> control_;
   std::int64_t bytes_ = 0;
   std::uint64_t trimmed_ = 0;
 };

@@ -175,10 +175,15 @@ void MtpEndpoint::uncharge(PathIndex path, proto::TrafficClassId tc, std::int64_
 void MtpEndpoint::pump() {
   if (send_order_.empty()) return;
   // Drop completed ids lazily, then scan by priority (higher value first,
-  // FIFO within a priority level).
+  // FIFO within a priority level). `order` is a reused member scratch: pump
+  // runs once per received ack, and a fresh vector here was one malloc/free
+  // per call.
   std::erase_if(send_order_, [this](proto::MsgId id) { return !outgoing_.contains(id); });
-  std::vector<proto::MsgId> order = send_order_;
-  if (cfg_.scheduling == MtpConfig::Scheduling::kSrpt) {
+  std::vector<proto::MsgId>& order = pump_order_;
+  order.assign(send_order_.begin(), send_order_.end());
+  if (order.size() <= 1) {
+    // Nothing to prioritize — skip the sort machinery entirely.
+  } else if (cfg_.scheduling == MtpConfig::Scheduling::kSrpt) {
     // Shortest remaining processing time: fewest unacknowledged packets
     // first; application priority still dominates.
     std::stable_sort(order.begin(), order.end(), [this](proto::MsgId a, proto::MsgId b) {
@@ -251,7 +256,7 @@ void MtpEndpoint::send_data_pkt(OutgoingMessage& msg, std::uint32_t pkt, PathInd
   p.tc = msg.opts.tc;
   p.priority = msg.opts.priority;
   p.flow_hash = mtp_flow_hash(p.src, msg.opts.src_port, msg.dst, msg.opts.dst_port);
-  p.uid = net::Packet::next_uid();
+  p.uid = sim_.next_packet_uid();
 
   proto::MtpHeader hdr;
   hdr.src_port = msg.opts.src_port;
@@ -358,9 +363,27 @@ void MtpEndpoint::on_packet(net::Packet&& pkt) {
 
 void MtpEndpoint::queue_ack(const net::Packet& data, bool nack,
                             std::vector<proto::SackEntry> gap_nacks, bool flush_now) {
+  const auto& dh = data.mtp();
+  // Fast path: this ack would flush immediately (NACKs, completions, and
+  // everything when coalescing is off — the default) and nothing is batched
+  // for the source, so build it straight from the data packet. Skips the
+  // pending_acks_ node churn: a map insert + full Packet copy + erase per
+  // received data packet.
+  const bool immediate =
+      flush_now || nack || !gap_nacks.empty() || cfg_.ack_coalesce <= 1;
+  if (immediate && !pending_acks_.contains(data.src)) {
+    std::vector<proto::SackEntry> sacks;
+    std::vector<proto::SackEntry>& nacks = gap_nacks;
+    if (nack) {
+      nacks.insert(nacks.begin(), {dh.msg_id, dh.pkt_num});
+    } else {
+      sacks.push_back({dh.msg_id, dh.pkt_num});
+    }
+    emit_ack(data, std::move(sacks), std::move(nacks));
+    return;
+  }
   auto& pa = pending_acks_[data.src];
   pa.last_data = data;  // freshest template: ports, tc, echoed path feedback
-  const auto& dh = data.mtp();
   if (nack) {
     pa.nacks.push_back({dh.msg_id, dh.pkt_num});
   } else {
@@ -370,7 +393,7 @@ void MtpEndpoint::queue_ack(const net::Packet& data, bool nack,
   // NACKs and completions flush immediately; otherwise batch to the
   // configured depth with a timer backstop.
   if (flush_now || !pa.nacks.empty() || pa.sacks.size() >= cfg_.ack_coalesce) {
-    emit_ack(pa);
+    emit_ack(pa.last_data, std::move(pa.sacks), std::move(pa.nacks));
     pending_acks_.erase(data.src);
     if (pending_acks_.empty() && ack_flush_task_->running()) ack_flush_task_->stop();
     return;
@@ -379,13 +402,15 @@ void MtpEndpoint::queue_ack(const net::Packet& data, bool nack,
 }
 
 void MtpEndpoint::flush_acks() {
-  for (auto& [src, pa] : pending_acks_) emit_ack(pa);
+  for (auto& [src, pa] : pending_acks_) {
+    emit_ack(pa.last_data, std::move(pa.sacks), std::move(pa.nacks));
+  }
   pending_acks_.clear();
   ack_flush_task_->stop();
 }
 
-void MtpEndpoint::emit_ack(PendingAck& pa) {
-  const net::Packet& data = pa.last_data;
+void MtpEndpoint::emit_ack(const net::Packet& data, std::vector<proto::SackEntry>&& sacks,
+                           std::vector<proto::SackEntry>&& nacks) {
   const auto& dh = data.mtp();
   net::Packet p;
   p.src = host_.id();
@@ -395,7 +420,7 @@ void MtpEndpoint::emit_ack(PendingAck& pa) {
   p.tc = data.tc;
   p.priority = data.priority;
   p.flow_hash = mtp_flow_hash(p.src, dh.dst_port, data.src, dh.src_port);
-  p.uid = net::Packet::next_uid();
+  p.uid = sim_.next_packet_uid();
 
   proto::MtpHeader hdr;
   hdr.src_port = dh.dst_port;
@@ -412,8 +437,8 @@ void MtpEndpoint::emit_ack(PendingAck& pa) {
   // coalescing, the freshest packet's feedback stands in for the batch
   // (paper §4: "feedback can be aggregated").
   hdr.ack_path_feedback = dh.path_feedback;
-  hdr.sack = std::move(pa.sacks);
-  hdr.nack = std::move(pa.nacks);
+  hdr.sack = std::move(sacks);
+  hdr.nack = std::move(nacks);
   p.header_bytes = cfg_.base_header_bytes +
                    static_cast<std::uint32_t>(hdr.ack_path_feedback.size() * 14 +
                                               (hdr.sack.size() + hdr.nack.size()) * 12);

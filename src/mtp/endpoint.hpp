@@ -218,7 +218,8 @@ class MtpEndpoint {
   struct PendingAck;
   void queue_ack(const net::Packet& data, bool nack,
                  std::vector<proto::SackEntry> gap_nacks, bool flush_now);
-  void emit_ack(PendingAck& pa);
+  void emit_ack(const net::Packet& data, std::vector<proto::SackEntry>&& sacks,
+                std::vector<proto::SackEntry>&& nacks);
   void flush_acks();
   void pump();
   bool try_send_pkt(OutgoingMessage& msg, std::uint32_t pkt, bool is_retx);
@@ -246,6 +247,7 @@ class MtpEndpoint {
   proto::MsgId next_msg_id_ = 1;
   std::unordered_map<proto::MsgId, OutgoingMessage> outgoing_;
   std::vector<proto::MsgId> send_order_;  ///< ids in arrival order (pump scans by priority)
+  std::vector<proto::MsgId> pump_order_;  ///< pump() scratch (reused, see pump)
   std::unordered_map<CcKey, std::unique_ptr<PathletCc>, CcKeyHash> cc_;
   std::unordered_map<CcKey, std::int64_t, CcKeyHash> inflight_;
   std::vector<std::vector<proto::PathletId>> paths_;  ///< interned path table

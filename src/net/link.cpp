@@ -6,6 +6,22 @@
 
 namespace mtp::net {
 
+namespace {
+// Budget guard promised by sim/task.hpp: a delivery-style closure capturing a
+// whole Packet by value (plus a timestamp) must run from Task's inline
+// buffer. The Link's own hot path captures only `this`, but protocol and
+// device code is free to capture packets — growing Packet past the budget
+// must be a compile error here, not a silent heap-per-event perf cliff.
+struct PacketClosureProbe {
+  Packet pkt;
+  sim::SimTime deadline;
+  void operator()() {}
+};
+static_assert(sim::Task::fits_inline<PacketClosureProbe>(),
+              "net::Packet no longer fits sim::Task's inline buffer; "
+              "grow sim::Task::kInlineBytes or shrink Packet");
+}  // namespace
+
 void Link::register_metrics() {
   using telemetry::MetricKind;
   auto& registry = telemetry::MetricRegistry::global();
@@ -117,35 +133,66 @@ void Link::stamp(Packet& pkt, sim::SimTime queue_delay) {
 
 void Link::try_transmit() {
   if (transmitting_) return;
-  auto next = queue_->dequeue();
-  if (!next) return;
+  // Dequeue straight into the in-flight ring cell: one move-assign from the
+  // queue's storage, no optional<Packet> round trip.
+  InFlight& f = in_flight_.push_empty();
+  if (!queue_->dequeue_into(f.pkt)) {
+    in_flight_.drop_back();
+    return;
+  }
   transmitting_ = true;
-  Packet pkt = std::move(*next);
   if (telemetry::TraceSink::enabled()) {
-    telemetry::trace().record(trace_event(telemetry::TraceEventType::kDequeue, pkt));
+    telemetry::trace().record(trace_event(telemetry::TraceEventType::kDequeue, f.pkt));
   }
   // Queueing delay (excluding this packet's own serialization time).
-  const sim::SimTime qdelay = sim_.now() - pkt.hop_enqueued_at;
-  const std::uint32_t size = pkt.size_bytes();
+  f.qdelay = sim_.now() - f.pkt.hop_enqueued_at;
+  const std::uint32_t size = f.pkt.size_bytes();
   in_flight_bytes_ += size;
-  const sim::SimTime tx_time = bandwidth_.serialization_delay(size);
-  sim_.schedule(tx_time, [this, qdelay, pkt = std::move(pkt)]() mutable {
-    in_flight_bytes_ -= pkt.size_bytes();
-    stamp(pkt, qdelay);
-    stats_.pkts_delivered++;
-    stats_.bytes_delivered += pkt.size_bytes();
-    if (telemetry::TraceSink::enabled()) {
-      telemetry::trace().record(trace_event(telemetry::TraceEventType::kTx, pkt));
-    }
-    sim_.schedule(delay_, [this, pkt = std::move(pkt)]() mutable {
-      if (telemetry::TraceSink::enabled()) {
-        telemetry::trace().record(trace_event(telemetry::TraceEventType::kRx, pkt));
-      }
-      dst_->receive(std::move(pkt), dst_in_port_);
-    });
-    transmitting_ = false;
-    try_transmit();
-  });
+  sim_.schedule(bandwidth_.serialization_delay(size), [this] { finish_tx(); });
+}
+
+// Serialization finished: the wire has the whole packet. The serializing
+// packet is always in_flight_.back() — exactly one serialization runs at a
+// time, and packets enter the ring when theirs starts.
+void Link::finish_tx() {
+  InFlight& f = in_flight_.back();
+  in_flight_bytes_ -= f.pkt.size_bytes();
+  stamp(f.pkt, f.qdelay);
+  stats_.pkts_delivered++;
+  stats_.bytes_delivered += f.pkt.size_bytes();
+  if (telemetry::TraceSink::enabled()) {
+    telemetry::trace().record(trace_event(telemetry::TraceEventType::kTx, f.pkt));
+  }
+  // One delivery event per link, not per packet: serialization ends are
+  // strictly ordered and the propagation delay is fixed, so deliveries are
+  // FIFO at known times. Schedule only when no earlier packet's delivery is
+  // pending — deliver_front() chains to the next ready packet. Keeps the
+  // event heap at O(links) instead of O(packets in flight).
+  f.deliver_at = sim_.now() + delay_;
+  if (ready_count_ == 0) {
+    sim_.schedule(delay_, [this] { deliver_front(); });
+  }
+  ++ready_count_;
+  transmitting_ = false;
+  try_transmit();
+}
+
+void Link::deliver_front() {
+  InFlight& f = in_flight_.front();
+  if (telemetry::TraceSink::enabled()) {
+    telemetry::trace().record(trace_event(telemetry::TraceEventType::kRx, f.pkt));
+  }
+  // Hand the packet to the receiver straight from the ring cell; drop_front
+  // before receive() so a receiver that re-enters this link (e.g. a loopback
+  // forward) sees a consistent ring. The receive sink takes the packet by
+  // rvalue reference, so the only move left is the receiver's own store.
+  Packet pkt = std::move(f.pkt);
+  in_flight_.drop_front();
+  --ready_count_;
+  if (ready_count_ > 0) {
+    sim_.schedule(in_flight_.front().deliver_at - sim_.now(), [this] { deliver_front(); });
+  }
+  dst_->receive(std::move(pkt), dst_in_port_);
 }
 
 }  // namespace mtp::net

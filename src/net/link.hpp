@@ -17,6 +17,7 @@
 #include "net/packet.hpp"
 #include "net/pathlet.hpp"
 #include "net/queue.hpp"
+#include "sim/ring.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 #include "telemetry/metrics.hpp"
@@ -79,10 +80,24 @@ class Link {
 
  private:
   void try_transmit();
+  void finish_tx();
+  void deliver_front();
   void stamp(Packet& pkt, sim::SimTime queue_delay);
   void register_metrics();
   telemetry::TraceEvent trace_event(telemetry::TraceEventType type,
                                     const Packet& pkt) const;
+
+  /// A packet between serialization start and delivery. Packets wait here —
+  /// not inside scheduled closures — so the per-hop events capture only
+  /// `this` (8 bytes) and the 312-byte Packet is moved three times per hop
+  /// total (into the queue, into this ring, out to the receiver) instead of
+  /// six. Delivery order is FIFO because the serializer emits packets one at
+  /// a time onto a fixed propagation delay.
+  struct InFlight {
+    Packet pkt;
+    sim::SimTime qdelay;      ///< queueing delay, for the pathlet stamp at tx end
+    sim::SimTime deliver_at;  ///< set at serialization end (tx + propagation)
+  };
 
   sim::Simulator& sim_;
   std::string name_;
@@ -93,6 +108,8 @@ class Link {
   PortIndex dst_in_port_ = 0;
   bool transmitting_ = false;
   bool up_ = true;
+  sim::RingBuffer<InFlight> in_flight_{8};  ///< back = serializing, front = next to deliver
+  std::size_t ready_count_ = 0;  ///< in_flight_ entries past serialization (deliver_at set)
   std::int64_t in_flight_bytes_ = 0;
   LinkStats stats_;
   std::optional<PathletState> pathlet_;

@@ -70,12 +70,9 @@ struct Packet {
   proto::MtpHeader& mtp() { return std::get<proto::MtpHeader>(header); }
   const proto::MtpHeader& mtp() const { return std::get<proto::MtpHeader>(header); }
 
-  /// Fresh transmission uid. Monotone within a process; only used for
-  /// tracing and reorder detection, so a plain counter suffices.
-  static std::uint64_t next_uid() {
-    static std::uint64_t counter = 0;
-    return ++counter;
-  }
+  // Transmission uids come from Simulator::next_packet_uid(): per-simulator
+  // state keeps them deterministic per run and race-free under
+  // sim::ParallelSweep (a process-wide counter was neither).
 };
 
 }  // namespace mtp::net

@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "sim/ring.hpp"
 #include "sim/time.hpp"
 
 namespace mtp::telemetry {
@@ -37,6 +37,17 @@ class Queue {
 
   virtual bool enqueue(Packet&& pkt) = 0;
   virtual std::optional<Packet> dequeue() = 0;
+
+  /// Move the next packet into `out` (one move-assign, no temporaries);
+  /// returns false if the queue is empty. The Link's serializer drains
+  /// through this so the hot path skips the optional<Packet> round trip.
+  /// Subclasses with a flat FIFO should override; the default delegates.
+  virtual bool dequeue_into(Packet& out) {
+    std::optional<Packet> p = dequeue();
+    if (!p) return false;
+    out = std::move(*p);
+    return true;
+  }
 
   virtual std::size_t len_pkts() const = 0;
   virtual std::int64_t len_bytes() const = 0;
@@ -88,11 +99,21 @@ class DropTailQueue : public Queue {
 
   std::optional<Packet> dequeue() override {
     if (q_.empty()) return std::nullopt;
-    Packet pkt = std::move(q_.front());
-    q_.pop_front();
-    bytes_ -= pkt.size_bytes();
+    // Default-construct the optional's Packet and move-assign into it: one
+    // move instead of two (ring cell -> local -> optional).
+    std::optional<Packet> out(std::in_place);
+    q_.pop_front_into(*out);
+    bytes_ -= out->size_bytes();
     ++stats_.dequeued;
-    return pkt;
+    return out;
+  }
+
+  bool dequeue_into(Packet& out) override {
+    if (q_.empty()) return false;
+    q_.pop_front_into(out);
+    bytes_ -= out.size_bytes();
+    ++stats_.dequeued;
+    return true;
   }
 
   std::size_t len_pkts() const override { return q_.size(); }
@@ -101,7 +122,7 @@ class DropTailQueue : public Queue {
 
  private:
   Config cfg_;
-  std::deque<Packet> q_;
+  sim::RingBuffer<Packet> q_;
   std::int64_t bytes_ = 0;
 };
 

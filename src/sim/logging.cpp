@@ -1,5 +1,7 @@
 #include "sim/logging.hpp"
 
+#include <mutex>
+
 namespace mtp::sim {
 
 void Log::write(LogLevel l, SimTime now, std::string_view component, std::string_view msg) {
@@ -11,6 +13,9 @@ void Log::write(LogLevel l, SimTime now, std::string_view component, std::string
     case LogLevel::kTrace: tag = "T"; break;
     case LogLevel::kOff: return;
   }
+  // One line per call even when parallel sweep workers log concurrently.
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
   std::fprintf(stderr, "%s %-10s [%.*s] %.*s\n", tag, now.to_string().c_str(),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(msg.size()), msg.data());

@@ -4,6 +4,7 @@
 // turn it on per-component. The format is "<time> [component] message".
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -14,12 +15,18 @@ namespace mtp::sim {
 
 enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kTrace };
 
-/// Global log threshold; cheap to test on the fast path.
+/// Global log threshold; cheap to test on the fast path. Thread-safe: the
+/// level is an atomic (relaxed — a level change becoming visible a few
+/// events late is fine) and write() serializes output lines under a mutex so
+/// parallel sweeps do not interleave characters.
 class Log {
  public:
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel l) { level_ = l; }
-  static bool enabled(LogLevel l) { return l <= level_ && level_ != LogLevel::kOff; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel l) { level_.store(l, std::memory_order_relaxed); }
+  static bool enabled(LogLevel l) {
+    const LogLevel cur = level_.load(std::memory_order_relaxed);
+    return l <= cur && cur != LogLevel::kOff;
+  }
 
   static void write(LogLevel l, SimTime now, std::string_view component, std::string_view msg);
 
@@ -37,7 +44,7 @@ class Log {
   }
 
  private:
-  static inline LogLevel level_ = LogLevel::kOff;
+  static inline std::atomic<LogLevel> level_ = LogLevel::kOff;
 };
 
 #define MTP_LOG(lvl, sim_now, component, ...)                                  \

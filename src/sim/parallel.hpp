@@ -1,0 +1,114 @@
+// sim::ParallelSweep — run independent simulations on a pool of workers.
+//
+// A Simulator is single-threaded by design; experiment breadth comes from
+// running *many* simulators at once. ParallelSweep executes a list of
+// independent jobs (each typically constructs its own Network/Simulator,
+// runs it, and returns a result struct) across worker threads and returns
+// results in job order, so output is bit-identical to a serial run.
+//
+// Determinism contract (docs/perf.md): a job must derive every input from
+// its own arguments (topology, seed, duration) and touch no cross-thread
+// mutable state. The process-wide telemetry singletons are thread-local
+// (MetricRegistry::global(), telemetry::trace()) or internally synchronized
+// (sim::Log), and packet uids are per-Simulator, so an unmodified bench
+// scenario already satisfies the contract. Jobs that enable tracing or
+// tune thread-local telemetry must do so *inside* the job body: worker
+// threads do not inherit the caller's thread-local state.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mtp::sim {
+
+class ParallelSweep {
+ public:
+  /// `workers` = 0 picks std::thread::hardware_concurrency(). `workers` = 1
+  /// runs every job inline on the calling thread (the serial baseline —
+  /// including thread-local state, so serial-vs-parallel comparisons are
+  /// meaningful).
+  explicit ParallelSweep(unsigned workers = 0)
+      : workers_(workers != 0 ? workers
+                              : std::max(1u, std::thread::hardware_concurrency())) {}
+
+  unsigned workers() const { return workers_; }
+
+  /// Run all jobs; blocks until every job finished. Results come back in job
+  /// order. If any job throws, the first exception (by job index) is
+  /// rethrown after the sweep drains.
+  template <class T>
+  std::vector<T> run(std::vector<std::function<T()>> jobs) const {
+    std::vector<std::optional<T>> slots(jobs.size());
+    dispatch(jobs.size(), [&](std::size_t i) { slots[i].emplace(jobs[i]()); });
+    std::vector<T> out;
+    out.reserve(slots.size());
+    for (auto& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+  void run(std::vector<std::function<void()>> jobs) const {
+    dispatch(jobs.size(), [&](std::size_t i) { jobs[i](); });
+  }
+
+  /// Convenience: results[i] = fn(i) for i in [0, n).
+  template <class Fn>
+  auto map(std::size_t n, Fn fn) const {
+    using T = decltype(fn(std::size_t{0}));
+    std::vector<std::function<T()>> jobs;
+    jobs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) jobs.push_back([fn, i] { return fn(i); });
+    return run<T>(std::move(jobs));
+  }
+
+ private:
+  /// Work-stealing-free static pool: an atomic cursor hands each worker the
+  /// next unclaimed job. Which thread runs a job is nondeterministic; the
+  /// result slot it fills is not.
+  template <class RunOne>
+  void dispatch(std::size_t n, RunOne run_one) const {
+    if (n == 0) return;
+    std::vector<std::exception_ptr> errors(n);
+    if (workers_ == 1 || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        try {
+          run_one(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    } else {
+      std::atomic<std::size_t> next{0};
+      auto worker = [&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            run_one(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      };
+      const std::size_t nthreads = workers_ < n ? workers_ : n;
+      std::vector<std::thread> threads;
+      threads.reserve(nthreads);
+      for (std::size_t t = 0; t < nthreads; ++t) threads.emplace_back(worker);
+      for (auto& t : threads) t.join();
+    }
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  unsigned workers_;
+};
+
+}  // namespace mtp::sim

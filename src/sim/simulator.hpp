@@ -1,18 +1,27 @@
 // Discrete-event simulation kernel.
 //
-// A Simulator owns a priority queue of timestamped callbacks. Components
+// A Simulator owns a timestamp-ordered queue of callbacks. Components
 // schedule work with schedule()/schedule_at() and may cancel pending events
 // through the returned EventId. Events at equal timestamps run in scheduling
 // order (FIFO), which makes runs fully deterministic.
+//
+// The hot path is allocation-free (docs/perf.md): callbacks are sim::Task
+// (small-buffer optimized, no heap for anything up to a captured Packet) and
+// the queue is a vector-backed 4-ary min-heap of 24-byte entries whose Tasks
+// live in recycled side slots. Cancellation is O(1) and lazy: it flips a flag
+// in the event's slot, and the entry is discarded when it reaches the top of
+// the heap. EventIds carry a slot generation, so cancelling an event that
+// already ran (or was already cancelled) is a guaranteed no-op — there is no
+// tombstone set to leak.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <stdexcept>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace mtp::sim {
@@ -22,21 +31,33 @@ namespace mtp::sim {
 class EventId {
  public:
   EventId() = default;
-  bool valid() const { return seq_ != 0; }
+  bool valid() const { return slot_ != kNullSlot; }
 
  private:
   friend class Simulator;
-  explicit EventId(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  static constexpr std::uint32_t kNullSlot = 0xffffffff;
+  EventId(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = kNullSlot;
+  std::uint32_t gen_ = 0;
 };
 
 /// The event loop. Not thread-safe by design: a simulation is a single
-/// logical timeline and all components run on it.
+/// logical timeline and all components run on it. Parallelism happens one
+/// level up — sim::ParallelSweep runs one independent Simulator per worker.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Task;
 
-  Simulator() = default;
+  /// `reserve_events` pre-sizes the heap and the free list so steady-state
+  /// scheduling never reallocates (both still grow if exceeded). Slot pages
+  /// are deliberately NOT pre-allocated: a page is ~90KB of Task storage,
+  /// and short-lived simulators (tests, per-scenario sweeps) would pay for
+  /// pages they never touch — demand allocation in acquire_slot() reaches
+  /// the same steady state after the first few hundred events.
+  explicit Simulator(std::size_t reserve_events = 1024) {
+    heap_.reserve(reserve_events);
+    free_slots_.reserve(reserve_events);
+  }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -44,30 +65,41 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedule `fn` to run `delay` after now. Negative delays are a logic
-  /// error and throw.
-  EventId schedule(SimTime delay, Callback fn) {
+  /// error and throw. `fn` is any void() callable; it is forwarded into the
+  /// event slot and move-constructed exactly once.
+  template <class F>
+  EventId schedule(SimTime delay, F&& fn) {
     if (delay < SimTime::zero()) {
       throw std::invalid_argument("Simulator::schedule: negative delay " + delay.to_string());
     }
-    return schedule_at(now_ + delay, std::move(fn));
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Schedule `fn` at an absolute time, which must not be in the past.
-  EventId schedule_at(SimTime when, Callback fn) {
+  template <class F>
+  EventId schedule_at(SimTime when, F&& fn) {
     if (when < now_) {
       throw std::invalid_argument("Simulator::schedule_at: time in the past " + when.to_string());
     }
-    const std::uint64_t seq = ++next_seq_;
-    queue_.push(Event{when, seq, std::move(fn)});
-    return EventId{seq};
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slot(idx);
+    s.task.emplace(std::forward<F>(fn));
+    heap_.push_back(HeapEntry{when, ++next_seq_, idx});
+    sift_up(heap_.size() - 1);
+    return EventId{idx, s.gen};
   }
 
-  /// Cancel a pending event. Safe to call on null ids, already-run events,
-  /// and already-cancelled events (all no-ops). The tombstone is erased when
-  /// the event pops, so memory is bounded by concurrently-pending
-  /// cancellations.
+  /// Cancel a pending event in O(1). Safe to call on null ids, already-run
+  /// events, and already-cancelled events (all no-ops): the id's generation
+  /// must match the slot's current generation, and every execution or
+  /// cancellation bumps it. No per-cancel memory is retained.
   void cancel(EventId id) {
-    if (id.valid() && id.seq_ <= next_seq_) cancelled_.insert(id.seq_);
+    if (id.slot_ >= slot_count_) return;  // null or from another simulator
+    Slot& s = slot(id.slot_);
+    if (s.gen != id.gen_) return;
+    // Flag only: the task object stays put until its heap entry pops (it may
+    // be the one currently executing — cancelling yourself is legal).
+    s.cancelled = true;
   }
 
   /// Run until the event queue drains or `until` (exclusive upper bound on
@@ -78,25 +110,76 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
 
   /// Events still in the queue (including cancelled ones not yet popped).
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const { return heap_.size(); }
+
+  /// Fresh packet-transmission uid. Per-simulator (not a process global) so
+  /// concurrent sweeps are race-free and every run sees the same uid
+  /// sequence regardless of what ran before it.
+  std::uint64_t next_packet_uid() { return ++next_packet_uid_; }
 
  private:
-  struct Event {
+  // Heap entries are deliberately tiny (24 bytes): sift operations move
+  // entries O(log n) times per event, while the fat Task moves exactly twice
+  // (into its slot, out at execution).
+  struct HeapEntry {
     SimTime when;
-    std::uint64_t seq;
-    mutable Callback fn;  // moved out on execution
-    // Min-heap on (when, seq): std::priority_queue is a max-heap, so invert.
-    bool operator<(const Event& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
-    }
+    std::uint64_t seq;   ///< tie-break: FIFO at equal timestamps
+    std::uint32_t slot;  ///< index into slots_
   };
 
+  struct Slot {
+    Task task;
+    std::uint32_t gen = 0;
+    bool cancelled = false;
+  };
+
+  // Slots live in fixed-size pages so a Slot& stays valid while its task
+  // executes even if the callback schedules enough to grow the pool (a flat
+  // vector would reallocate under the running closure's feet). Stability is
+  // what lets run() invoke tasks in place: one move-construct at schedule()
+  // and one destroy after execution, nothing else touches the capture state.
+  static constexpr std::size_t kSlotsPerPage = 256;
+
+  Slot& slot(std::uint32_t i) { return pages_[i / kSlotsPerPage][i % kSlotsPerPage]; }
+
+  void add_page() { pages_.push_back(std::make_unique<Slot[]>(kSlotsPerPage)); }
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_slots_.empty()) {
+      if (slot_count_ == pages_.size() * kSlotsPerPage) add_page();
+      return static_cast<std::uint32_t>(slot_count_++);
+    }
+    const std::uint32_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    slot(idx).cancelled = false;
+    return idx;
+  }
+
+  /// Bump the generation (invalidating outstanding EventIds) and recycle.
+  void release_slot(std::uint32_t idx) {
+    Slot& s = slot(idx);
+    s.task.reset();
+    ++s.gen;
+    free_slots_.push_back(idx);
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_top();
+
   SimTime now_;
-  std::priority_queue<Event> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap on (when, seq)
+  std::vector<std::unique_ptr<Slot[]>> pages_;
+  std::size_t slot_count_ = 0;  ///< slots handed out so far (all pages)
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t next_packet_uid_ = 0;
 };
 
 /// Convenience: a periodic task that reschedules itself until stopped.
@@ -110,6 +193,7 @@ class PeriodicTask {
   PeriodicTask& operator=(const PeriodicTask&) = delete;
 
   /// Schedule the first tick `period` from now (or `first_delay` if given).
+  /// Restarts cleanly if already running.
   void start() { start(period_); }
   void start(SimTime first_delay) {
     stop();

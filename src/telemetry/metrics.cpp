@@ -14,7 +14,7 @@ void Registration::reset() {
 }
 
 MetricRegistry& MetricRegistry::global() {
-  static MetricRegistry registry;
+  static thread_local MetricRegistry registry;
   return registry;
 }
 

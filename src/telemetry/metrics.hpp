@@ -103,8 +103,12 @@ class RegistrySnapshot {
 
 class MetricRegistry {
  public:
-  /// The process-wide registry every component registers with (mirrors the
-  /// Log singleton: the simulator is single-threaded by design).
+  /// The registry components on the calling thread register with. Thread-
+  /// local rather than process-wide: each sim::ParallelSweep worker gets a
+  /// private registry, so concurrent scenarios neither race on the provider
+  /// list nor see each other's instances. Providers deregister via RAII when
+  /// a scenario's rig is destroyed, so a worker thread starts every job with
+  /// an empty registry. Snapshot inside the job, while the rig is alive.
   static MetricRegistry& global();
 
   [[nodiscard]] Registration add(std::string component, std::string instance,

@@ -31,7 +31,7 @@ std::optional<TraceEventType> trace_event_type_from_string(std::string_view s) {
 }
 
 TraceSink& TraceSink::instance() {
-  static TraceSink sink;
+  static thread_local TraceSink sink;
   return sink;
 }
 

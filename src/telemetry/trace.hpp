@@ -55,10 +55,14 @@ struct TraceEvent {
 class TraceSink {
  public:
   /// Fast-path gate: every hook tests this before building an event.
+  /// Thread-local, like the sink itself.
   static bool enabled() { return enabled_; }
   static void set_enabled(bool on) { enabled_ = on; }
 
-  /// The process-wide sink (single-threaded simulator, like Log).
+  /// The sink for the calling thread. Thread-local rather than process-wide
+  /// so parallel sweeps stay race-free and deterministic: each worker owns a
+  /// private ring. A job that wants tracing enables/clears it inside its own
+  /// body (see sim::ParallelSweep's determinism contract in docs/perf.md).
   static TraceSink& instance();
 
   /// Resize the ring (also clears it). Default capacity: 65536 events.
@@ -97,7 +101,7 @@ class TraceSink {
     return true;
   }
 
-  static inline bool enabled_ = false;
+  static inline thread_local bool enabled_ = false;
 
   std::size_t cap_ = 1 << 16;
   std::vector<TraceEvent> ring_;

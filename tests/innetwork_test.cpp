@@ -18,6 +18,14 @@
 namespace mtp::innetwork {
 namespace {
 
+// Packet uids are per-Simulator; helpers that fabricate packets outside a
+// simulation keep uniqueness with a file-local counter.
+std::uint64_t next_test_uid() {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+
+
 using namespace mtp::sim::literals;
 using core::MtpEndpoint;
 using core::ReceivedMessage;
@@ -33,7 +41,7 @@ net::Packet mtp_data(net::NodeId src, net::NodeId dst, proto::MsgId msg,
   p.payload_bytes = len;
   p.header_bytes = 64;
   p.tc = tc;
-  p.uid = net::Packet::next_uid();
+  p.uid = next_test_uid();
   proto::MtpHeader h;
   h.msg_id = msg;
   h.pkt_num = pkt;

@@ -9,6 +9,14 @@
 namespace mtp::net {
 namespace {
 
+// Packet uids are per-Simulator; helpers that fabricate packets outside a
+// simulation keep uniqueness with a file-local counter.
+std::uint64_t next_test_uid() {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+
+
 using namespace mtp::sim::literals;
 using sim::Bandwidth;
 using sim::SimTime;
@@ -19,7 +27,7 @@ Packet make_pkt(NodeId src, NodeId dst, std::uint32_t bytes, Ecn ecn = Ecn::kNot
   p.dst = dst;
   p.payload_bytes = bytes;
   p.ecn = ecn;
-  p.uid = Packet::next_uid();
+  p.uid = next_test_uid();
   return p;
 }
 
