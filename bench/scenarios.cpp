@@ -1,5 +1,6 @@
 #include "scenarios.hpp"
 
+#include "fault/fault.hpp"
 #include "innetwork/fair_policer.hpp"
 #include "innetwork/queues.hpp"
 #include "workload/workload.hpp"
@@ -300,6 +301,136 @@ Fig7Result run_fig7(const std::string& system, sim::SimTime duration) {
       static_cast<double>(delivered[2]) * 8.0 / duration.sec() / 1e9;
   result.jain = stats::jain_index({result.tenant1_gbps, result.tenant2_gbps});
   return result;
+}
+
+// ------------------------------------------------------- fault recovery
+
+namespace {
+
+// snd -- sw1 ==(two 25 Gb/s two-hop paths via swA / swB)== sw2 -- rcv.
+// The MTP run gets message-aware switches; the TCP run keeps the default
+// static first-candidate policy, which pins the flow to the swA path the way
+// an ECMP hash would.
+struct FaultRig {
+  net::Network net{42};
+  net::Host* snd;
+  net::Host* rcv;
+  net::Switch* sw1;
+  net::Switch* swa;
+  net::Switch* swb;
+  net::Switch* sw2;
+  net::Link* fail_link;  ///< sw1 -> swA: TCP's pinned path, one of MTP's two
+
+  explicit FaultRig(bool message_aware) {
+    snd = net.add_host("snd");
+    rcv = net.add_host("rcv");
+    sw1 = net.add_switch("sw1");
+    swa = net.add_switch("swA");
+    swb = net.add_switch("swB");
+    sw2 = net.add_switch("sw2");
+    const net::DropTailQueue::Config q{.capacity_pkts = 256, .ecn_threshold_pkts = 40};
+    const sim::SimTime d = 2_us;
+    net.connect(*snd, *sw1, sim::Bandwidth::gbps(100), d, q);
+    auto a_up = net.connect(*sw1, *swa, sim::Bandwidth::gbps(25), d, q);
+    auto b_up = net.connect(*sw1, *swb, sim::Bandwidth::gbps(25), d, q);
+    net.connect(*swa, *sw2, sim::Bandwidth::gbps(25), d, q);
+    net.connect(*swb, *sw2, sim::Bandwidth::gbps(25), d, q);
+    net.connect(*sw2, *rcv, sim::Bandwidth::gbps(100), d, q);
+    fail_link = a_up.forward;
+    // Pathlets on the two first-hop choices: what MTP learns and excludes.
+    a_up.forward->set_pathlet({.id = 1, .feedback = proto::FeedbackType::kEcn});
+    b_up.forward->set_pathlet({.id = 2, .feedback = proto::FeedbackType::kEcn});
+
+    sw1->add_route(snd->id(), 0);
+    sw1->add_route(rcv->id(), 1);  // via swA (the static policy's pick)
+    sw1->add_route(rcv->id(), 2);  // via swB
+    swa->add_route(snd->id(), 0);
+    swa->add_route(rcv->id(), 1);
+    swb->add_route(snd->id(), 0);
+    swb->add_route(rcv->id(), 1);
+    sw2->add_route(snd->id(), 0);  // ACKs return via swA
+    sw2->add_route(snd->id(), 1);
+    sw2->add_route(rcv->id(), 2);
+    if (message_aware) {
+      sw1->set_policy(std::make_unique<net::MessageAwarePolicy>());
+      sw2->set_policy(std::make_unique<net::MessageAwarePolicy>());
+    }
+  }
+};
+
+void finish_fault_run(FaultRecoveryResult& r) {
+  const auto series = r.meter.series();
+  double pre_sum = 0;
+  int pre_n = 0;
+  double dur_sum = 0;
+  int dur_n = 0;
+  for (const auto& s : series) {
+    if (s.start >= 1_ms && s.start < kFaultFlapAt) {
+      pre_sum += s.gbps;
+      ++pre_n;
+    } else if (s.start >= kFaultFlapAt && s.start < kFaultFlapAt + kFaultFlapFor) {
+      dur_sum += s.gbps;
+      ++dur_n;
+    }
+  }
+  r.pre_fault_gbps = pre_n > 0 ? pre_sum / pre_n : 0;
+  r.during_fault_gbps = dur_n > 0 ? dur_sum / dur_n : 0;
+  for (const auto& s : series) {
+    if (s.start < kFaultFlapAt) continue;
+    if (s.gbps >= 0.8 * r.pre_fault_gbps) {
+      r.recovery_us = (s.start + kFaultWindow - kFaultFlapAt).us();
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+FaultRecoveryResult run_fault_recovery(const std::string& transport) {
+  const bool mtp = transport == "mtp";
+  FaultRig rig(/*message_aware=*/mtp);
+  FaultRecoveryResult res;
+  const sim::SimTime horizon = 16_ms;
+  fault::FaultInjector inj(rig.net.simulator(), 1);
+  inj.flap_link(*rig.fail_link, kFaultFlapAt, kFaultFlapFor);
+
+  if (mtp) {
+    core::MtpConfig cfg;
+    cfg.auto_exclude_after_losses = 2;
+    cfg.exclude_duration = 2_ms;
+    core::MtpEndpoint src(*rig.snd, cfg);
+    core::MtpEndpoint dst(*rig.rcv, {});
+    dst.listen(80, [](const core::ReceivedMessage&) {});
+    dst.on_payload = [&](std::int64_t bytes) {
+      res.meter.record(rig.net.simulator().now(), bytes);
+    };
+    // Offered load: one 32 KB message every 12.8 us = 20 Gb/s, under either
+    // path's solo capacity so the surviving path can carry everything.
+    for (sim::SimTime t = sim::SimTime::zero(); t < 12_ms;
+         t += sim::SimTime::nanoseconds(12'800)) {
+      rig.net.simulator().schedule_at(t, [&src, &rig] {
+        src.send_message(rig.rcv->id(), 32'768, {.dst_port = 80});
+      });
+    }
+    rig.net.simulator().run(horizon);
+  } else {
+    transport::TcpConfig cfg;
+    cfg.dctcp = true;
+    transport::TcpStack ca(*rig.snd, cfg);
+    transport::TcpStack cb(*rig.rcv, cfg);
+    std::shared_ptr<transport::TcpConnection> server;
+    cb.listen(80, [&](std::shared_ptr<transport::TcpConnection> c) {
+      server = std::move(c);
+      server->on_data = [&](std::int64_t bytes) {
+        res.meter.record(rig.net.simulator().now(), bytes);
+      };
+    });
+    auto client = ca.connect(rig.rcv->id(), 80);
+    client->on_established = [&] { client->send(40'000'000); };
+    rig.net.simulator().run(horizon);
+  }
+  finish_fault_run(res);
+  return res;
 }
 
 }  // namespace mtp::bench

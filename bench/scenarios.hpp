@@ -110,4 +110,25 @@ struct Fig7Result {
 /// messages. system: "dctcp-shared" | "dctcp-queues" | "mtp-fairshare".
 Fig7Result run_fig7(const std::string& system, sim::SimTime duration);
 
+// ------------------------------------------------------- fault recovery
+
+/// bench_fault_recovery timing: the sw1->swA uplink of a two-path fabric is
+/// down over [kFaultFlapAt, kFaultFlapAt + kFaultFlapFor).
+inline constexpr sim::SimTime kFaultFlapAt = sim::SimTime::milliseconds(2);
+inline constexpr sim::SimTime kFaultFlapFor = sim::SimTime::milliseconds(4);
+inline constexpr sim::SimTime kFaultWindow = sim::SimTime::microseconds(50);
+
+struct FaultRecoveryResult {
+  stats::ThroughputMeter meter{kFaultWindow};
+  double pre_fault_gbps = 0;
+  double during_fault_gbps = 0;
+  /// Time from flap onset to the first goodput sample at >= 80% of the
+  /// pre-fault mean; -1 if it never recovered inside the horizon.
+  double recovery_us = -1;
+};
+
+/// `transport` is "mtp" (message-aware LB, per-message placement) or "tcp"
+/// (DCTCP hash-pinned to the failing path — the ECMP model).
+FaultRecoveryResult run_fault_recovery(const std::string& transport);
+
 }  // namespace mtp::bench

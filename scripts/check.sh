@@ -3,6 +3,7 @@
 #
 #   check.sh [asan]        sanitizer gate: full test suite under ASan/UBSan
 #   check.sh tsan          thread gate: ParallelSweep tests under TSan
+#   check.sh chaos         robustness gate: fixed-seed chaos schedules under ASan
 #   check.sh bench-smoke   perf gate: bench_micro_core --smoke vs BENCH_core.json
 #   check.sh all           every gate in sequence
 set -euo pipefail
@@ -22,8 +23,19 @@ run_tsan() {
   # exercise the thread-local telemetry singletons, the synchronized logger,
   # and per-simulator packet uids from several workers at once.
   cmake --preset tsan -S "$repo"
-  cmake --build --preset tsan -j "$jobs" --target parallel_test
+  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -R 'ParallelSweep'
+}
+
+run_chaos() {
+  # Seeded fault schedules (link flaps, bursty corruption, device crashes)
+  # with exactly-once / integrity / quiescence invariants, run under ASan so
+  # recovery paths are also leak- and UB-checked. Fixed seeds: a failure here
+  # reproduces with `build-asan/tests/chaos_test`.
+  cmake --preset asan -S "$repo"
+  cmake --build --preset asan -j "$jobs" --target chaos_test fault_test
+  ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs" \
+    -R 'Chaos|FaultInjector|RecoveryEdge|Impairment'
 }
 
 run_bench_smoke() {
@@ -63,14 +75,16 @@ run_bench_smoke() {
 case "$mode" in
   asan) run_asan ;;
   tsan) run_tsan ;;
+  chaos) run_chaos ;;
   bench-smoke) run_bench_smoke ;;
   all)
     run_asan
     run_tsan
+    run_chaos
     run_bench_smoke
     ;;
   *)
-    echo "usage: check.sh [asan|tsan|bench-smoke|all]" >&2
+    echo "usage: check.sh [asan|tsan|chaos|bench-smoke|all]" >&2
     exit 2
     ;;
 esac

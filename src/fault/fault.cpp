@@ -1,0 +1,157 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "telemetry/trace.hpp"
+
+namespace mtp::fault {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_name(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, std::uint64_t seed, std::string name)
+    : sim_(sim), seed_(seed), name_(std::move(name)) {
+  metrics_ = telemetry::MetricRegistry::global().add(
+      "fault", name_, [this](std::vector<telemetry::MetricSample>& out) {
+        using telemetry::MetricKind;
+        out.push_back({"flaps_scheduled", MetricKind::kCounter,
+                       static_cast<double>(flaps_scheduled_)});
+        out.push_back({"flaps_executed", MetricKind::kCounter,
+                       static_cast<double>(flaps_executed_)});
+        out.push_back({"crashes", MetricKind::kCounter, static_cast<double>(crashes_)});
+        out.push_back({"restarts", MetricKind::kCounter, static_cast<double>(restarts_)});
+        out.push_back({"pkts_dropped", MetricKind::kCounter,
+                       static_cast<double>(pkts_dropped_)});
+        out.push_back({"pkts_corrupted", MetricKind::kCounter,
+                       static_cast<double>(pkts_corrupted_)});
+      });
+}
+
+FaultInjector::~FaultInjector() {
+  // Detach impairment hooks: the links may outlive this injector and the
+  // hooks capture `this`.
+  for (auto& [link, st] : impaired_) link->set_fault_hook(nullptr);
+}
+
+std::uint64_t FaultInjector::derive_seed() {
+  return splitmix64(seed_ ^ splitmix64(++streams_));
+}
+
+void FaultInjector::fold(std::uint64_t v) {
+  digest_ ^= splitmix64(v + digest_);
+}
+
+void FaultInjector::set_link_state(net::Link& link, bool up) {
+  ++flaps_executed_;
+  fold(static_cast<std::uint64_t>(sim_.now().ns()) * 2 + (up ? 1 : 0));
+  link.set_up(up);
+}
+
+void FaultInjector::flap_link(net::Link& link, sim::SimTime down_at,
+                              sim::SimTime down_for) {
+  ++flaps_scheduled_;
+  fold(hash_name(link.name()));
+  fold(static_cast<std::uint64_t>(down_at.ns()));
+  fold(static_cast<std::uint64_t>(down_for.ns()));
+  net::Link* l = &link;
+  sim_.schedule_at(down_at, [this, l] { set_link_state(*l, false); });
+  sim_.schedule_at(down_at + down_for, [this, l] { set_link_state(*l, true); });
+}
+
+void FaultInjector::random_flaps(net::Link& link, sim::SimTime start,
+                                 sim::SimTime horizon, sim::SimTime mean_up,
+                                 sim::SimTime mean_down) {
+  // Pre-generate the whole alternating schedule now, from a stream derived
+  // for this call: bounded, deterministic by call order, and independent of
+  // anything that happens while the simulation runs.
+  sim::Rng rng(derive_seed());
+  sim::SimTime t = start + rng.exponential_time(mean_up);
+  while (t < horizon) {
+    sim::SimTime down = std::max(sim::SimTime::microseconds(1),
+                                 rng.exponential_time(mean_down));
+    // Guarantee the link is back up at or before the horizon so traffic in
+    // flight at the end of the fault window can complete.
+    if (t + down > horizon) down = horizon - t;
+    if (down <= sim::SimTime::zero()) break;
+    flap_link(link, t, down);
+    t = t + down + rng.exponential_time(mean_up);
+  }
+}
+
+void FaultInjector::impair_link(net::Link& link, GilbertElliott::Config model) {
+  auto st = std::make_unique<Impairment>(model, derive_seed());
+  Impairment* s = st.get();
+  impaired_[&link] = std::move(st);
+  link.set_fault_hook([this, s](const net::Packet& pkt) {
+    const net::FaultAction action = s->chain.step(s->rng);
+    if (action != net::FaultAction::kNone) {
+      fold(pkt.uid * 4 + static_cast<std::uint64_t>(action));
+      if (action == net::FaultAction::kDrop) {
+        ++pkts_dropped_;
+      } else {
+        ++pkts_corrupted_;
+      }
+    }
+    return action;
+  });
+}
+
+void FaultInjector::clear_impairment(net::Link& link) {
+  link.set_fault_hook(nullptr);
+  impaired_.erase(&link);
+}
+
+void FaultInjector::crash_device(std::string name, sim::SimTime at,
+                                 sim::SimTime down_for, std::function<void()> crash_fn,
+                                 std::function<void()> restart_fn) {
+  fold(hash_name(name));
+  fold(static_cast<std::uint64_t>(at.ns()));
+  fold(static_cast<std::uint64_t>(down_for.ns()));
+  auto trace_crash = [this](const std::string& who, bool restart) {
+    if (!telemetry::TraceSink::enabled()) return;
+    telemetry::TraceEvent ev;
+    ev.t = sim_.now();
+    ev.type = telemetry::TraceEventType::kCrash;
+    ev.component = who;
+    ev.value = restart ? 1 : 0;
+    telemetry::trace().record(ev);
+  };
+  sim_.schedule_at(at, [this, name, crash_fn = std::move(crash_fn), trace_crash] {
+    ++crashes_;
+    fold(static_cast<std::uint64_t>(sim_.now().ns()));
+    trace_crash(name, /*restart=*/false);
+    if (crash_fn) crash_fn();
+  });
+  sim_.schedule_at(at + down_for,
+                   [this, name, restart_fn = std::move(restart_fn), trace_crash] {
+                     ++restarts_;
+                     fold(static_cast<std::uint64_t>(sim_.now().ns()) | 1);
+                     trace_crash(name, /*restart=*/true);
+                     if (restart_fn) restart_fn();
+                   });
+}
+
+void FaultInjector::apply(const FaultPlan& plan) {
+  for (const auto& f : plan.flaps) flap_link(*f.link, f.down_at, f.down_for);
+  for (const auto& i : plan.impairments) impair_link(*i.link, i.model);
+  for (const auto& c : plan.crashes) {
+    crash_device(c.name, c.at, c.down_for, c.crash_fn, c.restart_fn);
+  }
+}
+
+}  // namespace mtp::fault

@@ -44,8 +44,26 @@ class AggregationOffload final : public net::IngressProcessor {
   std::int64_t bytes_in() const { return bytes_in_; }
   std::int64_t bytes_out() const { return bytes_out_; }
   std::size_t rounds_open() const { return rounds_.size(); }
+  std::uint64_t crashes() const { return crashes_; }
+  bool online() const { return online_; }
+
+  /// Crash with state wipe: open rounds (and their straggler timers) are
+  /// dropped and gradients stop being intercepted — workers' messages flow
+  /// straight to the parameter server until restart(). Contributions folded
+  /// into a lost round are gone; the training loop's own round retry covers
+  /// them, exactly as it would for a lost aggregate message.
+  void crash() {
+    ++crashes_;
+    online_ = false;
+    for (auto& [round, r] : rounds_) sw_.simulator().cancel(r.timeout);
+    rounds_.clear();
+    rx_.clear();
+    tx_.clear();
+  }
+  void restart() { online_ = true; }
 
   bool process(net::Packet& pkt, net::Switch&) override {
+    if (!online_) return false;  // crashed: gradients pass through unaggregated
     if (!pkt.is_mtp()) return false;
     const auto& hdr = pkt.mtp();
     if (hdr.is_ack()) {
@@ -121,8 +139,10 @@ class AggregationOffload final : public net::IngressProcessor {
   std::unordered_map<std::uint64_t, Round> rounds_;
   std::uint64_t rounds_completed_ = 0;
   std::uint64_t rounds_flushed_partial_ = 0;
+  std::uint64_t crashes_ = 0;
   std::int64_t bytes_in_ = 0;
   std::int64_t bytes_out_ = 0;
+  bool online_ = true;
 };
 
 }  // namespace mtp::innetwork

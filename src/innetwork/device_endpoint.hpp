@@ -67,10 +67,18 @@ class DeviceReceiver {
   }
 
   /// Consume a data packet: ACK it to the sender and accumulate. Returns the
-  /// completed message once all packets arrived.
+  /// completed message once all packets arrived. Corrupted packets are
+  /// NACKed and never accumulated — an in-network device must not compute on
+  /// damaged payloads (the checksum stands in for end-host verification).
   std::optional<DeviceMessage> on_data(const net::Packet& pkt) {
     const auto& hdr = pkt.mtp();
     const Key key{pkt.src, hdr.msg_id};
+    if (!pkt.checksum_ok()) {
+      ++checksum_drops_;
+      ack(pkt, /*nack=*/true);
+      return std::nullopt;
+    }
+    if (pkt.corrupted) ++corrupted_delivered_;  // checksum missed real damage
     ack(pkt, /*nack=*/false);
     if (completed_.contains(key)) return std::nullopt;  // dup of delivered msg
     if (hdr.msg_len_pkts == 0 || hdr.pkt_num >= hdr.msg_len_pkts) return std::nullopt;
@@ -105,6 +113,18 @@ class DeviceReceiver {
     }
     return done;
   }
+
+  /// Drop all reassembly state (crash with state wipe). In-flight messages
+  /// will be re-offered from packet 0 by the sender's retransmissions.
+  void clear() {
+    partial_.clear();
+    completed_.clear();
+    completed_fifo_.clear();
+  }
+
+  std::uint64_t checksum_drops() const { return checksum_drops_; }
+  /// Corrupted payloads that passed verification — must stay 0.
+  std::uint64_t corrupted_delivered() const { return corrupted_delivered_; }
 
   /// Emit an ACK (or NACK) for a data packet, as an MTP receiver would.
   void ack(const net::Packet& data, bool nack) {
@@ -158,6 +178,8 @@ class DeviceReceiver {
   std::unordered_map<Key, Partial, KeyHash> partial_;
   std::unordered_set<Key, KeyHash> completed_;
   std::deque<Key> completed_fifo_;
+  std::uint64_t checksum_drops_ = 0;
+  std::uint64_t corrupted_delivered_ = 0;
 };
 
 // Helper: DeviceMessage carries bytes; packet count comes from headers.
@@ -240,6 +262,13 @@ class DeviceSender {
   std::size_t outstanding() const { return outgoing_.size(); }
   std::uint64_t messages_sent() const { return next_id_ - 1; }
   std::uint64_t messages_abandoned() const { return abandoned_; }
+
+  /// Abandon all in-flight messages and stop the retransmit timer (crash
+  /// with state wipe). Peers see the messages simply stop arriving.
+  void clear() {
+    outgoing_.clear();
+    if (task_->running()) task_->stop();
+  }
 
  private:
   struct Outgoing {

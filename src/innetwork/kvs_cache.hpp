@@ -43,8 +43,28 @@ class KvsCache final : public net::IngressProcessor {
           out.push_back({"hits", MetricKind::kCounter, static_cast<double>(hits_)});
           out.push_back({"misses", MetricKind::kCounter, static_cast<double>(misses_)});
           out.push_back({"entries", MetricKind::kGauge, static_cast<double>(map_.size())});
+          out.push_back({"crashes", MetricKind::kCounter, static_cast<double>(crashes_)});
         });
   }
+
+  /// Crash with state wipe: the cache forgets everything and stops
+  /// intercepting. Requests miss through to the backend until restart() —
+  /// the failure mode the paper's bounded-state design makes survivable.
+  void crash() {
+    ++crashes_;
+    online_ = false;
+    map_.clear();
+    lru_.clear();
+    rx_.clear();
+    tx_.clear();
+  }
+
+  /// Come back empty; the cache re-warms from responses (if learning is on).
+  void restart() { online_ = true; }
+
+  bool online() const { return online_; }
+  std::uint64_t crashes() const { return crashes_; }
+  const DeviceReceiver& receiver() const { return rx_; }
 
   /// Preload a key (value modelled by size; contents by the string).
   void put(const std::string& key, std::string value, std::int64_t value_bytes) {
@@ -57,6 +77,7 @@ class KvsCache final : public net::IngressProcessor {
   std::size_t entries() const { return map_.size(); }
 
   bool process(net::Packet& pkt, net::Switch&) override {
+    if (!online_) return false;  // crashed: everything misses through
     if (!pkt.is_mtp()) return false;
     const auto& hdr = pkt.mtp();
 
@@ -65,9 +86,11 @@ class KvsCache final : public net::IngressProcessor {
       return pkt.dst == sw_.id() && tx_.handle_ack(pkt);
     }
 
-    // Backend responses flowing back: learn hot keys, pass through.
+    // Backend responses flowing back: learn hot keys, pass through. Never
+    // learn from a corrupted response — a poisoned entry would be served to
+    // every future requester.
     if (cfg_.learn_from_responses && pkt.src == cfg_.backend && pkt.app &&
-        !pkt.app->key.empty()) {
+        !pkt.app->key.empty() && pkt.checksum_ok()) {
       if (!map_.contains(pkt.app->key)) {
         touch(pkt.app->key,
               Entry{pkt.app->value, static_cast<std::int64_t>(hdr.msg_len_bytes)});
@@ -147,6 +170,8 @@ class KvsCache final : public net::IngressProcessor {
   std::list<std::string> lru_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t crashes_ = 0;
+  bool online_ = true;
   telemetry::Registration metrics_;
 };
 

@@ -13,6 +13,7 @@
 // provide (§2.2, §5.2).
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
@@ -28,9 +29,11 @@ class L7LoadBalancer final : public net::IngressProcessor {
     std::vector<net::NodeId> replicas;
   };
 
-  explicit L7LoadBalancer(Config cfg) : cfg_(cfg), outstanding_(cfg.replicas.size(), 0) {}
+  explicit L7LoadBalancer(Config cfg)
+      : cfg_(cfg), outstanding_(cfg.replicas.size(), 0), up_(cfg.replicas.size(), true) {}
 
   bool process(net::Packet& pkt, net::Switch&) override {
+    if (!online_) return false;  // crashed: requests reach the virtual node raw
     if (!pkt.is_mtp()) return false;
     const auto& hdr = pkt.mtp();
     if (hdr.is_ack() || pkt.dst != cfg_.virtual_service) return false;
@@ -63,6 +66,27 @@ class L7LoadBalancer final : public net::IngressProcessor {
     return outstanding_[replica];
   }
 
+  /// Backend health ejection: a replica marked down stops receiving new
+  /// requests (existing multi-packet pins finish so partially-delivered
+  /// requests are not torn between replicas). Marking it back up restores it
+  /// to the pick() rotation; its load estimate survived the ejection.
+  void set_replica_up(std::size_t replica, bool up) { up_[replica] = up; }
+  bool replica_up(std::size_t replica) const { return up_[replica]; }
+
+  /// Crash with state wipe: forget pins and load estimates, stop rewriting.
+  /// In-flight multi-packet requests lose their pin — their remaining
+  /// packets reach the virtual service node and die; end-to-end recovery
+  /// (the client's retry) re-places the whole message.
+  void crash() {
+    ++crashes_;
+    online_ = false;
+    pinned_.clear();
+    std::fill(outstanding_.begin(), outstanding_.end(), 0);
+  }
+  void restart() { online_ = true; }
+  bool online() const { return online_; }
+  std::uint64_t crashes() const { return crashes_; }
+
  private:
   struct Key {
     net::NodeId src;
@@ -75,24 +99,33 @@ class L7LoadBalancer final : public net::IngressProcessor {
     }
   };
 
-  // Least outstanding bytes; ties break round-robin so uniform single-packet
-  // workloads still spread across replicas.
+  // Least outstanding bytes among healthy replicas; ties break round-robin
+  // so uniform single-packet workloads still spread. If every replica is
+  // ejected, fall back to the overall best — delivering somewhere beats
+  // blackholing at the virtual node.
   std::size_t pick() {
     const std::size_t n = outstanding_.size();
-    std::size_t best = rr_ % n;
-    for (std::size_t off = 1; off < n; ++off) {
+    std::size_t best = n;  // sentinel: no healthy replica seen yet
+    std::size_t best_any = rr_ % n;
+    for (std::size_t off = 0; off < n; ++off) {
       const std::size_t i = (rr_ + off) % n;
-      if (outstanding_[i] < outstanding_[best]) best = i;
+      if (outstanding_[i] < outstanding_[best_any]) best_any = i;
+      if (!up_[i]) continue;
+      if (best == n || outstanding_[i] < outstanding_[best]) best = i;
     }
+    if (best == n) best = best_any;
     rr_ = best + 1;
     return best;
   }
 
   Config cfg_;
   std::vector<std::int64_t> outstanding_;
+  std::vector<bool> up_;
   std::unordered_map<Key, std::size_t, KeyHash> pinned_;
   std::uint64_t assigned_ = 0;
+  std::uint64_t crashes_ = 0;
   std::size_t rr_ = 0;
+  bool online_ = true;
 };
 
 }  // namespace mtp::innetwork

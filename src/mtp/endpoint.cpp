@@ -49,6 +49,11 @@ MtpEndpoint::MtpEndpoint(net::Host& host, MtpConfig cfg)
                        static_cast<double>(cc_.size())});
         out.push_back({"srtt_us", MetricKind::kGauge,
                        rtt_valid_ ? static_cast<double>(srtt_.ns()) / 1000.0 : 0.0});
+        out.push_back({"checksum_drops", MetricKind::kCounter,
+                       static_cast<double>(checksum_drops_)});
+        out.push_back({"rto_backoff", MetricKind::kGauge, rto_backoff_});
+        out.push_back({"excluded_pathlets", MetricKind::kGauge,
+                       static_cast<double>(excluded_until_.size())});
       });
 }
 
@@ -85,6 +90,17 @@ void MtpEndpoint::listen(proto::PortNum port, MessageHandler handler) {
 
 void MtpEndpoint::exclude_pathlet(proto::PathletId pathlet, sim::SimTime duration) {
   excluded_until_[pathlet] = sim_.now() + duration;
+  // Forget learned paths that cross the excluded pathlet: new packets to
+  // those destinations fall back to the per-destination virtual pathlet and
+  // the next ACK teaches the rerouted path. Without this, the sender would
+  // keep charging (and capping traffic to) a path it just asked the network
+  // to stop using.
+  for (auto it = current_path_.begin(); it != current_path_.end();) {
+    const auto& pathlets = paths_[it->second];
+    const bool crosses =
+        std::find(pathlets.begin(), pathlets.end(), pathlet) != pathlets.end();
+    it = crosses ? current_path_.erase(it) : ++it;
+  }
 }
 
 std::vector<proto::PathRef> MtpEndpoint::active_exclusions() {
@@ -300,8 +316,8 @@ void MtpEndpoint::rtt_sample(sim::SimTime sample) {
 }
 
 sim::SimTime MtpEndpoint::rto() const {
-  if (!rtt_valid_) return cfg_.min_rto.scaled(5.0);
-  sim::SimTime r = srtt_ * 2 + rttvar_ * 4;
+  sim::SimTime r = rtt_valid_ ? srtt_ * 2 + rttvar_ * 4 : cfg_.min_rto.scaled(5.0);
+  r = r.scaled(rto_backoff_);
   r = std::max(r, cfg_.min_rto);
   r = std::min(r, cfg_.max_rto);
   return r;
@@ -348,12 +364,42 @@ void MtpEndpoint::retx_scan() {
       }
     }
   }
-  if (any_lost) pump();
+  if (any_lost) {
+    // Consecutive timeouts back the timer off exponentially (a blackholed
+    // path must not be hammered at a fixed rate); any new SACK resets it.
+    rto_backoff_ = std::min(rto_backoff_ * 2.0, kMaxRtoBackoff);
+    pump();
+  }
 }
 
 // ---------------------------------------------------------------- receiver
 
 void MtpEndpoint::on_packet(net::Packet&& pkt) {
+  if (!pkt.checksum_ok()) {
+    // Payload damaged in flight: count and drop, never deliver. For data,
+    // NACK like an NDP trim (header intact, payload gone) so the sender
+    // retransmits in ~1 RTT; a corrupted ACK is simply dropped — the
+    // sender's timer recovers.
+    ++checksum_drops_;
+    if (telemetry::TraceSink::enabled()) {
+      const auto& hdr = pkt.mtp();
+      telemetry::TraceEvent ev;
+      ev.t = sim_.now();
+      ev.type = telemetry::TraceEventType::kChecksumDrop;
+      ev.component = host_.name();
+      ev.src = pkt.src;
+      ev.dst = pkt.dst;
+      ev.msg_id = hdr.msg_id;
+      ev.pkt_num = hdr.pkt_num;
+      ev.bytes = pkt.size_bytes();
+      ev.tc = pkt.tc;
+      ev.flow = pkt.flow_hash;
+      telemetry::trace().record(ev);
+    }
+    if (!pkt.mtp().is_ack()) queue_ack(pkt, /*nack=*/true, {}, /*flush_now=*/true);
+    return;
+  }
+  if (pkt.corrupted) ++corrupted_delivered_;  // checksum missed real damage
   if (pkt.mtp().is_ack()) {
     on_ack(pkt);
   } else {
@@ -613,6 +659,7 @@ void MtpEndpoint::on_ack(const net::Packet& pkt) {
       }
       msg.state[e.pkt_num] = PktState::kSacked;
       ++msg.sacked;
+      rto_backoff_ = 1.0;  // forward progress: leave timeout backoff
 
       const bool karn_valid = !msg.retransmitted[e.pkt_num];
       const sim::SimTime rtt = sim_.now() - msg.sent_at[e.pkt_num];

@@ -134,6 +134,13 @@ class MtpEndpoint {
   std::uint64_t pkts_sent() const { return pkts_sent_; }
   std::uint64_t pkts_retransmitted() const { return pkts_retx_; }
   std::uint64_t msgs_delivered() const { return msgs_delivered_; }
+  /// Packets dropped on payload checksum mismatch (fault injection).
+  std::uint64_t checksum_drops() const { return checksum_drops_; }
+  /// Corrupted packets that *passed* verification — must stay 0; the chaos
+  /// harness asserts on it (ground truth vs the checksum mechanism).
+  std::uint64_t corrupted_delivered() const { return corrupted_delivered_; }
+  /// Current RTO backoff multiplier (1.0 = no consecutive timeouts).
+  double rto_backoff() const { return rto_backoff_; }
   sim::SimTime srtt() const { return srtt_; }
   const MtpConfig& config() const { return cfg_; }
   net::Host& host() { return host_; }
@@ -260,9 +267,16 @@ class MtpEndpoint {
   sim::SimTime srtt_;
   sim::SimTime rttvar_;
   bool rtt_valid_ = false;
+  /// Exponential RTO backoff under consecutive timeouts (capped ×64,
+  /// clamped to max_rto by rto()); reset by any new SACK progress. Karn-safe:
+  /// srtt_ only ever learns from non-retransmitted packets.
+  double rto_backoff_ = 1.0;
+  static constexpr double kMaxRtoBackoff = 64.0;
   std::unique_ptr<sim::PeriodicTask> retx_task_;
   std::uint64_t pkts_sent_ = 0;
   std::uint64_t pkts_retx_ = 0;
+  std::uint64_t checksum_drops_ = 0;
+  std::uint64_t corrupted_delivered_ = 0;
 
   // --- Receiver.
   std::unordered_map<MsgKey, IncomingMessage, MsgKeyHash> incoming_;

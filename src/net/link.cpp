@@ -32,6 +32,12 @@ void Link::register_metrics() {
                    static_cast<double>(stats_.bytes_delivered)});
     out.push_back({"pkts_dropped_down", MetricKind::kCounter,
                    static_cast<double>(stats_.pkts_dropped_down)});
+    out.push_back({"pkts_dropped_fault", MetricKind::kCounter,
+                   static_cast<double>(stats_.pkts_dropped_fault)});
+    out.push_back({"pkts_corrupted", MetricKind::kCounter,
+                   static_cast<double>(stats_.pkts_corrupted)});
+    out.push_back({"flaps", MetricKind::kCounter,
+                   static_cast<double>(stats_.flaps)});
     out.push_back({"backlog_bytes", MetricKind::kGauge,
                    static_cast<double>(backlog_bytes())});
     out.push_back({"up", MetricKind::kGauge, up_ ? 1.0 : 0.0});
@@ -70,10 +76,20 @@ void Link::set_pathlet(PathletConfig cfg) {
 }
 
 void Link::set_up(bool up) {
+  if (up == up_) return;
   up_ = up;
+  if (telemetry::TraceSink::enabled()) {
+    telemetry::TraceEvent ev;
+    ev.t = sim_.now();
+    ev.type = telemetry::TraceEventType::kLinkFlap;
+    ev.component = name_;
+    ev.value = up_ ? 1 : 0;
+    telemetry::trace().record(ev);
+  }
   if (!up_) {
+    ++stats_.flaps;
     while (queue_->dequeue().has_value()) {
-      // discard queued packets on the flap
+      ++stats_.pkts_dropped_down;  // discard queued packets on the flap
     }
   } else {
     try_transmit();
@@ -88,6 +104,29 @@ void Link::send(Packet&& pkt) {
       telemetry::trace().record(trace_event(telemetry::TraceEventType::kDrop, pkt));
     }
     return;
+  }
+  // NIC checksum offload: the first link a packet crosses stamps the payload
+  // fingerprint, so every sender (MTP, TCP, UDP, in-network devices) is
+  // covered without per-stack stamping code.
+  if (pkt.payload_fingerprint == 0) pkt.stamp_fingerprint();
+  if (fault_hook_) {
+    switch (fault_hook_(pkt)) {
+      case FaultAction::kNone:
+        break;
+      case FaultAction::kDrop:
+        ++stats_.pkts_dropped_fault;
+        if (telemetry::TraceSink::enabled()) {
+          telemetry::trace().record(trace_event(telemetry::TraceEventType::kDrop, pkt));
+        }
+        return;
+      case FaultAction::kCorrupt:
+        pkt.corrupt();
+        ++stats_.pkts_corrupted;
+        if (telemetry::TraceSink::enabled()) {
+          telemetry::trace().record(trace_event(telemetry::TraceEventType::kCorrupt, pkt));
+        }
+        break;
+    }
   }
   // Per-hop scratch: when the packet was queued here, and whether it arrived
   // already CE-marked (so this pathlet is not blamed for upstream marks).

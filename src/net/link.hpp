@@ -28,8 +28,15 @@ namespace mtp::net {
 struct LinkStats {
   std::uint64_t pkts_delivered = 0;
   std::uint64_t bytes_delivered = 0;
-  std::uint64_t pkts_dropped_down = 0;  ///< sends attempted while the link was down
+  std::uint64_t pkts_dropped_down = 0;   ///< sends attempted while the link was down
+                                         ///< plus queued packets discarded on a flap
+  std::uint64_t pkts_dropped_fault = 0;  ///< dropped by the injected fault hook
+  std::uint64_t pkts_corrupted = 0;      ///< payload-damaged by the fault hook
+  std::uint64_t flaps = 0;               ///< down transitions seen by set_up()
 };
+
+/// What an injected per-packet fault does to a packet entering the link.
+enum class FaultAction : std::uint8_t { kNone, kDrop, kCorrupt };
 
 class Link {
  public:
@@ -78,6 +85,14 @@ class Link {
   void set_up(bool up);
   bool is_up() const { return up_; }
 
+  /// Per-packet fault injection (mtp::fault drives this with a seeded
+  /// Gilbert-Elliott chain): consulted on every send while the link is up.
+  /// kDrop models a bit error that killed the whole frame; kCorrupt damages
+  /// the payload but lets the packet through (receivers catch it by
+  /// checksum). Empty hook = clean link.
+  using FaultHook = std::function<FaultAction(const Packet&)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
  private:
   void try_transmit();
   void finish_tx();
@@ -112,6 +127,7 @@ class Link {
   std::size_t ready_count_ = 0;  ///< in_flight_ entries past serialization (deliver_at set)
   std::int64_t in_flight_bytes_ = 0;
   LinkStats stats_;
+  FaultHook fault_hook_;
   std::optional<PathletState> pathlet_;
   std::unique_ptr<sim::PeriodicTask> rcp_task_;
   telemetry::Registration link_metrics_;

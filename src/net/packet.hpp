@@ -49,6 +49,11 @@ struct Packet {
   std::uint64_t flow_hash = 0;  ///< 5-tuple-style hash for ECMP decisions
   std::uint64_t uid = 0;        ///< unique per packet *transmission* (retransmits get fresh uids)
 
+  /// Payload checksum, stamped by the first link the packet crosses (NIC
+  /// checksum offload). 0 = not yet stamped. Receivers recompute and drop on
+  /// mismatch; see stamp_fingerprint()/checksum_ok() below.
+  std::uint64_t payload_fingerprint = 0;
+
   std::variant<std::monostate, proto::TcpHeader, proto::UdpHeader, proto::MtpHeader> header;
   std::optional<AppData> app;
 
@@ -56,6 +61,13 @@ struct Packet {
   // packet; reset on every send(). Not part of the wire format.
   sim::SimTime hop_enqueued_at;
   bool hop_was_ce = false;  ///< CE codepoint on arrival at the current hop
+
+  /// Ground truth for fault injection: corrupt() sets this. The simulation
+  /// does not materialize payload bytes, so this one bit stands in for the
+  /// flipped bits — it feeds the fingerprint (making verification fail) but
+  /// MUST NOT be consulted by any delivery path. Tests read it to prove that
+  /// checksum verification, not this flag, kept corrupted data out.
+  bool corrupted = false;
 
   std::uint32_t size_bytes() const { return payload_bytes + header_bytes; }
 
@@ -73,6 +85,57 @@ struct Packet {
   // Transmission uids come from Simulator::next_packet_uid(): per-simulator
   // state keeps them deterministic per run and race-free under
   // sim::ParallelSweep (a process-wide counter was neither).
+
+  // --- Payload checksum (fault model, docs/faults.md).
+  //
+  // The fingerprint covers the payload identity: size, application content,
+  // and the protocol fields describing what the payload is. It deliberately
+  // excludes everything legitimately rewritten en route — dst (the L7 load
+  // balancer redirects requests), ECN, path feedback TLVs, per-hop scratch —
+  // so only actual payload damage trips verification.
+  std::uint64_t compute_fingerprint() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    };
+    mix(src);
+    mix(payload_bytes);
+    mix(corrupted ? 0x5bd1e995ULL : 0);
+    if (app) {
+      for (const char c : app->key) mix(static_cast<std::uint8_t>(c));
+      for (const char c : app->value) mix(static_cast<std::uint8_t>(c));
+    }
+    if (is_mtp()) {
+      const auto& m = mtp();
+      mix((static_cast<std::uint64_t>(m.msg_id) << 8) | static_cast<std::uint64_t>(m.type));
+      mix((static_cast<std::uint64_t>(m.pkt_num) << 32) | m.pkt_len);
+      mix(m.pkt_offset);
+    } else if (is_tcp()) {
+      const auto& t = tcp();
+      mix((t.seq << 8) | t.flags);
+      mix((static_cast<std::uint64_t>(t.src_port) << 32) | t.payload);
+    } else if (is_udp()) {
+      const auto& u = udp();
+      mix((static_cast<std::uint64_t>(u.src_port) << 32) |
+          (static_cast<std::uint64_t>(u.dst_port) << 16) | u.length);
+    }
+    return h == 0 ? 1 : h;  // 0 is reserved for "unstamped"
+  }
+
+  void stamp_fingerprint() { payload_fingerprint = compute_fingerprint(); }
+
+  /// True when the payload matches its stamp. Unstamped packets (which never
+  /// crossed a link) vacuously pass.
+  bool checksum_ok() const {
+    return payload_fingerprint == 0 || payload_fingerprint == compute_fingerprint();
+  }
+
+  /// Inject a payload bit error (Gilbert-Elliott corruption). The stored
+  /// fingerprint keeps the value stamped before the damage, so every
+  /// verifying receiver sees a mismatch.
+  void corrupt() { corrupted = true; }
 };
 
 }  // namespace mtp::net

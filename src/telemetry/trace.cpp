@@ -11,9 +11,10 @@ namespace mtp::telemetry {
 
 namespace {
 
-constexpr std::array<const char*, 10> kTypeNames = {
-    "enqueue", "dequeue", "drop",   "ecn_mark", "tx",
-    "rx",      "ack",     "nack",   "rto",      "pathlet_feedback",
+constexpr std::array<const char*, 14> kTypeNames = {
+    "enqueue",   "dequeue",          "drop",      "ecn_mark", "tx",
+    "rx",        "ack",              "nack",      "rto",      "pathlet_feedback",
+    "link_flap", "corrupt",          "checksum_drop", "crash",
 };
 
 }  // namespace

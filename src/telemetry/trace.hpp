@@ -32,6 +32,10 @@ enum class TraceEventType : std::uint8_t {
   kNack,             ///< transport emitted a negative acknowledgement
   kRto,              ///< sender declared a packet lost on timeout
   kPathletFeedback,  ///< sender consumed an echoed pathlet feedback TLV
+  kLinkFlap,         ///< link went down (value=0) or came back up (value=1)
+  kCorrupt,          ///< fault injection damaged a packet's payload
+  kChecksumDrop,     ///< receiver dropped a packet on checksum mismatch
+  kCrash,            ///< device crashed (value=0) or restarted (value=1)
 };
 
 const char* to_string(TraceEventType t);

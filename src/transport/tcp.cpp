@@ -39,6 +39,8 @@ TcpStack::TcpStack(net::Host& host, TcpConfig cfg) : host_(host), cfg_(cfg) {
                        static_cast<double>(retransmits_)});
         out.push_back({"timeouts", MetricKind::kCounter,
                        static_cast<double>(timeouts_)});
+        out.push_back({"checksum_drops", MetricKind::kCounter,
+                       static_cast<double>(checksum_drops_)});
         out.push_back({"open_connections", MetricKind::kGauge,
                        static_cast<double>(conns_.size())});
       });
@@ -58,6 +60,24 @@ void TcpStack::listen(proto::PortNum port, AcceptFn on_accept) {
 }
 
 void TcpStack::on_packet(net::Packet&& pkt) {
+  if (!pkt.checksum_ok()) {
+    // Damaged segment: drop before demux (SYNs, ACKs and data alike) and
+    // let normal loss recovery retransmit. Never surfaces to a connection.
+    ++checksum_drops_;
+    if (telemetry::TraceSink::enabled()) {
+      telemetry::TraceEvent ev;
+      ev.t = host_.simulator().now();
+      ev.type = telemetry::TraceEventType::kChecksumDrop;
+      ev.component = host_.name();
+      ev.src = pkt.src;
+      ev.dst = pkt.dst;
+      ev.bytes = pkt.size_bytes();
+      ev.tc = pkt.tc;
+      ev.flow = pkt.flow_hash;
+      telemetry::trace().record(ev);
+    }
+    return;
+  }
   const auto& hdr = pkt.tcp();
   const ConnKey key{pkt.src, hdr.src_port, hdr.dst_port};
   auto it = conns_.find(key);

@@ -234,6 +234,9 @@ class TcpStack {
   std::uint64_t total_pkts_sent() const { return pkts_sent_; }
   std::uint64_t total_retransmits() const { return retransmits_; }
   std::uint64_t total_timeouts() const { return timeouts_; }
+  /// Packets dropped before demux on payload checksum mismatch; loss
+  /// recovery (SACK/RTO) retransmits them like any other drop.
+  std::uint64_t total_checksum_drops() const { return checksum_drops_; }
 
  private:
   friend class TcpConnection;
@@ -262,6 +265,7 @@ class TcpStack {
   std::uint64_t pkts_sent_ = 0;
   std::uint64_t retransmits_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t checksum_drops_ = 0;
   telemetry::Registration metrics_;
 };
 

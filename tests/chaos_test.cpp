@@ -1,0 +1,242 @@
+// Chaos harness: seeded random fault schedules (flaps + bursty impairment +
+// device crashes) over a leaf-spine fabric, checked against hard invariants:
+//
+//   - exactly-once application delivery (no loss, no duplicates),
+//   - payload integrity (no corrupted packet ever reaches an app or device),
+//   - every RPC completes or cleanly times out (callback exactly once),
+//   - the event queue drains (no leaked timers or runaway retransmission),
+//   - the fault timeline is bit-identical for a given seed, serial or under
+//     sim::ParallelSweep.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "helpers.hpp"
+#include "innetwork/kvs_cache.hpp"
+#include "mtp/endpoint.hpp"
+#include "mtp/rpc.hpp"
+#include "net/topologies.hpp"
+#include "sim/parallel.hpp"
+
+namespace mtp::fault {
+namespace {
+
+using namespace mtp::sim::literals;
+using core::MtpEndpoint;
+using core::ReceivedMessage;
+using mtp::testing::HostPair;
+using sim::Bandwidth;
+using sim::SimTime;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct ChaosResult {
+  std::uint64_t fault_digest = 0;  ///< injector's decision timeline
+  std::uint64_t run_digest = 0;    ///< fold of delivery outcomes
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t corrupted_delivered = 0;
+  std::uint64_t checksum_drops = 0;
+  std::uint64_t flaps = 0;
+  std::size_t leaked_events = 0;
+};
+
+// One chaos run: 48 random messages over a 2x2 leaf-spine while two uplinks
+// flap at random and a third runs a Gilbert-Elliott impairment. Everything —
+// workload and faults — derives from `seed`, so the whole run is a pure
+// function of it (the ParallelSweep determinism contract).
+ChaosResult run_chaos(std::uint64_t seed) {
+  net::Network net(seed);
+  net::LeafSpine ls(net, {.leaves = 2, .spines = 2, .hosts_per_leaf = 2},
+                    [] { return std::make_unique<net::MessageAwarePolicy>(); });
+  ls.uplink(0, 0)->set_pathlet({.id = 11, .feedback = proto::FeedbackType::kEcn});
+  ls.uplink(0, 1)->set_pathlet({.id = 12, .feedback = proto::FeedbackType::kEcn});
+  ls.uplink(1, 0)->set_pathlet({.id = 21, .feedback = proto::FeedbackType::kEcn});
+  ls.uplink(1, 1)->set_pathlet({.id = 22, .feedback = proto::FeedbackType::kEcn});
+
+  core::MtpConfig cfg;
+  cfg.auto_exclude_after_losses = 2;
+  cfg.exclude_duration = 300_us;
+  std::vector<std::unique_ptr<MtpEndpoint>> eps;
+  ChaosResult res;
+  std::set<std::pair<net::NodeId, proto::MsgId>> seen;
+  for (net::Host* h : ls.hosts()) {
+    auto ep = std::make_unique<MtpEndpoint>(*h, cfg);
+    ep->listen_any([&res, &seen](const ReceivedMessage& m) {
+      ++res.delivered;
+      if (!seen.emplace(m.src, m.msg_id).second) ++res.duplicates;
+      res.run_digest = mix64(res.run_digest ^ mix64(m.src) ^
+                             mix64(m.msg_id) ^ mix64(static_cast<std::uint64_t>(m.bytes)));
+    });
+    eps.push_back(std::move(ep));
+  }
+
+  // Faults: two flapping uplinks, one bursty-lossy/corrupting uplink. All
+  // links are guaranteed healthy again by t = 3 ms.
+  FaultInjector inj(net.simulator(), seed);
+  inj.random_flaps(*ls.uplink(0, 0), 200_us, 3_ms, /*mean_up=*/400_us,
+                   /*mean_down=*/150_us);
+  inj.random_flaps(*ls.uplink(1, 1), 250_us, 3_ms, 400_us, 150_us);
+  inj.impair_link(*ls.uplink(0, 1), {.p_good_to_bad = 0.01,
+                                     .p_bad_to_good = 0.1,
+                                     .bad_loss = 0.2,
+                                     .bad_corrupt = 0.2});
+
+  // Workload: 48 messages between random host pairs over the first 2 ms.
+  sim::Rng wl(mix64(seed ^ 0xabcdef));
+  const int kMessages = 48;
+  for (int i = 0; i < kMessages; ++i) {
+    const auto src = static_cast<std::size_t>(wl.uniform_int(0, 3));
+    std::size_t dst = static_cast<std::size_t>(wl.uniform_int(0, 2));
+    if (dst >= src) ++dst;  // uniform over the other three hosts
+    const std::int64_t bytes = wl.uniform_int(1, 40'000);
+    const SimTime at = SimTime::nanoseconds(wl.uniform_int(0, 2'000'000));
+    net::Host* to = ls.hosts()[dst];
+    MtpEndpoint* ep = eps[src].get();
+    net.simulator().schedule_at(at, [ep, to, bytes, &res] {
+      ++res.sent;
+      ep->send_message(to->id(), bytes, {.dst_port = 80},
+                       [&res](proto::MsgId, SimTime fct) {
+                         ++res.completions;
+                         res.run_digest = mix64(
+                             res.run_digest ^ static_cast<std::uint64_t>(fct.ns()));
+                       });
+    });
+  }
+
+  net.simulator().run(500_ms);  // generous bound: a healthy run quiesces long before
+  res.leaked_events = net.simulator().pending_events();
+  res.fault_digest = inj.digest();
+  res.flaps = inj.flaps_executed();
+  for (const auto& ep : eps) {
+    res.corrupted_delivered += ep->corrupted_delivered();
+    res.checksum_drops += ep->checksum_drops();
+  }
+  res.run_digest = mix64(res.run_digest ^ res.fault_digest ^ res.delivered ^
+                         res.checksum_drops);
+  return res;
+}
+
+void check_invariants(const ChaosResult& r, std::uint64_t seed) {
+  EXPECT_EQ(r.sent, 48u) << "seed " << seed;
+  EXPECT_EQ(r.completions, r.sent) << "seed " << seed << ": message never completed";
+  EXPECT_EQ(r.delivered, r.sent) << "seed " << seed << ": lost or duplicated delivery";
+  EXPECT_EQ(r.duplicates, 0u) << "seed " << seed;
+  EXPECT_EQ(r.corrupted_delivered, 0u)
+      << "seed " << seed << ": corrupted payload reached the application";
+  EXPECT_EQ(r.leaked_events, 0u) << "seed " << seed << ": event queue did not drain";
+  EXPECT_GT(r.flaps, 0u) << "seed " << seed << ": fault schedule was a no-op";
+}
+
+TEST(Chaos, TwentyFourSeededScheduleSatisfyAllInvariants) {
+  bool any_checksum_drops = false;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const ChaosResult r = run_chaos(seed);
+    check_invariants(r, seed);
+    any_checksum_drops |= r.checksum_drops > 0;
+  }
+  // Across 24 schedules the impaired link must have corrupted something —
+  // otherwise the integrity invariant above was never actually exercised.
+  EXPECT_TRUE(any_checksum_drops);
+}
+
+TEST(Chaos, SameSeedReproducesBitIdenticalTimeline) {
+  const ChaosResult a = run_chaos(7);
+  const ChaosResult b = run_chaos(7);
+  EXPECT_EQ(a.fault_digest, b.fault_digest);
+  EXPECT_EQ(a.run_digest, b.run_digest);
+  EXPECT_EQ(a.checksum_drops, b.checksum_drops);
+  const ChaosResult c = run_chaos(8);
+  EXPECT_NE(a.fault_digest, c.fault_digest);
+}
+
+// Named to match the tsan suite filter (-R 'ParallelSweep'): the chaos jobs
+// must be data-race-free across workers, and their fault timelines must not
+// depend on which thread ran them.
+TEST(ParallelSweepChaos, FaultTimelinesBitIdenticalSerialVsParallel) {
+  const std::size_t kSeeds = 20;
+  auto job = [](std::size_t i) { return run_chaos(i + 1); };
+  sim::ParallelSweep serial(1);
+  sim::ParallelSweep pool(4);
+  const std::vector<ChaosResult> s = serial.map(kSeeds, job);
+  const std::vector<ChaosResult> p = pool.map(kSeeds, job);
+  ASSERT_EQ(s.size(), p.size());
+  for (std::size_t i = 0; i < kSeeds; ++i) {
+    EXPECT_EQ(s[i].fault_digest, p[i].fault_digest) << "seed " << i + 1;
+    EXPECT_EQ(s[i].run_digest, p[i].run_digest) << "seed " << i + 1;
+    EXPECT_EQ(s[i].delivered, p[i].delivered) << "seed " << i + 1;
+    EXPECT_EQ(s[i].flaps, p[i].flaps) << "seed " << i + 1;
+  }
+}
+
+// Devices + RPC under chaos: a KVS cache that crashes (twice) and a flapping
+// backend link, with client retries on. Every call's callback fires exactly
+// once and the sum of outcomes accounts for every call.
+TEST(Chaos, DevicesAndRpcSurviveCrashesAndFlaps) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    HostPair t(Bandwidth::gbps(10));
+    MtpEndpoint client_ep(*t.a, {});
+    MtpEndpoint server_ep(*t.b, {});
+    core::RpcClient client(client_ep, {.reply_port = 9000,
+                                       .timeout = 2_ms,
+                                       .max_retries = 3,
+                                       .retry_seed = seed});
+    core::RpcServer server(server_ep, 80);
+    server.handle("", [](const std::string&, std::int64_t, net::NodeId) {
+      return core::RpcServer::Response{4'000, "srv"};
+    });
+    auto cache = std::make_shared<innetwork::KvsCache>(
+        *t.sw, innetwork::KvsCache::Config{.backend = t.b->id(), .service_port = 80});
+    for (int k = 0; k < 5; ++k) {
+      cache->put("key" + std::to_string(k), "cached", 4'000);
+    }
+    t.sw->add_ingress(cache);
+
+    FaultInjector inj(t.sim(), mix64(seed));
+    inj.crash_device(
+        "kvs", 1_ms, 2_ms, [&] { cache->crash(); }, [&] { cache->restart(); });
+    inj.crash_device(
+        "kvs-again", 6_ms, 1_ms, [&] { cache->crash(); }, [&] { cache->restart(); });
+    inj.random_flaps(*t.sw_to_b, 2_ms, 6_ms, /*mean_up=*/800_us, /*mean_down=*/200_us);
+
+    const int kCalls = 30;
+    std::vector<int> callbacks(kCalls, 0);
+    sim::Rng wl(seed * 1000 + 5);
+    for (int i = 0; i < kCalls; ++i) {
+      const SimTime at = SimTime::nanoseconds(wl.uniform_int(0, 5'000'000));
+      const std::string method = "key" + std::to_string(i % 8);  // some always miss
+      t.sim().schedule_at(at, [&, i, method] {
+        client.call(t.b->id(), 80, method, 1'000,
+                    [&callbacks, i](const core::RpcReply&) { ++callbacks[i]; });
+      });
+    }
+    t.sim().run(500_ms);
+
+    for (int i = 0; i < kCalls; ++i) {
+      EXPECT_EQ(callbacks[i], 1) << "seed " << seed << " call " << i;
+    }
+    EXPECT_EQ(client.completed() + client.timed_out(), static_cast<std::uint64_t>(kCalls))
+        << "seed " << seed;
+    EXPECT_EQ(cache->crashes(), 2u);
+    EXPECT_EQ(cache->receiver().corrupted_delivered(), 0u);
+    EXPECT_EQ(client_ep.corrupted_delivered(), 0u);
+    EXPECT_EQ(server_ep.corrupted_delivered(), 0u);
+    EXPECT_EQ(t.sim().pending_events(), 0u) << "seed " << seed;
+    EXPECT_TRUE(cache->online());
+  }
+}
+
+}  // namespace
+}  // namespace mtp::fault

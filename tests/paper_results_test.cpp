@@ -64,5 +64,19 @@ TEST(PaperFig7, SharedQueueSkewsAndMtpEqualizes) {
   EXPECT_GT(mtp.tenant1_gbps + mtp.tenant2_gbps, 40.0);  // and stays useful
 }
 
+TEST(PaperFaultRecovery, MtpRecoversStrictlyFasterThanTcpAcrossAFlap) {
+  const FaultRecoveryResult mtp = run_fault_recovery("mtp");
+  const FaultRecoveryResult tcp = run_fault_recovery("tcp");
+  ASSERT_GT(mtp.recovery_us, 0) << "MTP never recovered inside the horizon";
+  ASSERT_GT(tcp.recovery_us, 0) << "TCP never recovered inside the horizon";
+  // The headline: per-message placement rides through the outage, the
+  // hash-pinned bytestream waits it out plus its RTO backoff.
+  EXPECT_LT(mtp.recovery_us, tcp.recovery_us);
+  EXPECT_LT(mtp.recovery_us, kFaultFlapFor.us() * 0.5);  // during, not after
+  EXPECT_GE(tcp.recovery_us, kFaultFlapFor.us());        // blackholed throughout
+  EXPECT_GT(mtp.during_fault_gbps, 0.8 * mtp.pre_fault_gbps);
+  EXPECT_LT(tcp.during_fault_gbps, 1.0);
+}
+
 }  // namespace
 }  // namespace mtp::bench
