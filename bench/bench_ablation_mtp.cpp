@@ -11,12 +11,12 @@
 //     isolates the placement policy from the transport.
 #include <cstdio>
 
-#include "scenarios.hpp"
+#include "scenario/paper_figs.hpp"
 #include "workload/workload.hpp"
 #include "stats/table.hpp"
 
 using namespace mtp;
-using namespace mtp::bench;
+using namespace mtp::scenario;
 
 namespace {
 

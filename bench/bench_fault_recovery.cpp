@@ -20,12 +20,12 @@
 // (guarded by tests/paper_results_test.cpp).
 #include <cstdio>
 
-#include "scenarios.hpp"
+#include "scenario/paper_figs.hpp"
 #include "stats/table.hpp"
 #include "telemetry/report.hpp"
 
 using namespace mtp;
-using namespace mtp::bench;
+using namespace mtp::scenario;
 
 int main() {
   std::printf("=== Fault recovery: %s uplink outage at %s on a two-path fabric ===\n\n",

@@ -12,12 +12,12 @@
 
 #include "innetwork/tcp_proxy.hpp"
 #include "net/network.hpp"
-#include "scenarios.hpp"
+#include "scenario/paper_figs.hpp"
 #include "stats/table.hpp"
 #include "telemetry/report.hpp"
 
 using namespace mtp;
-using namespace mtp::bench;
+using namespace mtp::scenario;
 
 namespace {
 

@@ -22,14 +22,14 @@
 #include <vector>
 
 #include "net/network.hpp"
-#include "scenarios.hpp"
+#include "scenario/paper_figs.hpp"
 #include "sim/parallel.hpp"
 #include "stats/stats.hpp"
 #include "stats/table.hpp"
 #include "telemetry/report.hpp"
 
 using namespace mtp;
-using namespace mtp::bench;
+using namespace mtp::scenario;
 
 namespace {
 
@@ -54,7 +54,7 @@ struct Rig {
   }
 };
 
-struct Scenario {
+struct FlowCase {
   std::string name;
   bool per_message = false;
   std::int64_t msg_bytes = 0;  ///< unused for the persistent baseline
@@ -90,7 +90,7 @@ void summarize(Result& r, const stats::ThroughputMeter& meter, sim::SimTime dura
   }
 }
 
-Result run_scenario(const Scenario& sc, sim::SimTime duration) {
+Result run_scenario(const FlowCase& sc, sim::SimTime duration) {
   Rig rig;
   transport::TcpConfig cfg;
   cfg.dctcp = true;
@@ -156,7 +156,7 @@ int main(int argc, char** argv) {
   }
 
   const sim::SimTime duration = 4_ms;
-  const std::vector<Scenario> scenarios = {
+  const std::vector<FlowCase> scenarios = {
       {.name = "persistent flows", .per_message = false},
       {.name = "one 4 KB msg per flow", .per_message = true, .msg_bytes = 4'096},
       {.name = "one 16 KB msg per flow", .per_message = true, .msg_bytes = 16'384},
@@ -203,7 +203,7 @@ int main(int argc, char** argv) {
 
   telemetry::RunReport report("fig3_short_flows");
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const Scenario& sc = scenarios[i];
+    const FlowCase& sc = scenarios[i];
     const Result& r = results[i];
     // Section names are stable keys: persistent, per_message_4096, ...
     const std::string key =

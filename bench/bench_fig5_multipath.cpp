@@ -11,12 +11,12 @@
 // across both paths.
 #include <cstdio>
 
-#include "scenarios.hpp"
+#include "scenario/paper_figs.hpp"
 #include "stats/table.hpp"
 #include "telemetry/report.hpp"
 
 using namespace mtp;
-using namespace mtp::bench;
+using namespace mtp::scenario;
 
 int main() {
   const sim::SimTime duration = 8_ms;

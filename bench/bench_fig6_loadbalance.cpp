@@ -21,13 +21,13 @@
 #include <string>
 #include <vector>
 
-#include "scenarios.hpp"
+#include "scenario/paper_figs.hpp"
 #include "sim/parallel.hpp"
 #include "stats/table.hpp"
 #include "telemetry/report.hpp"
 
 using namespace mtp;
-using namespace mtp::bench;
+using namespace mtp::scenario;
 
 int main(int argc, char** argv) {
   bool serial = false;

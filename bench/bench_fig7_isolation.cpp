@@ -10,12 +10,12 @@
 //                     queue: ~equal without separate queues
 #include <cstdio>
 
-#include "scenarios.hpp"
+#include "scenario/paper_figs.hpp"
 #include "stats/table.hpp"
 #include "telemetry/report.hpp"
 
 using namespace mtp;
-using namespace mtp::bench;
+using namespace mtp::scenario;
 
 int main() {
   const sim::SimTime duration = 40_ms;

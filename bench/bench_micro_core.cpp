@@ -135,7 +135,7 @@ proto::MtpHeader typical_data_header() {
   h.pkt_num = 500;
   h.pkt_offset = 500'000;
   h.pkt_len = 1000;
-  h.path_feedback = {{1, 0, {proto::FeedbackType::kEcn, 1}},
+  h.path_feedback() = {{1, 0, {proto::FeedbackType::kEcn, 1}},
                      {2, 0, {proto::FeedbackType::kRate, 40'000'000'000}}};
   return h;
 }

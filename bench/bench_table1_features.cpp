@@ -23,11 +23,11 @@
 #include "mtp/endpoint.hpp"
 #include "net/forwarding.hpp"
 #include "net/network.hpp"
-#include "scenarios.hpp"
+#include "scenario/paper_figs.hpp"
 #include "stats/table.hpp"
 
 using namespace mtp;
-using namespace mtp::bench;
+using namespace mtp::scenario;
 
 namespace {
 

@@ -7,6 +7,13 @@
 // offload on the ToR switch — and compare round latency and the bytes the
 // server-side link carries.
 //
+// The fabric is the scenario library's topo::incast (workers -> ToR -> PS);
+// the builder wires the network and every endpoint, and the example drops
+// down to the concrete MtpEndpoint accessors for what the unified sender
+// API deliberately doesn't cover: app-tagged gradient messages, a custom
+// parameter-server handler (listen() on the service port replaces the
+// builder's no-op), and the reverse model broadcast on a second port.
+//
 //   $ ./examples/ml_allreduce
 #include <cstdio>
 #include <functional>
@@ -15,7 +22,7 @@
 
 #include "innetwork/aggregation.hpp"
 #include "mtp/endpoint.hpp"
-#include "net/network.hpp"
+#include "scenario/scenario.hpp"
 #include "stats/stats.hpp"
 
 using namespace mtp;
@@ -30,34 +37,22 @@ struct Result {
 };
 
 Result run(bool with_offload, int n_workers, int n_rounds, std::int64_t grad_bytes) {
-  net::Network net(3);
-  net::Switch* tor = net.add_switch("tor");
-  net::Host* ps = net.add_host("ps");
-  std::vector<net::Host*> workers;
-  for (int i = 0; i < n_workers; ++i) {
-    net::Host* w = net.add_host("w" + std::to_string(i));
-    workers.push_back(w);
-    net.connect(*w, *tor, sim::Bandwidth::gbps(100), 1_us,
-                {.capacity_pkts = 256, .ecn_threshold_pkts = 40});
-    tor->add_route(w->id(), static_cast<net::PortIndex>(i));
-  }
-  auto d = net.connect(*tor, *ps, sim::Bandwidth::gbps(100), 1_us,
-                       {.capacity_pkts = 256, .ecn_threshold_pkts = 40});
-  tor->add_route(ps->id(), static_cast<net::PortIndex>(n_workers));
+  auto s = scenario::ScenarioBuilder()
+               .seed(3)
+               .topology(scenario::topo::incast(n_workers))
+               .transport(scenario::TransportKind::kMtp)
+               .dst_port(90)
+               .build();
+  net::Switch* tor = s->topo().lb_switches[0];
+  const net::NodeId ps = s->topo().receiver->id();
 
-  std::shared_ptr<innetwork::AggregationOffload> agg;
   if (with_offload) {
-    agg = std::make_shared<innetwork::AggregationOffload>(
+    tor->add_ingress(std::make_shared<innetwork::AggregationOffload>(
         *tor, innetwork::AggregationOffload::Config{
-                  .server = ps->id(),
+                  .server = ps,
                   .service_port = 90,
-                  .fan_in = static_cast<std::uint32_t>(n_workers)});
-    tor->add_ingress(agg);
+                  .fan_in = static_cast<std::uint32_t>(n_workers)}));
   }
-
-  std::vector<std::unique_ptr<core::MtpEndpoint>> weps;
-  for (auto* w : workers) weps.push_back(std::make_unique<core::MtpEndpoint>(*w, core::MtpConfig{}));
-  core::MtpEndpoint ps_ep(*ps, {});
 
   Result result;
   std::vector<double> round_us;
@@ -68,45 +63,47 @@ Result run(bool with_offload, int n_workers, int n_rounds, std::int64_t grad_byt
   std::function<void()> start_round = [&] {
     if (round >= n_rounds) return;
     ++round;
-    round_start = net.simulator().now();
+    round_start = s->simulator().now();
     grads_this_round = 0;
-    for (auto& ep : weps) {
+    for (int i = 0; i < n_workers; ++i) {
       core::MessageOptions opts;
       opts.dst_port = 90;
       opts.app = net::AppData{"grad:" + std::to_string(round), ""};
-      ep->send_message(ps->id(), grad_bytes, std::move(opts));
+      s->mtp_sender(i)->send_message(ps, grad_bytes, std::move(opts));
     }
   };
 
   // PS: counts gradients (1 aggregate with the offload, N without), then
-  // broadcasts the model update; workers' receipt ends the round.
-  ps_ep.listen(90, [&](const core::ReceivedMessage& m) {
+  // broadcasts the model update; workers' receipt ends the round. listen()
+  // replaces the no-op handler the builder installed on the service port.
+  s->mtp_receiver()->listen(90, [&](const core::ReceivedMessage& m) {
     std::uint32_t contribution = 1;
     if (m.app && m.app->value.rfind("agg:", 0) == 0) {
       contribution = static_cast<std::uint32_t>(std::stoul(m.app->value.substr(4)));
     }
     grads_this_round += contribution;
     if (grads_this_round < static_cast<std::uint32_t>(n_workers)) return;
-    for (auto* w : workers) {
-      ps_ep.send_message(w->id(), grad_bytes, {.dst_port = 91});
+    for (net::Host* w : s->topo().senders) {
+      s->mtp_receiver()->send_message(w->id(), grad_bytes, {.dst_port = 91});
     }
   });
   int updates_received = 0;
-  for (auto& ep : weps) {
-    ep->listen(91, [&](const core::ReceivedMessage&) {
+  for (int i = 0; i < n_workers; ++i) {
+    s->mtp_sender(i)->listen(91, [&](const core::ReceivedMessage&) {
       if (++updates_received % n_workers == 0) {
-        round_us.push_back((net.simulator().now() - round_start).us());
+        round_us.push_back((s->simulator().now() - round_start).us());
         start_round();
       }
     });
   }
 
   start_round();
-  net.simulator().run(2_s);
+  s->run(2_s);
 
   result.rounds = static_cast<int>(round_us.size());
   result.mean_round_us = round_us.empty() ? 0 : stats::mean(round_us);
-  result.server_link_mb = static_cast<double>(d.forward->stats().bytes_delivered) / 1e6;
+  result.server_link_mb =
+      static_cast<double>(s->topo().paths[0]->stats().bytes_delivered) / 1e6;
   return result;
 }
 

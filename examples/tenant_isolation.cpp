@@ -1,18 +1,27 @@
 // Per-tenant isolation on a shared queue (the paper's §5.3 scenario as a
 // runnable walkthrough).
 //
-// Two tenants share one 100 Gb/s link. The aggressive tenant runs eight
-// message streams, the polite one runs one. Watch live throughput with and
+// Two tenants share one 100 Gb/s link. The aggressive tenant runs sixteen
+// message streams, the polite one runs two. Watch live throughput with and
 // without the MTP fair-share policer — same shared FIFO queue, no per-tenant
 // queues anywhere.
 //
+// The rig is the scenario library's topo::shared_bottleneck (the same one
+// bench_fig7 measures): the builder wires the network, the endpoints and the
+// listener, sender_tcs() tags each tenant's traffic class, and the example
+// layers the pathlet, the policer and the closed-loop streams on top through
+// the Topology accessors. Streams submit through the transport-agnostic
+// MessageSender, so switching this walkthrough to DCTCP is a one-line
+// .transport() change.
+//
 //   $ ./examples/tenant_isolation
+#include <array>
 #include <cstdio>
 #include <functional>
+#include <memory>
 
 #include "innetwork/fair_policer.hpp"
-#include "mtp/endpoint.hpp"
-#include "net/network.hpp"
+#include "scenario/scenario.hpp"
 #include "stats/stats.hpp"
 
 using namespace mtp;
@@ -21,64 +30,48 @@ using namespace mtp::sim::literals;
 namespace {
 
 void run(bool with_policer) {
-  net::Network net(7);
-  net::Host* polite = net.add_host("polite");
-  net::Host* greedy = net.add_host("greedy");
-  net::Host* server = net.add_host("server");
-  net::Switch* sw = net.add_switch("sw");
-  const net::DropTailQueue::Config q{.capacity_pkts = 256, .ecn_threshold_pkts = 40};
-  net.connect(*polite, *sw, sim::Bandwidth::gbps(100), 1_us, q);
-  net.connect(*greedy, *sw, sim::Bandwidth::gbps(100), 1_us, q);
-  net::Link* shared = net.connect_simplex(*sw, *server, sim::Bandwidth::gbps(100), 10_us,
-                                          std::make_unique<net::DropTailQueue>(q));
-  net.connect_simplex(*server, *sw, sim::Bandwidth::gbps(100), 10_us,
-                      std::make_unique<net::DropTailQueue>(q));
-  sw->add_route(polite->id(), 0);
-  sw->add_route(greedy->id(), 1);
-  sw->add_route(server->id(), 2);
+  auto s = scenario::ScenarioBuilder()
+               .seed(7)
+               .topology(scenario::topo::shared_bottleneck())
+               .transport(scenario::TransportKind::kMtp)
+               .sender_tcs({1, 2})  // tenant 0 -> TC 1 (polite), tenant 1 -> TC 2 (greedy)
+               .build();
+  net::Link* shared = s->topo().paths[0];
   shared->set_pathlet({.id = 1, .feedback = proto::FeedbackType::kEcn});
   if (with_policer) {
-    sw->add_ingress(std::make_shared<innetwork::FairSharePolicer>(
-        net.simulator(), innetwork::FairSharePolicer::Config{.egress = shared}));
+    s->topo().lb_switches[0]->add_ingress(std::make_shared<innetwork::FairSharePolicer>(
+        s->simulator(), innetwork::FairSharePolicer::Config{.egress = shared}));
   }
 
-  core::MtpEndpoint ep_polite(*polite, {});
-  core::MtpEndpoint ep_greedy(*greedy, {});
-  core::MtpEndpoint ep_server(*server, {});
-  ep_server.listen_any([](const core::ReceivedMessage&) {});
-
   std::array<std::int64_t, 3> delivered{};
-  auto stream = [&](core::MtpEndpoint& ep, proto::TrafficClassId tc, int n) {
-    for (int s = 0; s < n; ++s) {
+  auto stream = [&](std::size_t tenant, proto::TrafficClassId tc, int n) {
+    for (int st = 0; st < n; ++st) {
       auto again = std::make_shared<std::function<void()>>();
-      *again = [&, tc, again] {
-        core::MessageOptions opts;
-        opts.tc = tc;
-        opts.dst_port = 80;
-        ep.send_message(server->id(), 1'000'000, std::move(opts),
-                        [&, tc, again](proto::MsgId, sim::SimTime) {
-                          delivered[tc] += 1'000'000;
-                          (*again)();
-                        });
+      *again = [&, tenant, tc, again] {
+        s->sender(tenant).send_message(
+            1'000'000, [&, tc, again](sim::SimTime, std::int64_t bytes) {
+              delivered[tc] += bytes;
+              (*again)();
+            });
       };
       (*again)();
     }
   };
-  stream(ep_polite, 1, 2);
-  stream(ep_greedy, 2, 16);
+  stream(0, 1, 2);
+  stream(1, 2, 16);
 
   std::printf("%s:\n", with_policer ? "WITH fair-share policer (shared FIFO)"
                                     : "WITHOUT policer (shared FIFO)");
   std::printf("  %8s | %14s | %14s\n", "t (ms)", "polite (Gb/s)", "greedy (Gb/s)");
   std::array<std::int64_t, 3> last{};
-  sim::PeriodicTask report(net.simulator(), 5_ms, [&] {
+  sim::PeriodicTask report(s->simulator(), 5_ms, [&] {
     const double g1 = static_cast<double>(delivered[1] - last[1]) * 8.0 / 0.005 / 1e9;
     const double g2 = static_cast<double>(delivered[2] - last[2]) * 8.0 / 0.005 / 1e9;
     last = delivered;
-    std::printf("  %8.0f | %14.1f | %14.1f\n", net.simulator().now().ms(), g1, g2);
+    std::printf("  %8.0f | %14.1f | %14.1f\n", s->simulator().now().ms(), g1, g2);
   });
   report.start();
-  net.simulator().run(25_ms);
+  s->run(25_ms);
   const double g1 = static_cast<double>(delivered[1]) * 8.0 / 0.025 / 1e9;
   const double g2 = static_cast<double>(delivered[2]) * 8.0 / 0.025 / 1e9;
   std::printf("  overall: polite %.1f Gb/s, greedy %.1f Gb/s, Jain %.3f\n\n", g1, g2,

@@ -5,6 +5,7 @@
 #   check.sh tsan          thread gate: ParallelSweep tests under TSan
 #   check.sh chaos         robustness gate: fixed-seed chaos schedules under ASan
 #   check.sh bench-smoke   perf gate: bench_micro_core --smoke vs BENCH_core.json
+#   check.sh scale-smoke   scale gate: bench_scale --smoke vs BENCH_scale.json
 #   check.sh all           every gate in sequence
 set -euo pipefail
 
@@ -22,9 +23,12 @@ run_tsan() {
   # ThreadSanitizer over the multi-threaded surface: ParallelSweep jobs
   # exercise the thread-local telemetry singletons, the synchronized logger,
   # and per-simulator packet uids from several workers at once.
+  # scale_test's scenario-sweep case runs whole ScenarioBuilder rigs on
+  # worker threads, covering the scenario library's thread-local surfaces.
   cmake --preset tsan -S "$repo"
-  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test
-  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -R 'ParallelSweep'
+  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test scale_test scenario_test
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
+    -R 'ParallelSweep|ScenarioSweep|ScenarioBuilder'
 }
 
 run_chaos() {
@@ -72,19 +76,70 @@ run_bench_smoke() {
   }'
 }
 
+run_scale_smoke() {
+  # Fails on a >25% events/sec regression against the recorded baseline, a
+  # peak below 100k concurrent messages, an idle-message footprint above the
+  # recorded bound, or a serial-vs-ParallelSweep digest mismatch.
+  cmake --preset release -S "$repo"
+  cmake --build --preset release -j "$jobs" --target bench_scale
+  local out
+  out="$("$repo/build/bench/bench_scale" --smoke)"
+  echo "$out"
+  local events peak idle match base_events peak_min idle_max
+  events="$(echo "$out" | sed -n 's/^events_per_sec=//p')"
+  peak="$(echo "$out" | sed -n 's/^peak_concurrent_msgs=//p')"
+  idle="$(echo "$out" | sed -n 's/^bytes_per_idle_msg=//p')"
+  match="$(echo "$out" | sed -n 's/^digest_match=//p')"
+  base_events="$(sed -n 's/.*"events_per_sec": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  peak_min="$(sed -n 's/.*"peak_concurrent_msgs_min": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  idle_max="$(sed -n 's/.*"bytes_per_idle_msg_max": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  if [ -z "$events" ] || [ -z "$base_events" ] || [ -z "$peak" ]; then
+    echo "scale-smoke: failed to parse bench output or baseline" >&2
+    exit 1
+  fi
+  if [ "$match" != "1" ]; then
+    echo "scale-smoke: FAIL serial vs ParallelSweep digest mismatch" >&2
+    exit 1
+  fi
+  awk -v got="$events" -v base="$base_events" 'BEGIN {
+    floor = base * 0.75;
+    if (got < floor) {
+      printf "scale-smoke: FAIL events_per_sec %.0f < 75%% of baseline %.0f (floor %.0f)\n", got, base, floor;
+      exit 1;
+    }
+    printf "scale-smoke: OK events_per_sec %.0f >= floor %.0f (baseline %.0f)\n", got, floor, base;
+  }'
+  awk -v got="$peak" -v min="$peak_min" 'BEGIN {
+    if (got + 0 < min + 0) {
+      printf "scale-smoke: FAIL peak_concurrent_msgs %d < %d\n", got, min;
+      exit 1;
+    }
+    printf "scale-smoke: OK peak_concurrent_msgs %d >= %d\n", got, min;
+  }'
+  awk -v got="$idle" -v max="$idle_max" 'BEGIN {
+    if (got + 0 > max + 0) {
+      printf "scale-smoke: FAIL bytes_per_idle_msg %.1f > %d\n", got, max;
+      exit 1;
+    }
+    printf "scale-smoke: OK bytes_per_idle_msg %.1f <= %d\n", got, max;
+  }'
+}
+
 case "$mode" in
   asan) run_asan ;;
   tsan) run_tsan ;;
   chaos) run_chaos ;;
   bench-smoke) run_bench_smoke ;;
+  scale-smoke) run_scale_smoke ;;
   all)
     run_asan
     run_tsan
     run_chaos
     run_bench_smoke
+    run_scale_smoke
     ;;
   *)
-    echo "usage: check.sh [asan|tsan|chaos|bench-smoke|all]" >&2
+    echo "usage: check.sh [asan|tsan|chaos|bench-smoke|scale-smoke|all]" >&2
     exit 2
     ;;
 esac

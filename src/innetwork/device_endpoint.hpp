@@ -97,7 +97,7 @@ class DeviceReceiver {
       st.msg.src_port = hdr.src_port;
       st.msg.dst_port = hdr.dst_port;
     }
-    if (pkt.app) st.msg.app = pkt.app;
+    if (pkt.app) st.msg.app = *pkt.app;
     if (!st.have[hdr.pkt_num]) {
       st.have[hdr.pkt_num] = true;
       ++st.received;
@@ -145,11 +145,11 @@ class DeviceReceiver {
     hdr.msg_len_bytes = dh.msg_len_bytes;
     hdr.msg_len_pkts = dh.msg_len_pkts;
     hdr.pkt_num = dh.pkt_num;
-    hdr.ack_path_feedback = dh.path_feedback;
+    hdr.ack_path_feedback() = dh.path_feedback();
     if (nack) {
-      hdr.nack.push_back({dh.msg_id, dh.pkt_num});
+      hdr.nack().push_back({dh.msg_id, dh.pkt_num});
     } else {
-      hdr.sack.push_back({dh.msg_id, dh.pkt_num});
+      hdr.sack().push_back({dh.msg_id, dh.pkt_num});
     }
     p.header = std::move(hdr);
     sw_.inject(std::move(p));
@@ -239,7 +239,7 @@ class DeviceSender {
     if (!pkt.is_mtp() || !pkt.mtp().is_ack()) return false;
     const auto& hdr = pkt.mtp();
     bool consumed = false;
-    for (const auto& e : hdr.sack) {
+    for (const auto& e : hdr.sack()) {
       auto it = outgoing_.find(e.msg_id);
       if (it == outgoing_.end()) continue;
       consumed = true;
@@ -250,7 +250,7 @@ class DeviceSender {
       }
       if (m.unsacked.empty()) outgoing_.erase(it);
     }
-    for (const auto& e : hdr.nack) {
+    for (const auto& e : hdr.nack()) {
       auto it = outgoing_.find(e.msg_id);
       if (it == outgoing_.end()) continue;
       consumed = true;
@@ -305,7 +305,7 @@ class DeviceSender {
     hdr.pkt_num = pkt_num;
     hdr.pkt_offset = static_cast<std::uint64_t>(off);
     hdr.pkt_len = p.payload_bytes;
-    if (pkt_num == 0 && msg.opts.app) p.app = msg.opts.app;
+    if (pkt_num == 0 && msg.opts.app) p.app = *msg.opts.app;
     p.header = std::move(hdr);
     sw_.inject(std::move(p));
   }

@@ -25,11 +25,9 @@ MtpEndpoint::MtpEndpoint(net::Host& host, MtpConfig cfg)
     : host_(host), cfg_(cfg), sim_(host.simulator()) {
   host_.set_mtp_handler([this](net::Packet&& pkt) { on_packet(std::move(pkt)); });
   paths_.push_back({proto::kDefaultPathlet});  // PathIndex 0 = default path
-  // The retransmit scan runs only while messages are outstanding, so an
-  // idle endpoint leaves the event queue empty (simulations can run to
-  // quiescence).
-  retx_task_ = std::make_unique<sim::PeriodicTask>(sim_, cfg_.retx_scan_period,
-                                                   [this] { retx_scan(); });
+  // Retransmission timers live on the simulator's shared timer wheel, one
+  // per message with in-flight packets — an idle endpoint leaves the event
+  // queue empty (simulations can run to quiescence).
   ack_flush_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, cfg_.ack_flush_timeout, [this] { flush_acks(); });
   metrics_ = telemetry::MetricRegistry::global().add(
@@ -46,7 +44,7 @@ MtpEndpoint::MtpEndpoint(net::Host& host, MtpConfig cfg)
         out.push_back({"outstanding_messages", MetricKind::kGauge,
                        static_cast<double>(outgoing_.size())});
         out.push_back({"known_pathlets", MetricKind::kGauge,
-                       static_cast<double>(cc_.size())});
+                       static_cast<double>(known_pathlets())});
         out.push_back({"srtt_us", MetricKind::kGauge,
                        rtt_valid_ ? static_cast<double>(srtt_.ns()) / 1000.0 : 0.0});
         out.push_back({"checksum_drops", MetricKind::kCounter,
@@ -71,17 +69,51 @@ proto::MsgId MtpEndpoint::send_message(net::NodeId dst, std::int64_t bytes,
   msg.opts = std::move(opts);
   msg.total_bytes = bytes;
   msg.total_pkts = static_cast<std::uint32_t>((bytes + cfg_.mss - 1) / cfg_.mss);
-  msg.state.assign(msg.total_pkts, PktState::kUnsent);
-  msg.sent_at.assign(msg.total_pkts, sim::SimTime::zero());
-  msg.charged_path.assign(msg.total_pkts, 0);
-  msg.retransmitted.assign(msg.total_pkts, false);
+  msg.pkts.assign(msg.total_pkts, PktMeta{});
   msg.started_at = sim_.now();
   msg.done = std::move(on_delivered);
-  outgoing_.emplace(id, std::move(msg));
-  send_order_.push_back(id);
-  if (!retx_task_->running()) retx_task_->start();
+  OutgoingMessage& slot = outgoing_.emplace(id, std::move(msg)).first->second;
+  if (cfg_.scheduling == MtpConfig::Scheduling::kSrpt) {
+    srpt_order_.push_back(id);
+  } else {
+    enqueue_send(slot, /*urgent=*/false);
+  }
   pump();
   return id;
+}
+
+MtpEndpoint::SendGroup& MtpEndpoint::group_for(const OutgoingMessage& msg) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(msg.dst) << 16) |
+                            (static_cast<std::uint64_t>(msg.opts.tc) << 8) |
+                            msg.opts.priority;
+  auto it = group_index_.find(key);
+  if (it != group_index_.end()) return *it->second;
+  auto group = std::make_unique<SendGroup>();
+  group->dst = msg.dst;
+  group->tc = msg.opts.tc;
+  group->priority = msg.opts.priority;
+  SendGroup* raw = group.get();
+  // Keep groups_ ordered by priority (desc), creation order within a level —
+  // the same service order the old global stable sort produced.
+  auto pos = groups_.begin();
+  while (pos != groups_.end() && (*pos)->priority >= raw->priority) ++pos;
+  groups_.insert(pos, std::move(group));
+  group_index_.emplace(key, raw);
+  return *raw;
+}
+
+void MtpEndpoint::enqueue_send(OutgoingMessage& msg, bool urgent) {
+  // SRPT re-derives its service order from srpt_order_ each pump and never
+  // drains the group queues, so don't grow them.
+  if (cfg_.scheduling == MtpConfig::Scheduling::kSrpt) return;
+  if (msg.send_queued) return;
+  msg.send_queued = true;
+  SendGroup& g = group_for(msg);
+  if (urgent) {
+    g.q.push_front(msg.id);
+  } else {
+    g.q.push_back(msg.id);
+  }
 }
 
 void MtpEndpoint::listen(proto::PortNum port, MessageHandler handler) {
@@ -118,13 +150,14 @@ std::vector<proto::PathRef> MtpEndpoint::active_exclusions() {
 
 void MtpEndpoint::penalize(proto::PathletId pathlet, proto::TrafficClassId tc,
                            LossKind kind) {
-  const CcKey key{pathlet, tc};
   const sim::SimTime gap =
       rtt_valid_ ? std::max(srtt_ * 2, cfg_.retx_scan_period) : cfg_.min_rto;
-  auto [it, fresh] = last_decrease_.try_emplace(key, sim::SimTime::zero());
-  if (!fresh && sim_.now() - it->second < gap) return;
-  it->second = sim_.now();
-  cc(pathlet, tc, proto::FeedbackType::kNone).on_loss(kind);
+  CcState& st = cc_[CcKey{pathlet, tc}];
+  if (st.decreased_once && sim_.now() - st.last_decrease < gap) return;
+  st.last_decrease = sim_.now();
+  st.decreased_once = true;
+  if (!st.algo) st.algo = make_cc(proto::FeedbackType::kNone, cfg_.cc);
+  st.algo->on_loss(kind);
   if (cfg_.auto_exclude_after_losses > 0 && kind == LossKind::kTimeout &&
       ++consecutive_losses_[pathlet] >= cfg_.auto_exclude_after_losses) {
     exclude_pathlet(pathlet, cfg_.exclude_duration);
@@ -134,18 +167,15 @@ void MtpEndpoint::penalize(proto::PathletId pathlet, proto::TrafficClassId tc,
 
 PathletCc& MtpEndpoint::cc(proto::PathletId pathlet, proto::TrafficClassId tc,
                            proto::FeedbackType type_hint) {
-  const CcKey key{pathlet, tc};
-  auto it = cc_.find(key);
-  if (it == cc_.end()) {
-    it = cc_.emplace(key, make_cc(type_hint, cfg_.cc)).first;
-  }
-  return *it->second;
+  CcState& st = cc_[CcKey{pathlet, tc}];
+  if (!st.algo) st.algo = make_cc(type_hint, cfg_.cc);
+  return *st.algo;
 }
 
 const PathletCc* MtpEndpoint::pathlet_cc(proto::PathletId id,
                                          proto::TrafficClassId tc) const {
   auto it = cc_.find(CcKey{id, tc});
-  return it == cc_.end() ? nullptr : it->second.get();
+  return it == cc_.end() ? nullptr : it->second.algo.get();
 }
 
 MtpEndpoint::PathIndex MtpEndpoint::intern_path(
@@ -165,43 +195,69 @@ std::vector<proto::PathletId> MtpEndpoint::current_path(net::NodeId dst) const {
 
 bool MtpEndpoint::admit(PathIndex path, proto::TrafficClassId tc, std::int64_t bytes) {
   for (const proto::PathletId p : paths_[path]) {
-    const CcKey key{p, tc};
-    auto algo = cc_.find(key);
-    const std::int64_t wnd = algo == cc_.end()
-                                 ? cfg_.cc.init_window_bytes()
-                                 : algo->second->window_bytes();
-    auto inflight = inflight_.find(key);
-    const std::int64_t used = inflight == inflight_.end() ? 0 : inflight->second;
-    if (used + bytes > wnd) return false;
+    auto it = cc_.find(CcKey{p, tc});
+    if (it == cc_.end()) {
+      if (bytes > cfg_.cc.init_window_bytes()) return false;
+      continue;
+    }
+    const CcState& st = it->second;
+    const std::int64_t wnd =
+        st.algo ? st.algo->window_bytes() : cfg_.cc.init_window_bytes();
+    if (st.inflight + bytes > wnd) return false;
   }
   return true;
 }
 
 void MtpEndpoint::charge(PathIndex path, proto::TrafficClassId tc, std::int64_t bytes) {
-  for (const proto::PathletId p : paths_[path]) inflight_[CcKey{p, tc}] += bytes;
+  for (const proto::PathletId p : paths_[path]) cc_[CcKey{p, tc}].inflight += bytes;
 }
 
 void MtpEndpoint::uncharge(PathIndex path, proto::TrafficClassId tc, std::int64_t bytes) {
   for (const proto::PathletId p : paths_[path]) {
-    auto it = inflight_.find(CcKey{p, tc});
-    if (it != inflight_.end()) it->second = std::max<std::int64_t>(0, it->second - bytes);
+    auto it = cc_.find(CcKey{p, tc});
+    if (it != cc_.end()) {
+      it->second.inflight = std::max<std::int64_t>(0, it->second.inflight - bytes);
+    }
   }
 }
 
 void MtpEndpoint::pump() {
-  if (send_order_.empty()) return;
-  // Drop completed ids lazily, then scan by priority (higher value first,
-  // FIFO within a priority level). `order` is a reused member scratch: pump
-  // runs once per received ack, and a fresh vector here was one malloc/free
-  // per call.
-  std::erase_if(send_order_, [this](proto::MsgId id) { return !outgoing_.contains(id); });
+  if (cfg_.scheduling == MtpConfig::Scheduling::kSrpt) {
+    pump_srpt();
+    return;
+  }
+  // Serve groups in priority order; inside a group, drain messages FIFO
+  // until one is window-blocked — every message behind it shares the same
+  // (dst-derived path, tc) admission budget, so it would block too. A parked
+  // message keeps send_queued and is retried when its group's window frees.
+  for (const auto& gp : groups_) {
+    SendGroup& g = *gp;
+    while (!g.q.empty()) {
+      auto it = outgoing_.find(g.q.front());
+      if (it == outgoing_.end()) {  // completed since it queued
+        g.q.pop_front();
+        continue;
+      }
+      OutgoingMessage& msg = it->second;
+      if (!service_msg(msg)) break;
+      msg.send_queued = false;
+      g.q.pop_front();
+    }
+  }
+}
+
+/// Shortest remaining processing time: fewest unacknowledged packets first;
+/// application priority still dominates. Re-sorting by remaining work on
+/// every pump is inherently O(n log n) — SRPT keeps the old global-scan
+/// machinery and is not meant for six-digit message counts.
+void MtpEndpoint::pump_srpt() {
+  if (srpt_order_.empty()) return;
+  std::erase_if(srpt_order_, [this](proto::MsgId id) { return !outgoing_.contains(id); });
+  // `order` is a reused member scratch: pump runs once per received ack, and
+  // a fresh vector here was one malloc/free per call.
   std::vector<proto::MsgId>& order = pump_order_;
-  order.assign(send_order_.begin(), send_order_.end());
-  if (order.size() <= 1) {
-    // Nothing to prioritize — skip the sort machinery entirely.
-  } else if (cfg_.scheduling == MtpConfig::Scheduling::kSrpt) {
-    // Shortest remaining processing time: fewest unacknowledged packets
-    // first; application priority still dominates.
+  order.assign(srpt_order_.begin(), srpt_order_.end());
+  if (order.size() > 1) {
     std::stable_sort(order.begin(), order.end(), [this](proto::MsgId a, proto::MsgId b) {
       const OutgoingMessage& ma = outgoing_.at(a);
       const OutgoingMessage& mb = outgoing_.at(b);
@@ -210,30 +266,30 @@ void MtpEndpoint::pump() {
       }
       return ma.total_pkts - ma.sacked < mb.total_pkts - mb.sacked;
     });
-  } else {
-    std::stable_sort(order.begin(), order.end(), [this](proto::MsgId a, proto::MsgId b) {
-      return outgoing_.at(a).opts.priority > outgoing_.at(b).opts.priority;
-    });
   }
   for (const proto::MsgId id : order) {
     auto it = outgoing_.find(id);
     if (it == outgoing_.end()) continue;
-    OutgoingMessage& msg = it->second;
-    // Retransmissions first: they unblock message completion.
-    while (!msg.retx_queue.empty()) {
-      const std::uint32_t pkt = msg.retx_queue.front();
-      if (msg.state[pkt] != PktState::kLost) {  // already re-sacked meanwhile
-        msg.retx_queue.pop_front();
-        continue;
-      }
-      if (!try_send_pkt(msg, pkt, /*is_retx=*/true)) break;
-      msg.retx_queue.pop_front();
-    }
-    while (msg.next_unsent < msg.total_pkts) {
-      if (!try_send_pkt(msg, msg.next_unsent, /*is_retx=*/false)) break;
-      ++msg.next_unsent;
-    }
+    service_msg(it->second);
   }
+}
+
+bool MtpEndpoint::service_msg(OutgoingMessage& msg) {
+  // Retransmissions first: they unblock message completion.
+  while (!msg.retx_queue.empty()) {
+    const std::uint32_t pkt = msg.retx_queue.front();
+    if (msg.state(pkt) != PktState::kLost) {  // already re-sacked meanwhile
+      msg.retx_queue.pop_front();
+      continue;
+    }
+    if (!try_send_pkt(msg, pkt, /*is_retx=*/true)) return false;
+    msg.retx_queue.pop_front();
+  }
+  while (msg.next_unsent < msg.total_pkts) {
+    if (!try_send_pkt(msg, msg.next_unsent, /*is_retx=*/false)) return false;
+    ++msg.next_unsent;
+  }
+  return true;
 }
 
 bool MtpEndpoint::try_send_pkt(OutgoingMessage& msg, std::uint32_t pkt, bool is_retx) {
@@ -251,14 +307,15 @@ bool MtpEndpoint::try_send_pkt(OutgoingMessage& msg, std::uint32_t pkt, bool is_
   const std::int64_t bytes = msg.pkt_len(pkt, cfg_.mss);
   if (!admit(path, msg.opts.tc, bytes)) return false;
   charge(path, msg.opts.tc, bytes);
-  msg.charged_path[pkt] = path;
-  msg.state[pkt] = PktState::kInflight;
-  msg.sent_at[pkt] = sim_.now();
+  msg.pkts[pkt].charged_path = path;
+  msg.set_state(pkt, PktState::kInflight);
+  msg.pkts[pkt].sent_at = sim_.now();
   if (is_retx) {
-    msg.retransmitted[pkt] = true;
+    msg.mark_retransmitted(pkt);
     ++pkts_retx_;
   }
   msg.inflight_fifo.push_back(pkt);
+  if (!sim_.timers().armed(msg.retx_timer)) arm_retx(msg, sim_.now() + rto());
   send_data_pkt(msg, pkt, path);
   return true;
 }
@@ -286,10 +343,10 @@ void MtpEndpoint::send_data_pkt(OutgoingMessage& msg, std::uint32_t pkt, PathInd
   hdr.pkt_num = pkt;
   hdr.pkt_offset = static_cast<std::uint64_t>(pkt) * cfg_.mss;
   hdr.pkt_len = p.payload_bytes;
-  hdr.path_exclude = active_exclusions();
-  if (pkt == 0 && msg.opts.app) p.app = msg.opts.app;
+  hdr.path_exclude() = active_exclusions();
+  if (pkt == 0 && msg.opts.app) p.app = *msg.opts.app;
   p.header_bytes =
-      cfg_.base_header_bytes + static_cast<std::uint32_t>(hdr.path_exclude.size() * 5);
+      cfg_.base_header_bytes + static_cast<std::uint32_t>(hdr.path_exclude().size() * 5);
   p.header = std::move(hdr);
   ++pkts_sent_;
   host_.send(std::move(p));
@@ -299,6 +356,7 @@ void MtpEndpoint::complete_outgoing(OutgoingMessage& msg) {
   const sim::SimTime fct = sim_.now() - msg.started_at;
   auto done = std::move(msg.done);
   const proto::MsgId id = msg.id;
+  sim_.timers().cancel(msg.retx_timer);
   outgoing_.erase(id);  // msg is dangling beyond this point
   if (done) done(id, fct);
 }
@@ -323,51 +381,76 @@ sim::SimTime MtpEndpoint::rto() const {
   return r;
 }
 
-void MtpEndpoint::retx_scan() {
-  if (outgoing_.empty()) {
-    retx_task_->stop();
-    return;
-  }
+void MtpEndpoint::retx_fire(void* self, std::uint64_t id) {
+  static_cast<MtpEndpoint*>(self)->on_retx_timer(static_cast<proto::MsgId>(id));
+}
+
+void MtpEndpoint::arm_retx(OutgoingMessage& msg, sim::SimTime deadline) {
+  // Never (re)arm in the past or at the current instant: a deadline that has
+  // already passed still needs a fresh wheel tick so the expiry check runs
+  // from a clean event, and an `== now` arm would re-fire at this timestamp
+  // forever when the oldest packet sits exactly at its deadline.
+  const sim::SimTime floor = sim_.now() + sim_.timers().granularity();
+  msg.retx_timer =
+      sim_.timers().arm(std::max(deadline, floor), &MtpEndpoint::retx_fire, this, msg.id);
+}
+
+/// Per-message expiry check, driven by the shared timer wheel. Replaces the
+/// old O(outstanding-messages) periodic retx_scan: each message wakes only
+/// when its own oldest in-flight packet may have timed out.
+void MtpEndpoint::on_retx_timer(proto::MsgId id) {
+  auto it = outgoing_.find(id);
+  if (it == outgoing_.end()) return;  // completed between arm and fire
+  OutgoingMessage& msg = it->second;
   const sim::SimTime deadline = rto();
   const sim::SimTime now = sim_.now();
   bool any_lost = false;
-  for (auto& [id, msg] : outgoing_) {
-    while (!msg.inflight_fifo.empty()) {
-      const std::uint32_t pkt = msg.inflight_fifo.front();
-      if (msg.state[pkt] != PktState::kInflight) {
-        msg.inflight_fifo.pop_front();
-        continue;
-      }
-      if (now - msg.sent_at[pkt] <= deadline) break;  // FIFO: rest are newer
+  while (!msg.inflight_fifo.empty()) {
+    const std::uint32_t pkt = msg.inflight_fifo.front();
+    if (msg.state(pkt) != PktState::kInflight) {
       msg.inflight_fifo.pop_front();
-      msg.state[pkt] = PktState::kLost;
-      const std::int64_t bytes = msg.pkt_len(pkt, cfg_.mss);
-      uncharge(msg.charged_path[pkt], msg.opts.tc, bytes);
-      msg.retx_queue.push_back(pkt);
-      any_lost = true;
-      if (telemetry::TraceSink::enabled()) {
-        telemetry::TraceEvent ev;
-        ev.t = now;
-        ev.type = telemetry::TraceEventType::kRto;
-        ev.component = host_.name();
-        ev.src = host_.id();
-        ev.dst = msg.dst;
-        ev.msg_id = id;
-        ev.pkt_num = pkt;
-        ev.bytes = static_cast<std::uint32_t>(bytes);
-        ev.tc = msg.opts.tc;
-        ev.value = static_cast<std::uint64_t>(deadline.ns());
-        telemetry::trace().record(ev);
-      }
-      for (const proto::PathletId p : paths_[msg.charged_path[pkt]]) {
-        penalize(p, msg.opts.tc, LossKind::kTimeout);
-      }
+      continue;
     }
+    if (now - msg.pkts[pkt].sent_at <= deadline) break;  // FIFO: rest are newer
+    msg.inflight_fifo.pop_front();
+    msg.set_state(pkt, PktState::kLost);
+    const std::int64_t bytes = msg.pkt_len(pkt, cfg_.mss);
+    uncharge(msg.pkts[pkt].charged_path, msg.opts.tc, bytes);
+    msg.retx_queue.push_back(pkt);
+    enqueue_send(msg, /*urgent=*/true);
+    any_lost = true;
+    if (telemetry::TraceSink::enabled()) {
+      telemetry::TraceEvent ev;
+      ev.t = now;
+      ev.type = telemetry::TraceEventType::kRto;
+      ev.component = host_.name();
+      ev.src = host_.id();
+      ev.dst = msg.dst;
+      ev.msg_id = id;
+      ev.pkt_num = pkt;
+      ev.bytes = static_cast<std::uint32_t>(bytes);
+      ev.tc = msg.opts.tc;
+      ev.value = static_cast<std::uint64_t>(deadline.ns());
+      telemetry::trace().record(ev);
+    }
+    for (const proto::PathletId p : paths_[msg.pkts[pkt].charged_path]) {
+      penalize(p, msg.opts.tc, LossKind::kTimeout);
+    }
+  }
+  if (!msg.inflight_fifo.empty()) {
+    // The surviving front packet defines the next deadline. (If everything
+    // expired, the next transmission rearms in try_send_pkt.)
+    arm_retx(msg, msg.pkts[msg.inflight_fifo.front()].sent_at + deadline);
   }
   if (any_lost) {
     // Consecutive timeouts back the timer off exponentially (a blackholed
     // path must not be hammered at a fixed rate); any new SACK resets it.
-    rto_backoff_ = std::min(rto_backoff_ * 2.0, kMaxRtoBackoff);
+    // At most one doubling per scan period: many messages expiring in the
+    // same window are one timeout episode, as under the old single scan.
+    if (now - last_backoff_at_ >= cfg_.retx_scan_period) {
+      rto_backoff_ = std::min(rto_backoff_ * 2.0, kMaxRtoBackoff);
+      last_backoff_at_ = now;
+    }
     pump();
   }
 }
@@ -482,12 +565,12 @@ void MtpEndpoint::emit_ack(const net::Packet& data, std::vector<proto::SackEntry
   // ACK's feedback list — the core of pathlet congestion control. With
   // coalescing, the freshest packet's feedback stands in for the batch
   // (paper §4: "feedback can be aggregated").
-  hdr.ack_path_feedback = dh.path_feedback;
-  hdr.sack = std::move(sacks);
-  hdr.nack = std::move(nacks);
+  hdr.ack_path_feedback() = dh.path_feedback();
+  hdr.sack() = std::move(sacks);
+  hdr.nack() = std::move(nacks);
   p.header_bytes = cfg_.base_header_bytes +
-                   static_cast<std::uint32_t>(hdr.ack_path_feedback.size() * 14 +
-                                              (hdr.sack.size() + hdr.nack.size()) * 12);
+                   static_cast<std::uint32_t>(hdr.ack_path_feedback().size() * 14 +
+                                              (hdr.sack().size() + hdr.nack().size()) * 12);
   p.header = std::move(hdr);
   ++acks_sent_;
   if (telemetry::TraceSink::enabled()) {
@@ -503,9 +586,9 @@ void MtpEndpoint::emit_ack(const net::Packet& data, std::vector<proto::SackEntry
     ev.bytes = p.size_bytes();
     ev.tc = p.tc;
     ev.flow = p.flow_hash;
-    ev.value = h.sack.size();
+    ev.value = h.sack().size();
     telemetry::trace().record(ev);
-    for (const auto& n : h.nack) {
+    for (const auto& n : h.nack()) {
       telemetry::TraceEvent ne = ev;
       ne.type = telemetry::TraceEventType::kNack;
       ne.msg_id = n.msg_id;
@@ -549,7 +632,7 @@ void MtpEndpoint::on_data(net::Packet&& pkt) {
     msg.dst_port = hdr.dst_port;
     msg.first_pkt_at = sim_.now();
   }
-  if (pkt.app) msg.app = pkt.app;
+  if (pkt.app) msg.app = *pkt.app;
   if (!msg.have[hdr.pkt_num]) {
     msg.have[hdr.pkt_num] = true;
     ++msg.received;
@@ -607,7 +690,7 @@ void MtpEndpoint::on_ack(const net::Packet& pkt) {
   const auto& hdr = pkt.mtp();
 
   if (telemetry::TraceSink::enabled()) {
-    for (const auto& pf : hdr.ack_path_feedback) {
+    for (const auto& pf : hdr.ack_path_feedback()) {
       telemetry::TraceEvent ev;
       ev.t = sim_.now();
       ev.type = telemetry::TraceEventType::kPathletFeedback;
@@ -625,10 +708,10 @@ void MtpEndpoint::on_ack(const net::Packet& pkt) {
 
   // Learn the destination's current path from the echoed feedback, and feed
   // each pathlet's algorithm. (The ACK's source is the message destination.)
-  if (!hdr.ack_path_feedback.empty()) {
+  if (!hdr.ack_path_feedback().empty()) {
     std::vector<proto::PathletId> pathlets;
-    pathlets.reserve(hdr.ack_path_feedback.size());
-    for (const auto& pf : hdr.ack_path_feedback) pathlets.push_back(pf.pathlet);
+    pathlets.reserve(hdr.ack_path_feedback().size());
+    for (const auto& pf : hdr.ack_path_feedback()) pathlets.push_back(pf.pathlet);
     current_path_[pkt.src] = intern_path(pathlets);
   }
 
@@ -641,45 +724,46 @@ void MtpEndpoint::on_ack(const net::Packet& pkt) {
       const std::int64_t bytes = msg.pkt_len(e.pkt_num, cfg_.mss);
 
       if (is_nack) {
-        if (msg.state[e.pkt_num] == PktState::kInflight) {
-          msg.state[e.pkt_num] = PktState::kLost;
-          uncharge(msg.charged_path[e.pkt_num], msg.opts.tc, bytes);
+        if (msg.state(e.pkt_num) == PktState::kInflight) {
+          msg.set_state(e.pkt_num, PktState::kLost);
+          uncharge(msg.pkts[e.pkt_num].charged_path, msg.opts.tc, bytes);
           msg.retx_queue.push_back(e.pkt_num);
-          for (const proto::PathletId p : paths_[msg.charged_path[e.pkt_num]]) {
+          enqueue_send(msg, /*urgent=*/true);
+          for (const proto::PathletId p : paths_[msg.pkts[e.pkt_num].charged_path]) {
             penalize(p, msg.opts.tc, LossKind::kTrim);
           }
         }
         continue;
       }
 
-      const PktState prev = msg.state[e.pkt_num];
+      const PktState prev = msg.state(e.pkt_num);
       if (prev == PktState::kSacked) continue;
       if (prev == PktState::kInflight) {
-        uncharge(msg.charged_path[e.pkt_num], msg.opts.tc, bytes);
+        uncharge(msg.pkts[e.pkt_num].charged_path, msg.opts.tc, bytes);
       }
-      msg.state[e.pkt_num] = PktState::kSacked;
+      msg.set_state(e.pkt_num, PktState::kSacked);
       ++msg.sacked;
       rto_backoff_ = 1.0;  // forward progress: leave timeout backoff
 
-      const bool karn_valid = !msg.retransmitted[e.pkt_num];
-      const sim::SimTime rtt = sim_.now() - msg.sent_at[e.pkt_num];
+      const bool karn_valid = !msg.retransmitted(e.pkt_num);
+      const sim::SimTime rtt = sim_.now() - msg.pkts[e.pkt_num].sent_at;
       if (karn_valid) rtt_sample(rtt);
 
       // Feed pathlet algorithms: feedback TLVs first, then the ack credit.
-      for (const auto& pf : hdr.ack_path_feedback) {
+      for (const auto& pf : hdr.ack_path_feedback()) {
         PathletCc& algo = cc(pf.pathlet, pf.tc, pf.feedback.type);
         algo.on_feedback(pf.feedback, bytes);
         consecutive_losses_[pf.pathlet] = 0;
       }
-      if (hdr.ack_path_feedback.empty()) {
+      if (hdr.ack_path_feedback().empty()) {
         // No pathlet info on this path: evolve whatever the packet was
         // charged to (the per-destination virtual pathlet).
-        for (const proto::PathletId p : paths_[msg.charged_path[e.pkt_num]]) {
+        for (const proto::PathletId p : paths_[msg.pkts[e.pkt_num].charged_path]) {
           cc(p, msg.opts.tc, proto::FeedbackType::kNone)
               .on_ack(bytes, karn_valid ? rtt : srtt_);
         }
       } else {
-        for (const auto& pf : hdr.ack_path_feedback) {
+        for (const auto& pf : hdr.ack_path_feedback()) {
           cc(pf.pathlet, pf.tc, pf.feedback.type)
               .on_ack(bytes, karn_valid ? rtt : srtt_);
         }
@@ -692,8 +776,8 @@ void MtpEndpoint::on_ack(const net::Packet& pkt) {
     }
   };
 
-  handle_entries(hdr.sack, /*is_nack=*/false);
-  handle_entries(hdr.nack, /*is_nack=*/true);
+  handle_entries(hdr.sack(), /*is_nack=*/false);
+  handle_entries(hdr.nack(), /*is_nack=*/true);
   pump();
 }
 

@@ -35,6 +35,7 @@
 #include "mtp/cc_algorithm.hpp"
 #include "net/host.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer_wheel.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace mtp::core {
@@ -46,7 +47,10 @@ struct MtpConfig {
 
   sim::SimTime min_rto = sim::SimTime::microseconds(200);
   sim::SimTime max_rto = sim::SimTime::milliseconds(100);
-  /// Retransmit-scan period (loss detection granularity).
+  /// Consecutive-timeout window: RTO backoff doubles at most once per this
+  /// period, no matter how many messages expire inside it. (Historically the
+  /// retransmit-scan period; timers now live on the simulator's timer wheel
+  /// and fire per message — see docs/scale.md.)
   sim::SimTime retx_scan_period = sim::SimTime::microseconds(100);
 
   /// Completed-message tombstones kept to re-ACK duplicate retransmissions.
@@ -129,7 +133,13 @@ class MtpEndpoint {
 
   // --- Introspection (tests, experiments).
   const PathletCc* pathlet_cc(proto::PathletId id, proto::TrafficClassId tc) const;
-  std::size_t known_pathlets() const { return cc_.size(); }
+  /// Pathlets with a live congestion-control algorithm (charge-only entries
+  /// that never saw feedback or loss don't count).
+  std::size_t known_pathlets() const {
+    std::size_t n = 0;
+    for (const auto& [key, st] : cc_) n += st.algo != nullptr;
+    return n;
+  }
   std::size_t outstanding_messages() const { return outgoing_.size(); }
   std::uint64_t pkts_sent() const { return pkts_sent_; }
   std::uint64_t pkts_retransmitted() const { return pkts_retx_; }
@@ -168,24 +178,66 @@ class MtpEndpoint {
 
   enum class PktState : std::uint8_t { kUnsent, kInflight, kSacked, kLost };
 
+  /// Per-packet sender state, one 16-byte record instead of four parallel
+  /// vectors: a 1-packet message costs one small allocation, not four.
+  struct PktMeta {
+    sim::SimTime sent_at;
+    PathIndex charged_path = 0;
+    std::uint8_t flags = 0;  ///< bits 0-1: PktState, bit 2: retransmitted (Karn)
+  };
+
+  /// FIFO of packet numbers. A vector with a head cursor: unlike std::deque
+  /// (whose empty libstdc++ instance still owns a 512-byte chunk) it holds no
+  /// memory until used, which dominates idle per-message footprint at scale.
+  class PktFifo {
+   public:
+    bool empty() const { return head_ == q_.size(); }
+    std::size_t size() const { return q_.size() - head_; }
+    std::uint32_t front() const { return q_[head_]; }
+    void push_back(std::uint32_t v) { q_.push_back(v); }
+    void pop_front() {
+      if (++head_ == q_.size()) {  // drained: restart at the buffer's front
+        q_.clear();
+        head_ = 0;
+      }
+    }
+
+   private:
+    std::vector<std::uint32_t> q_;
+    std::size_t head_ = 0;
+  };
+
   struct OutgoingMessage {
     proto::MsgId id = 0;
     net::NodeId dst = net::kInvalidNode;
     MessageOptions opts;
     std::int64_t total_bytes = 0;
     std::uint32_t total_pkts = 0;
-    std::vector<PktState> state;          // per packet
-    std::vector<sim::SimTime> sent_at;    // per packet
-    std::vector<PathIndex> charged_path;  // per packet
-    std::vector<bool> retransmitted;      // per packet (Karn)
+    std::vector<PktMeta> pkts;  // per packet
     std::uint32_t next_unsent = 0;
     std::uint32_t sacked = 0;
-    std::deque<std::uint32_t> retx_queue;
+    PktFifo retx_queue;
     /// Packet numbers in transmission order; the front is always the oldest
-    /// in-flight packet, so the retransmit scan is O(1) until a loss.
-    std::deque<std::uint32_t> inflight_fifo;
+    /// in-flight packet, so expiry checks are O(1) until a loss.
+    PktFifo inflight_fifo;
+    /// True while the message sits in its SendGroup queue (has packets to
+    /// send but may be window-blocked). Guards against double-enqueue.
+    bool send_queued = false;
     sim::SimTime started_at;
+    /// Wheel timer for the oldest in-flight packet's deadline; null when
+    /// nothing is in flight.
+    sim::TimerId retx_timer;
     DoneFn done;
+
+    PktState state(std::uint32_t pkt) const {
+      return static_cast<PktState>(pkts[pkt].flags & 0x3);
+    }
+    void set_state(std::uint32_t pkt, PktState s) {
+      pkts[pkt].flags =
+          static_cast<std::uint8_t>((pkts[pkt].flags & ~0x3u) | static_cast<std::uint8_t>(s));
+    }
+    bool retransmitted(std::uint32_t pkt) const { return (pkts[pkt].flags & 0x4) != 0; }
+    void mark_retransmitted(std::uint32_t pkt) { pkts[pkt].flags |= 0x4; }
 
     std::uint32_t pkt_len(std::uint32_t pkt, std::uint32_t mss) const {
       const std::uint64_t off = static_cast<std::uint64_t>(pkt) * mss;
@@ -229,10 +281,16 @@ class MtpEndpoint {
                 std::vector<proto::SackEntry>&& nacks);
   void flush_acks();
   void pump();
+  void pump_srpt();
+  /// Send msg's pending retransmissions then unsent packets while admission
+  /// allows. Returns false if it stopped window-blocked with work remaining.
+  bool service_msg(OutgoingMessage& msg);
   bool try_send_pkt(OutgoingMessage& msg, std::uint32_t pkt, bool is_retx);
   void send_data_pkt(OutgoingMessage& msg, std::uint32_t pkt, PathIndex path);
   void complete_outgoing(OutgoingMessage& msg);
-  void retx_scan();
+  void on_retx_timer(proto::MsgId id);
+  static void retx_fire(void* self, std::uint64_t id);  ///< wheel trampoline
+  void arm_retx(OutgoingMessage& msg, sim::SimTime deadline);
   void rtt_sample(sim::SimTime sample);
   sim::SimTime rto() const;
 
@@ -250,20 +308,51 @@ class MtpEndpoint {
   MtpConfig cfg_;
   sim::Simulator& sim_;
 
+  /// Everything the sender tracks per (pathlet, TC), in one map so the
+  /// admit/charge/uncharge hot path does a single hash lookup (three separate
+  /// maps before). `algo` is created lazily on first feedback/ack/loss;
+  /// `last_decrease` rate-limits multiplicative decreases — losses within
+  /// one RTT are a single congestion event and must cut the window once.
+  struct CcState {
+    std::unique_ptr<PathletCc> algo;
+    std::int64_t inflight = 0;
+    sim::SimTime last_decrease;
+    bool decreased_once = false;
+  };
+
+  /// Pending-send queue for one (dst, tc, priority) bucket. Admission is
+  /// per-(path, tc) and a message's path is a pure function of its
+  /// destination, so when the front of a group is window-blocked the rest of
+  /// the group is too: pump() parks the whole group after one failed admit
+  /// and moves on. That makes a pump cost O(groups + packets actually sent)
+  /// instead of O(all queued messages) — the property that keeps 100k
+  /// concurrent messages serviceable (the old global scan re-sorted and
+  /// re-visited every parked message on every ack).
+  struct SendGroup {
+    net::NodeId dst;
+    proto::TrafficClassId tc = 0;
+    std::uint8_t priority = 0;
+    std::deque<proto::MsgId> q;  ///< FIFO; retransmit-bearing messages jump the line
+  };
+  SendGroup& group_for(const OutgoingMessage& msg);
+  /// Queue msg for pump service. `urgent` puts it at the front of its group
+  /// (retransmissions unblock completion, mirroring the old retx-first rule).
+  void enqueue_send(OutgoingMessage& msg, bool urgent);
+
   // --- Sender.
   proto::MsgId next_msg_id_ = 1;
   std::unordered_map<proto::MsgId, OutgoingMessage> outgoing_;
-  std::vector<proto::MsgId> send_order_;  ///< ids in arrival order (pump scans by priority)
-  std::vector<proto::MsgId> pump_order_;  ///< pump() scratch (reused, see pump)
-  std::unordered_map<CcKey, std::unique_ptr<PathletCc>, CcKeyHash> cc_;
-  std::unordered_map<CcKey, std::int64_t, CcKeyHash> inflight_;
+  /// Groups ordered by (priority desc, creation); few in practice. Stable
+  /// pointers — indexed by group_index_.
+  std::vector<std::unique_ptr<SendGroup>> groups_;
+  std::unordered_map<std::uint64_t, SendGroup*> group_index_;
+  std::vector<proto::MsgId> srpt_order_;  ///< SRPT only: ids in arrival order
+  std::vector<proto::MsgId> pump_order_;  ///< pump_srpt() scratch (reused)
+  std::unordered_map<CcKey, CcState, CcKeyHash> cc_;
   std::vector<std::vector<proto::PathletId>> paths_;  ///< interned path table
   std::unordered_map<net::NodeId, PathIndex> current_path_;
   std::unordered_map<proto::PathletId, sim::SimTime> excluded_until_;
   std::unordered_map<proto::PathletId, int> consecutive_losses_;
-  /// Last multiplicative decrease per (pathlet, TC): losses within one RTT
-  /// are a single congestion event and must cut the window only once.
-  std::unordered_map<CcKey, sim::SimTime, CcKeyHash> last_decrease_;
   sim::SimTime srtt_;
   sim::SimTime rttvar_;
   bool rtt_valid_ = false;
@@ -272,7 +361,9 @@ class MtpEndpoint {
   /// srtt_ only ever learns from non-retransmitted packets.
   double rto_backoff_ = 1.0;
   static constexpr double kMaxRtoBackoff = 64.0;
-  std::unique_ptr<sim::PeriodicTask> retx_task_;
+  /// Per-message wheel timers can expire many messages inside what used to
+  /// be one scan tick; the backoff doubles at most once per scan period.
+  sim::SimTime last_backoff_at_;
   std::uint64_t pkts_sent_ = 0;
   std::uint64_t pkts_retx_ = 0;
   std::uint64_t checksum_drops_ = 0;

@@ -166,10 +166,10 @@ class MessageAwarePolicy final : public ForwardingPolicy {
   };
 
   static bool excluded(Switch& sw, PortIndex port, const proto::MtpHeader* hdr) {
-    if (hdr == nullptr || hdr->path_exclude.empty()) return false;
+    if (hdr == nullptr || hdr->path_exclude().empty()) return false;
     const PathletState* pl = sw.out_port(port)->pathlet();
     if (pl == nullptr) return false;
-    for (const auto& e : hdr->path_exclude) {
+    for (const auto& e : hdr->path_exclude()) {
       if (e.pathlet == pl->config().id) return true;
     }
     return false;

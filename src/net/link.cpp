@@ -166,7 +166,7 @@ void Link::stamp(Packet& pkt, sim::SimTime queue_delay) {
   if (hdr.is_ack()) return;  // feedback is collected on the data path only
   const bool marked_here = pkt.ecn == Ecn::kCe && !pkt.hop_was_ce;
   if (!pathlet_->should_stamp(marked_here, queue_delay)) return;
-  hdr.path_feedback.push_back(
+  hdr.path_feedback().push_back(
       {pathlet_->config().id, hdr.tc, pathlet_->make_feedback(marked_here, queue_delay)});
 }
 

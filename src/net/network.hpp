@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/host.hpp"
@@ -67,20 +68,15 @@ class Network {
  private:
   NodeId next_id() { return static_cast<NodeId>(nodes_.size()); }
   // Next in-port index on `b`: the number of links already delivering into
-  // it. Called before connect_to(), so the link being wired (peer still
-  // null) is not counted.
-  PortIndex next_in_port(Node& b) {
-    std::size_t n = 0;
-    for (const auto& l : links_) {
-      if (l->peer() == &b) ++n;
-    }
-    return static_cast<PortIndex>(n);
-  }
+  // it. A running counter — scanning links_ per connect made building a
+  // thousand-host fat-tree quadratic in the link count.
+  PortIndex next_in_port(Node& b) { return in_port_count_[&b]++; }
 
   sim::Simulator sim_;
   sim::Rng rng_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<const Node*, PortIndex> in_port_count_;
 };
 
 }  // namespace mtp::net

@@ -55,7 +55,11 @@ struct Packet {
   std::uint64_t payload_fingerprint = 0;
 
   std::variant<std::monostate, proto::TcpHeader, proto::UdpHeader, proto::MtpHeader> header;
-  std::optional<AppData> app;
+
+  /// Application payload annotation, boxed because almost every packet in
+  /// flight has none and packets are moved on every hop. Mimics the optional
+  /// interface (bool test, ->, *, assignment from AppData).
+  proto::Boxed<AppData> app;
 
   // --- Per-hop scratch space owned by the Link currently carrying the
   // packet; reset on every send(). Not part of the wire format.

@@ -55,6 +55,20 @@ class Switch : public Node {
   /// multipath candidate sets.
   void add_route(NodeId dst, PortIndex port) { routes_[dst].push_back(port); }
 
+  /// Candidate ports for any destination with no explicit route. This is how
+  /// large fabrics stay compact: a fat-tree edge switch routes its own hosts
+  /// down with explicit entries and everything else up through the default
+  /// set, instead of per-host entries for the whole datacenter.
+  void set_default_route(std::vector<PortIndex> ports) { default_route_ = std::move(ports); }
+
+  /// The candidates forward() would consider for `dst` (explicit route if
+  /// present, else the default set; empty = drop). For topology tests.
+  std::span<const PortIndex> route_candidates(NodeId dst) const {
+    auto it = routes_.find(dst);
+    if (it != routes_.end() && !it->second.empty()) return it->second;
+    return default_route_;
+  }
+
   void set_policy(std::unique_ptr<ForwardingPolicy> p) { policy_ = std::move(p); }
   ForwardingPolicy* policy() const { return policy_.get(); }
 
@@ -75,12 +89,11 @@ class Switch : public Node {
 
  private:
   void forward(Packet&& pkt) {
-    auto it = routes_.find(pkt.dst);
-    if (it == routes_.end() || it->second.empty()) {
+    const std::span<const PortIndex> candidates = route_candidates(pkt.dst);
+    if (candidates.empty()) {
       ++no_route_drops_;
       return;
     }
-    const auto& candidates = it->second;
     PortIndex port = candidates.front();
     if (candidates.size() > 1 && policy_) {
       port = policy_->select(pkt, candidates, *this);
@@ -89,6 +102,7 @@ class Switch : public Node {
   }
 
   std::unordered_map<NodeId, std::vector<PortIndex>> routes_;
+  std::vector<PortIndex> default_route_;
   std::unique_ptr<ForwardingPolicy> policy_;
   std::vector<std::shared_ptr<IngressProcessor>> ingress_;
   std::uint64_t no_route_drops_ = 0;

@@ -4,7 +4,9 @@
 // load-balancing discussion assumes: every leaf connects to every spine, so
 // any inter-rack pair has `spines` equal-cost paths. Up-ports use the
 // fabric-wide forwarding policy (ECMP, spraying, flowlet, message-aware);
-// down-routing is deterministic.
+// down-routing is deterministic. Racks may be asymmetric: `hosts_at_leaf`
+// overrides the per-leaf host count (real pods are rarely uniform, and the
+// port arithmetic has to survive that).
 #pragma once
 
 #include <functional>
@@ -22,6 +24,9 @@ class LeafSpine {
     int leaves = 2;
     int spines = 2;
     int hosts_per_leaf = 2;
+    /// When non-empty (size must equal `leaves`), leaf l hosts
+    /// hosts_at_leaf[l] machines and `hosts_per_leaf` is ignored.
+    std::vector<int> hosts_at_leaf;
     sim::Bandwidth host_bw = sim::Bandwidth::gbps(100);
     sim::Bandwidth fabric_bw = sim::Bandwidth::gbps(100);
     sim::SimTime link_delay = sim::SimTime::microseconds(1);
@@ -33,14 +38,18 @@ class LeafSpine {
   using PolicyFactory = std::function<std::unique_ptr<ForwardingPolicy>()>;
 
   LeafSpine(Network& net, Config cfg, const PolicyFactory& up_policy = {}) : cfg_(cfg) {
-    // Create switches and hosts.
+    // Create switches and hosts. Port layout on a leaf: [0, n_l) host-facing
+    // (down), [n_l, n_l + spines) spine-facing (up), where n_l is that
+    // leaf's own host count.
     for (int s = 0; s < cfg.spines; ++s) {
       spines_.push_back(net.add_switch("spine" + std::to_string(s)));
     }
     for (int l = 0; l < cfg.leaves; ++l) {
       Switch* leaf = net.add_switch("leaf" + std::to_string(l));
       leaves_.push_back(leaf);
-      for (int h = 0; h < cfg.hosts_per_leaf; ++h) {
+      leaf_host_base_.push_back(static_cast<int>(hosts_.size()));
+      const int n = hosts_at(l);
+      for (int h = 0; h < n; ++h) {
         Host* host = net.add_host("h" + std::to_string(l) + "." + std::to_string(h));
         hosts_.push_back(host);
         host_leaf_.push_back(l);
@@ -48,9 +57,7 @@ class LeafSpine {
       }
       if (up_policy) leaf->set_policy(up_policy());
     }
-    // Leaf <-> spine mesh. Port layout on a leaf: [0, hosts) host-facing
-    // (down), [hosts, hosts+spines) spine-facing (up). On a spine: port l
-    // faces leaf l.
+    // Leaf <-> spine mesh. On a spine: port l faces leaf l.
     for (int l = 0; l < cfg.leaves; ++l) {
       for (int s = 0; s < cfg.spines; ++s) {
         net.connect(*leaves_[l], *spines_[s], cfg.fabric_bw, cfg.link_delay, cfg.queue);
@@ -61,12 +68,13 @@ class LeafSpine {
     for (int l = 0; l < cfg.leaves; ++l) {
       for (std::size_t hi = 0; hi < hosts_.size(); ++hi) {
         if (host_leaf_[hi] == l) {
-          leaves_[l]->add_route(hosts_[hi]->id(),
-                                static_cast<PortIndex>(hi % cfg.hosts_per_leaf));
+          leaves_[l]->add_route(
+              hosts_[hi]->id(),
+              static_cast<PortIndex>(static_cast<int>(hi) - leaf_host_base_[l]));
         } else {
           for (int s = 0; s < cfg.spines; ++s) {
             leaves_[l]->add_route(hosts_[hi]->id(),
-                                  static_cast<PortIndex>(cfg.hosts_per_leaf + s));
+                                  static_cast<PortIndex>(hosts_at(l) + s));
           }
         }
       }
@@ -79,17 +87,19 @@ class LeafSpine {
     }
   }
 
-  Host* host(int leaf, int idx) const {
-    return hosts_[static_cast<std::size_t>(leaf) * cfg_.hosts_per_leaf + idx];
-  }
+  Host* host(int leaf, int idx) const { return hosts_[leaf_host_base_[leaf] + idx]; }
   Switch* leaf(int i) const { return leaves_[i]; }
   Switch* spine(int i) const { return spines_[i]; }
   const std::vector<Host*>& hosts() const { return hosts_; }
+  int leaf_of(int host_idx) const { return host_leaf_[host_idx]; }
+  /// Hosts attached to leaf l (respects the asymmetric override).
+  int hosts_at(int l) const {
+    return cfg_.hosts_at_leaf.empty() ? cfg_.hosts_per_leaf : cfg_.hosts_at_leaf[l];
+  }
 
   /// The uplink from `leaf` to `spine` (for probing/failing fabric paths).
   Link* uplink(int leaf, int spine) const {
-    return leaves_[leaf]->out_port(
-        static_cast<PortIndex>(cfg_.hosts_per_leaf + spine));
+    return leaves_[leaf]->out_port(static_cast<PortIndex>(hosts_at(leaf) + spine));
   }
 
  private:
@@ -98,6 +108,7 @@ class LeafSpine {
   std::vector<Switch*> spines_;
   std::vector<Host*> hosts_;
   std::vector<int> host_leaf_;
+  std::vector<int> leaf_host_base_;  ///< first host index of each leaf
 };
 
 }  // namespace mtp::net

@@ -40,9 +40,14 @@ void put_sack(WireWriter& w, const std::vector<SackEntry>& v) {
   }
 }
 
-bool get_path_refs(WireReader& r, std::vector<PathRef>& v) {
+// The get_* readers take the destination lazily: an empty list on the wire
+// must not allocate the header's list block.
+template <typename Ensure>
+bool get_path_refs(WireReader& r, Ensure ensure) {
   const auto n = r.get<std::uint16_t>();
   if (!n) return false;
+  if (*n == 0) return true;
+  auto& v = ensure();
   v.reserve(*n);
   for (std::uint16_t i = 0; i < *n; ++i) {
     const auto pathlet = r.get<std::uint32_t>();
@@ -53,9 +58,12 @@ bool get_path_refs(WireReader& r, std::vector<PathRef>& v) {
   return true;
 }
 
-bool get_path_feedback(WireReader& r, std::vector<PathFeedback>& v) {
+template <typename Ensure>
+bool get_path_feedback(WireReader& r, Ensure ensure) {
   const auto n = r.get<std::uint16_t>();
   if (!n) return false;
+  if (*n == 0) return true;
+  auto& v = ensure();
   v.reserve(*n);
   for (std::uint16_t i = 0; i < *n; ++i) {
     const auto pathlet = r.get<std::uint32_t>();
@@ -69,9 +77,12 @@ bool get_path_feedback(WireReader& r, std::vector<PathFeedback>& v) {
   return true;
 }
 
-bool get_sack(WireReader& r, std::vector<SackEntry>& v) {
+template <typename Ensure>
+bool get_sack(WireReader& r, Ensure ensure) {
   const auto n = r.get<std::uint16_t>();
   if (!n) return false;
+  if (*n == 0) return true;
+  auto& v = ensure();
   v.reserve(*n);
   for (std::uint16_t i = 0; i < *n; ++i) {
     const auto msg = r.get<std::uint64_t>();
@@ -86,9 +97,9 @@ bool get_sack(WireReader& r, std::vector<SackEntry>& v) {
 
 std::size_t MtpHeader::wire_size() const {
   return kFixedSize + 5 * 2  // five 16-bit list counts
-         + path_exclude.size() * kPathRefSize
-         + (path_feedback.size() + ack_path_feedback.size()) * kPathFeedbackSize
-         + (sack.size() + nack.size()) * kSackEntrySize;
+         + path_exclude().size() * kPathRefSize
+         + (path_feedback().size() + ack_path_feedback().size()) * kPathFeedbackSize
+         + (sack().size() + nack().size()) * kSackEntrySize;
 }
 
 void MtpHeader::serialize(std::vector<std::uint8_t>& out) const {
@@ -105,11 +116,11 @@ void MtpHeader::serialize(std::vector<std::uint8_t>& out) const {
   w.put<std::uint32_t>(pkt_num);
   w.put<std::uint64_t>(pkt_offset);
   w.put<std::uint32_t>(pkt_len);
-  put_path_refs(w, path_exclude);
-  put_path_feedback(w, path_feedback);
-  put_path_feedback(w, ack_path_feedback);
-  put_sack(w, sack);
-  put_sack(w, nack);
+  put_path_refs(w, path_exclude());
+  put_path_feedback(w, path_feedback());
+  put_path_feedback(w, ack_path_feedback());
+  put_sack(w, sack());
+  put_sack(w, nack());
 }
 
 std::optional<MtpHeader> MtpHeader::parse(std::span<const std::uint8_t> in) {
@@ -142,11 +153,11 @@ std::optional<MtpHeader> MtpHeader::parse(std::span<const std::uint8_t> in) {
   h.pkt_num = *pkt_num;
   h.pkt_offset = *pkt_off;
   h.pkt_len = *pkt_len;
-  if (!get_path_refs(r, h.path_exclude)) return std::nullopt;
-  if (!get_path_feedback(r, h.path_feedback)) return std::nullopt;
-  if (!get_path_feedback(r, h.ack_path_feedback)) return std::nullopt;
-  if (!get_sack(r, h.sack)) return std::nullopt;
-  if (!get_sack(r, h.nack)) return std::nullopt;
+  if (!get_path_refs(r, [&]() -> auto& { return h.path_exclude(); })) return std::nullopt;
+  if (!get_path_feedback(r, [&]() -> auto& { return h.path_feedback(); })) return std::nullopt;
+  if (!get_path_feedback(r, [&]() -> auto& { return h.ack_path_feedback(); })) return std::nullopt;
+  if (!get_sack(r, [&]() -> auto& { return h.sack(); })) return std::nullopt;
+  if (!get_sack(r, [&]() -> auto& { return h.nack(); })) return std::nullopt;
   return h;
 }
 

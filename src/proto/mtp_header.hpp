@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "proto/boxed.hpp"
 #include "proto/types.hpp"
 
 namespace mtp::proto {
@@ -82,14 +83,36 @@ struct MtpHeader {
   std::uint64_t pkt_offset = 0;    ///< byte offset of this packet's payload
   std::uint32_t pkt_len = 0;       ///< payload bytes in this packet
 
-  // --- Pathlet congestion control.
-  std::vector<PathRef> path_exclude;
-  std::vector<PathFeedback> path_feedback;      ///< appended by devices en route
-  std::vector<PathFeedback> ack_path_feedback;  ///< echoed by the receiver
+  // --- Variable-length lists (pathlet CC + selective acknowledgement).
+  //
+  // Boxed behind one pointer: most data packets in flight carry none of
+  // them, and the packet is moved on every hop, so the five lists would
+  // otherwise dominate sizeof(MtpHeader). Mutable accessors allocate the
+  // block on first touch; const accessors read empty lists for free.
+  struct Lists {
+    std::vector<PathRef> path_exclude;
+    std::vector<PathFeedback> path_feedback;
+    std::vector<PathFeedback> ack_path_feedback;
+    std::vector<SackEntry> sack;
+    std::vector<SackEntry> nack;
+    bool operator==(const Lists&) const = default;
+  };
+  Boxed<Lists> lists;
 
-  // --- Selective acknowledgement.
-  std::vector<SackEntry> sack;
-  std::vector<SackEntry> nack;
+  std::vector<PathRef>& path_exclude() { return lists.ensure().path_exclude; }
+  const std::vector<PathRef>& path_exclude() const { return lists.view().path_exclude; }
+  /// Appended by devices en route.
+  std::vector<PathFeedback>& path_feedback() { return lists.ensure().path_feedback; }
+  const std::vector<PathFeedback>& path_feedback() const { return lists.view().path_feedback; }
+  /// Echoed by the receiver.
+  std::vector<PathFeedback>& ack_path_feedback() { return lists.ensure().ack_path_feedback; }
+  const std::vector<PathFeedback>& ack_path_feedback() const {
+    return lists.view().ack_path_feedback;
+  }
+  std::vector<SackEntry>& sack() { return lists.ensure().sack; }
+  const std::vector<SackEntry>& sack() const { return lists.view().sack; }
+  std::vector<SackEntry>& nack() { return lists.ensure().nack; }
+  const std::vector<SackEntry>& nack() const { return lists.view().nack; }
 
   bool is_ack() const { return type == MtpPacketType::kAck; }
   bool is_last_pkt() const { return msg_len_pkts != 0 && pkt_num + 1 == msg_len_pkts; }

@@ -14,8 +14,8 @@ void TcpHeader::serialize(std::vector<std::uint8_t>& out) const {
   w.put<std::uint8_t>(flags);
   w.put<std::uint64_t>(rwnd);
   w.put<std::uint32_t>(payload);
-  w.put<std::uint8_t>(static_cast<std::uint8_t>(sack.size()));
-  for (const auto& b : sack) {
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(sack().size()));
+  for (const auto& b : sack()) {
     w.put<std::uint64_t>(b.start);
     w.put<std::uint64_t>(b.end);
   }
@@ -47,7 +47,7 @@ std::optional<TcpHeader> TcpHeader::parse(std::span<const std::uint8_t> in) {
     const auto start = r.get<std::uint64_t>();
     const auto end = r.get<std::uint64_t>();
     if (!start || !end || *end <= *start) return std::nullopt;
-    h.sack.push_back({*start, *end});
+    h.sack().push_back({*start, *end});
   }
   return h;
 }

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "proto/boxed.hpp"
 #include "proto/types.hpp"
 
 namespace mtp::proto {
@@ -39,7 +40,14 @@ struct TcpHeader {
   std::uint8_t flags = 0;
   std::uint64_t rwnd = 0;     ///< receive window in bytes (no window scaling games)
   std::uint32_t payload = 0;  ///< payload bytes carried (convenience; also in Packet)
-  std::vector<TcpSackBlock> sack;  ///< RFC 2018 SACK option (up to kMaxSackBlocks)
+
+  /// RFC 2018 SACK option (up to kMaxSackBlocks). Boxed: most segments carry
+  /// no SACK blocks, and packets are moved on every hop, so the option only
+  /// costs a pointer when absent. The mutable accessor allocates on first
+  /// touch; the const accessor reads an empty list for free.
+  Boxed<std::vector<TcpSackBlock>> sack_blocks;
+  std::vector<TcpSackBlock>& sack() { return sack_blocks.ensure(); }
+  const std::vector<TcpSackBlock>& sack() const { return sack_blocks.view(); }
 
   static constexpr std::size_t kMaxSackBlocks = 3;
 
@@ -47,7 +55,7 @@ struct TcpHeader {
 
   /// Fixed fields plus the SACK block count byte.
   static constexpr std::size_t kFixedSize = 2 + 2 + 8 + 8 + 1 + 8 + 4 + 1;
-  std::size_t wire_size() const { return kFixedSize + sack.size() * 16; }
+  std::size_t wire_size() const { return kFixedSize + sack().size() * 16; }
   void serialize(std::vector<std::uint8_t>& out) const;
   static std::optional<TcpHeader> parse(std::span<const std::uint8_t> in);
   bool operator==(const TcpHeader&) const = default;

@@ -1,59 +1,16 @@
-// Shared experiment topologies and runners for the figure benches.
-//
-// Each paper experiment (Figs 2/3/5/6/7) gets a builder here so the main
-// bench binary and the ablation bench can run the same scenario with
-// different knobs.
+// Paper-experiment runners (Figs 5/6/7 and fault recovery), built on
+// ScenarioBuilder so the figure benches, the ablation bench, and the
+// guardrail tests all run the same scenario definitions.
 #pragma once
 
-#include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "mtp/endpoint.hpp"
-#include "net/forwarding.hpp"
-#include "net/network.hpp"
-#include "stats/stats.hpp"
-#include "telemetry/metrics.hpp"
-#include "transport/apps.hpp"
-#include "transport/tcp.hpp"
+#include "scenario/scenario.hpp"
 
-namespace mtp::bench {
-
-using namespace mtp::sim::literals;
+namespace mtp::scenario {
 
 // ---------------------------------------------------------------- Fig 5
-
-/// Fig 5 topology: sender -> first-hop switch that alternates all traffic
-/// between a fast (100G) and a slow (10G) path to the receiver every
-/// `flip_period`. Links 1us delay; queues 128 pkts, ECN K=20 (paper values).
-struct TwoPathFlipRig {
-  net::Network net;
-  net::Host* sender;
-  net::Host* receiver;
-  net::Switch* sw;
-  net::Link* fast;
-  net::Link* slow;
-
-  TwoPathFlipRig(sim::SimTime flip_period, sim::Bandwidth fast_bw = sim::Bandwidth::gbps(100),
-                 sim::Bandwidth slow_bw = sim::Bandwidth::gbps(10)) {
-    const net::DropTailQueue::Config q{.capacity_pkts = 128, .ecn_threshold_pkts = 20};
-    sender = net.add_host("sender");
-    receiver = net.add_host("receiver");
-    sw = net.add_switch("sw");
-    net.connect(*sender, *sw, sim::Bandwidth::gbps(100), 1_us, q);
-    fast = net.connect_simplex(*sw, *receiver, fast_bw, 1_us,
-                               std::make_unique<net::DropTailQueue>(q));
-    slow = net.connect_simplex(*sw, *receiver, slow_bw, 1_us,
-                               std::make_unique<net::DropTailQueue>(q));
-    net.connect_simplex(*receiver, *sw, sim::Bandwidth::gbps(100), 1_us,
-                        std::make_unique<net::DropTailQueue>(q));
-    sw->add_route(sender->id(), 0);
-    sw->add_route(receiver->id(), 1);  // fast
-    sw->add_route(receiver->id(), 2);  // slow
-    sw->set_policy(std::make_unique<net::AlternatingPathPolicy>(flip_period));
-  }
-};
 
 struct Fig5Result {
   std::vector<stats::ThroughputMeter::Sample> series;  ///< goodput per 32us
@@ -64,8 +21,9 @@ struct Fig5Result {
   telemetry::RegistrySnapshot registry;
 };
 
-/// Run the Fig 5 scenario with DCTCP. A long-lived flow; goodput sampled
-/// every `sample` at the receiving application.
+/// Fig 5 scenario: a first-hop switch alternates all traffic between a fast
+/// (100G) and a slow (10G) path every `flip_period`; DCTCP drives one
+/// long-lived flow. Goodput sampled every `sample` at the receiver.
 Fig5Result run_fig5_dctcp(sim::SimTime duration, sim::SimTime flip_period,
                           sim::SimTime sample = 32_us);
 
@@ -131,4 +89,4 @@ struct FaultRecoveryResult {
 /// (DCTCP hash-pinned to the failing path — the ECMP model).
 FaultRecoveryResult run_fault_recovery(const std::string& transport);
 
-}  // namespace mtp::bench
+}  // namespace mtp::scenario

@@ -1,0 +1,300 @@
+#include "scenario/scenario.hpp"
+
+#include "net/fat_tree.hpp"
+#include "net/forwarding.hpp"
+
+namespace mtp::scenario {
+
+namespace {
+
+std::unique_ptr<net::ForwardingPolicy> make_policy(Forwarding f, sim::SimTime period) {
+  switch (f) {
+    case Forwarding::kStatic:
+      return nullptr;
+    case Forwarding::kEcmp:
+      return std::make_unique<net::EcmpPolicy>();
+    case Forwarding::kSpray:
+      return std::make_unique<net::SprayPolicy>();
+    case Forwarding::kMessageAware:
+      return std::make_unique<net::MessageAwarePolicy>();
+    case Forwarding::kAlternating:
+      return std::make_unique<net::AlternatingPathPolicy>(period);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+namespace topo {
+
+TopologyFn two_path_flip(sim::Bandwidth fast_bw, sim::Bandwidth slow_bw) {
+  return [=](net::Network& net) {
+    const net::DropTailQueue::Config q{.capacity_pkts = 128, .ecn_threshold_pkts = 20};
+    Topology t;
+    net::Host* sender = net.add_host("sender");
+    net::Host* receiver = net.add_host("receiver");
+    net::Switch* sw = net.add_switch("sw");
+    net.connect(*sender, *sw, sim::Bandwidth::gbps(100), 1_us, q);
+    net::Link* fast = net.connect_simplex(*sw, *receiver, fast_bw, 1_us,
+                                          std::make_unique<net::DropTailQueue>(q));
+    net::Link* slow = net.connect_simplex(*sw, *receiver, slow_bw, 1_us,
+                                          std::make_unique<net::DropTailQueue>(q));
+    net.connect_simplex(*receiver, *sw, sim::Bandwidth::gbps(100), 1_us,
+                        std::make_unique<net::DropTailQueue>(q));
+    sw->add_route(sender->id(), 0);
+    sw->add_route(receiver->id(), 1);  // fast
+    sw->add_route(receiver->id(), 2);  // slow
+    t.senders = {sender};
+    t.receiver = receiver;
+    t.lb_switches = {sw};
+    t.paths = {fast, slow};
+    t.fault_links = {fast, slow};
+    return t;
+  };
+}
+
+TopologyFn dual_path(int senders) {
+  return [=](net::Network& net) {
+    const net::DropTailQueue::Config q{.capacity_pkts = 256, .ecn_threshold_pkts = 40};
+    Topology t;
+    // Node creation order is part of the recorded experiment: NodeIds feed
+    // forwarding hashes, so senders get ids 0..n-1, the receiver n, the
+    // switch n+1 (the order the original Fig 6 rig used).
+    for (int i = 0; i < senders; ++i) {
+      t.senders.push_back(net.add_host("snd" + std::to_string(i)));
+    }
+    net::Host* rcv = net.add_host("rcv");
+    net::Switch* sw = net.add_switch("lb");
+    for (int i = 0; i < senders; ++i) {
+      net.connect(*t.senders[i], *sw, sim::Bandwidth::gbps(100), 1_us, q);
+      sw->add_route(t.senders[i]->id(), static_cast<net::PortIndex>(i));
+    }
+    net::Link* path_a = net.connect_simplex(*sw, *rcv, sim::Bandwidth::gbps(100), 1_us,
+                                            std::make_unique<net::DropTailQueue>(q));
+    net::Link* path_b = net.connect_simplex(*sw, *rcv, sim::Bandwidth::gbps(100), 2_us,
+                                            std::make_unique<net::DropTailQueue>(q));
+    net.connect_simplex(*rcv, *sw, sim::Bandwidth::gbps(100), 1_us,
+                        std::make_unique<net::DropTailQueue>(q));
+    sw->add_route(rcv->id(), static_cast<net::PortIndex>(senders));
+    sw->add_route(rcv->id(), static_cast<net::PortIndex>(senders + 1));
+    t.receiver = rcv;
+    t.lb_switches = {sw};
+    t.paths = {path_a, path_b};
+    t.fault_links = {path_a, path_b};
+    return t;
+  };
+}
+
+TopologyFn dual_hop_fabric() {
+  return [](net::Network& net) {
+    const net::DropTailQueue::Config q{.capacity_pkts = 256, .ecn_threshold_pkts = 40};
+    const sim::SimTime d = 2_us;
+    Topology t;
+    net::Host* snd = net.add_host("snd");
+    net::Host* rcv = net.add_host("rcv");
+    net::Switch* sw1 = net.add_switch("sw1");
+    net::Switch* swa = net.add_switch("swA");
+    net::Switch* swb = net.add_switch("swB");
+    net::Switch* sw2 = net.add_switch("sw2");
+    net.connect(*snd, *sw1, sim::Bandwidth::gbps(100), d, q);
+    auto a_up = net.connect(*sw1, *swa, sim::Bandwidth::gbps(25), d, q);
+    auto b_up = net.connect(*sw1, *swb, sim::Bandwidth::gbps(25), d, q);
+    net.connect(*swa, *sw2, sim::Bandwidth::gbps(25), d, q);
+    net.connect(*swb, *sw2, sim::Bandwidth::gbps(25), d, q);
+    net.connect(*sw2, *rcv, sim::Bandwidth::gbps(100), d, q);
+    // Pathlets on the two first-hop choices: what MTP learns and excludes.
+    a_up.forward->set_pathlet({.id = 1, .feedback = proto::FeedbackType::kEcn});
+    b_up.forward->set_pathlet({.id = 2, .feedback = proto::FeedbackType::kEcn});
+
+    sw1->add_route(snd->id(), 0);
+    sw1->add_route(rcv->id(), 1);  // via swA (the static policy's pick)
+    sw1->add_route(rcv->id(), 2);  // via swB
+    swa->add_route(snd->id(), 0);
+    swa->add_route(rcv->id(), 1);
+    swb->add_route(snd->id(), 0);
+    swb->add_route(rcv->id(), 1);
+    sw2->add_route(snd->id(), 0);  // ACKs return via swA
+    sw2->add_route(snd->id(), 1);
+    sw2->add_route(rcv->id(), 2);
+    t.senders = {snd};
+    t.receiver = rcv;
+    t.lb_switches = {sw1, sw2};
+    t.fault_links = {a_up.forward, b_up.forward};
+    t.paths = {a_up.forward, b_up.forward};
+    return t;
+  };
+}
+
+TopologyFn shared_bottleneck(std::function<std::unique_ptr<net::Queue>()> make_queue) {
+  return [make_queue = std::move(make_queue)](net::Network& net) {
+    const net::DropTailQueue::Config q{.capacity_pkts = 256, .ecn_threshold_pkts = 40};
+    Topology t;
+    net::Host* t1 = net.add_host("tenant1");
+    net::Host* t2 = net.add_host("tenant2");
+    net::Host* rcv = net.add_host("rcv");
+    net::Switch* sw = net.add_switch("sw");
+    net.connect(*t1, *sw, sim::Bandwidth::gbps(100), 1_us, q);
+    net.connect(*t2, *sw, sim::Bandwidth::gbps(100), 1_us, q);
+    net::Link* bottleneck = net.connect_simplex(
+        *sw, *rcv, sim::Bandwidth::gbps(100), 10_us,
+        make_queue ? make_queue() : std::make_unique<net::DropTailQueue>(q));
+    net.connect_simplex(*rcv, *sw, sim::Bandwidth::gbps(100), 10_us,
+                        std::make_unique<net::DropTailQueue>(q));
+    sw->add_route(t1->id(), 0);
+    sw->add_route(t2->id(), 1);
+    sw->add_route(rcv->id(), 2);
+    t.senders = {t1, t2};
+    t.receiver = rcv;
+    t.lb_switches = {sw};
+    t.paths = {bottleneck};
+    t.fault_links = {bottleneck};
+    return t;
+  };
+}
+
+TopologyFn incast(int senders) {
+  return [=](net::Network& net) {
+    const net::DropTailQueue::Config q{.capacity_pkts = 128, .ecn_threshold_pkts = 20};
+    Topology t;
+    net::Switch* sw = net.add_switch("sw");
+    net::Host* rcv = net.add_host("recv");
+    for (int i = 0; i < senders; ++i) {
+      net::Host* h = net.add_host("h" + std::to_string(i));
+      t.senders.push_back(h);
+      net.connect(*h, *sw, sim::Bandwidth::gbps(100), 1_us, q);
+      sw->add_route(h->id(), static_cast<net::PortIndex>(i));
+    }
+    auto down = net.connect(*sw, *rcv, sim::Bandwidth::gbps(100), 1_us, q);
+    sw->add_route(rcv->id(), static_cast<net::PortIndex>(senders));
+    t.receiver = rcv;
+    t.lb_switches = {sw};
+    t.paths = {down.forward};
+    t.fault_links = {down.forward};
+    return t;
+  };
+}
+
+TopologyFn fat_tree(net::FatTree::Config cfg) {
+  return [cfg](net::Network& net) {
+    Topology t;
+    auto ft = std::make_shared<net::FatTree>(net, cfg);
+    t.senders = ft->hosts();
+    for (int p = 0; p < ft->k(); ++p) {
+      for (int i = 0; i < ft->k() / 2; ++i) {
+        t.lb_switches.push_back(ft->edge(p, i));
+        t.lb_switches.push_back(ft->agg(p, i));
+      }
+    }
+    t.fault_links = {ft->edge_uplink(0, 0, 0)};
+    t.keepalive = std::move(ft);
+    return t;
+  };
+}
+
+}  // namespace topo
+
+std::unique_ptr<Scenario> ScenarioBuilder::build() {
+  auto s = std::unique_ptr<Scenario>(new Scenario());
+  s->net_ = std::make_unique<net::Network>(seed_);
+  s->topo_ = topo_fn_(*s->net_);
+  s->dst_port_ = dst_port_;
+  s->bulk_bytes_ = bulk_bytes_;
+  s->schedule_ = std::move(schedule_);
+
+  for (net::Switch* sw : s->topo_.lb_switches) {
+    if (auto p = make_policy(forwarding_, alternating_period_)) sw->set_policy(std::move(p));
+  }
+  if (goodput_window_ > 0_us) {
+    s->meter_ = std::make_unique<stats::ThroughputMeter>(goodput_window_);
+  }
+
+  const auto tc_of = [this](std::size_t i) {
+    return i < sender_tcs_.size() ? sender_tcs_[i] : proto::TrafficClassId{0};
+  };
+  net::Host* rcv = s->topo_.receiver;
+
+  if (transport_ == TransportKind::kMtp) {
+    for (net::Host* h : s->topo_.senders) {
+      s->mtp_eps_.push_back(std::make_unique<core::MtpEndpoint>(*h, mtp_cfg_));
+      // Peer-to-peer topologies: every endpoint also accepts messages.
+      if (!rcv) s->mtp_eps_.back()->listen(dst_port_, [](const core::ReceivedMessage&) {});
+    }
+    if (rcv) {
+      s->mtp_rcv_ = std::make_unique<core::MtpEndpoint>(*rcv, core::MtpConfig{});
+      s->mtp_rcv_->listen(dst_port_, [](const core::ReceivedMessage&) {});
+      if (s->meter_) {
+        auto* meter = s->meter_.get();
+        auto* sim = &s->net_->simulator();
+        s->mtp_rcv_->on_payload = [meter, sim](std::int64_t bytes) {
+          meter->record(sim->now(), bytes);
+        };
+      }
+      for (std::size_t i = 0; i < s->mtp_eps_.size(); ++i) {
+        s->senders_.push_back(std::make_unique<transport::MtpMessageSender>(
+            *s->mtp_eps_[i], rcv->id(), dst_port_, tc_of(i)));
+      }
+    }
+  } else {
+    transport::TcpConfig cfg = tcp_cfg_;
+    if (transport_ == TransportKind::kDctcp) cfg.dctcp = true;
+    for (std::size_t i = 0; i < s->topo_.senders.size(); ++i) {
+      transport::TcpConfig c = cfg;
+      c.tc = tc_of(i);
+      s->tcp_stacks_.push_back(
+          std::make_unique<transport::TcpStack>(*s->topo_.senders[i], c));
+    }
+    if (rcv) {
+      transport::TcpConfig rcfg = cfg;
+      rcfg.tc = 0;
+      s->tcp_rcv_ = std::make_unique<transport::TcpStack>(*rcv, rcfg);
+      s->tcp_sink_ = std::make_unique<transport::TcpSink>(*s->tcp_rcv_, dst_port_,
+                                                          s->meter_.get());
+      for (auto& stack : s->tcp_stacks_) {
+        s->senders_.push_back(std::make_unique<transport::TcpMessageSender>(
+            *stack, rcv->id(), dst_port_));
+      }
+    }
+  }
+
+  if (!flaps_.empty()) {
+    s->faults_ = std::make_unique<fault::FaultInjector>(s->net_->simulator(), 1);
+    for (const Flap& f : flaps_) {
+      s->faults_->flap_link(*s->topo_.fault_links[f.link], f.at, f.duration);
+    }
+  }
+  return s;
+}
+
+void Scenario::start() {
+  if (started_) return;
+  started_ = true;
+  if (bulk_bytes_ != 0) {
+    if (!mtp_eps_.empty()) {
+      // A long-lasting flow: one very large message (endless = 1 GB, which
+      // outlives every figure horizon).
+      const std::int64_t bytes = bulk_bytes_ < 0 ? (std::int64_t{1} << 30) : bulk_bytes_;
+      sender(0).send_message(bytes);
+    } else {
+      bulk_sources_.push_back(std::make_unique<transport::TcpBulkSource>(
+          *tcp_stacks_[0], topo_.receiver->id(), dst_port_, bulk_bytes_));
+    }
+  }
+  if (!schedule_.empty()) {
+    schedule_.start(net_->simulator(), [this](const workload::ArrivalSchedule::Arrival& a) {
+      senders_[a.src]->send_message(
+          a.bytes, [this](sim::SimTime fct, std::int64_t bytes) { fct_.record(fct, bytes); });
+    });
+  }
+}
+
+void Scenario::run(sim::SimTime until) {
+  start();
+  net_->simulator().run(until);
+}
+
+void Scenario::run() {
+  start();
+  net_->simulator().run();
+}
+
+}  // namespace mtp::scenario

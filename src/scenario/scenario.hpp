@@ -1,0 +1,220 @@
+// Scenario library: one fluent builder for experiment harnesses.
+//
+// Every figure bench used to hand-roll the same five steps — topology,
+// forwarding policy, per-host transports, workload, telemetry sinks — with
+// small copy-paste drift between binaries. ScenarioBuilder makes the steps
+// explicit and ordered:
+//
+//   auto s = ScenarioBuilder()
+//                .seed(7)
+//                .topology(topo::dual_path(/*senders=*/2))
+//                .forwarding(Forwarding::kMessageAware)
+//                .transport(TransportKind::kMtp)
+//                .workload(std::move(schedule))
+//                .goodput_window(32_us)
+//                .build();
+//   s->run();
+//
+// The built Scenario owns the network, the transports, and a unified
+// transport::MessageSender per sender host, so harness code never touches
+// MtpEndpoint / TcpStack unless it opts into the concrete accessors.
+// Topologies are plain functors over net::Network; the canned ones in
+// namespace topo cover the paper's rigs, and callers can pass their own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "mtp/endpoint.hpp"
+#include "net/fat_tree.hpp"
+#include "net/network.hpp"
+#include "stats/stats.hpp"
+#include "telemetry/metrics.hpp"
+#include "transport/apps.hpp"
+#include "transport/message_sender.hpp"
+#include "transport/tcp.hpp"
+#include "workload/workload.hpp"
+
+namespace mtp::scenario {
+
+using namespace mtp::sim::literals;
+
+enum class TransportKind { kMtp, kTcp, kDctcp };
+
+/// Policy applied to every multipath (lb) switch the topology reports.
+enum class Forwarding {
+  kStatic,       ///< first candidate (models an ECMP hash pin)
+  kEcmp,         ///< per-flow hashing
+  kSpray,        ///< per-packet spraying
+  kMessageAware, ///< the paper's per-message placement
+  kAlternating,  ///< time-based path flip (Fig 5's optical switch)
+};
+
+/// What a topology functor hands back to the builder.
+struct Topology {
+  std::vector<net::Host*> senders;
+  /// Null means peer-to-peer: every sender also listens, and the caller
+  /// drives endpoints directly (bench_scale's any-to-any pattern).
+  net::Host* receiver = nullptr;
+  std::vector<net::Switch*> lb_switches;  ///< get the Forwarding policy
+  std::vector<net::Link*> fault_links;    ///< flap() targets, in order
+  std::vector<net::Link*> paths;          ///< parallel sender->receiver paths
+  std::shared_ptr<void> keepalive;        ///< owns helper objects (FatTree, ...)
+};
+using TopologyFn = std::function<Topology(net::Network&)>;
+
+namespace topo {
+
+/// Fig 5: sender -> switch -> receiver over a fast and a slow simplex path.
+/// paths[0] is fast, paths[1] slow. Pair with Forwarding::kAlternating.
+TopologyFn two_path_flip(sim::Bandwidth fast_bw = sim::Bandwidth::gbps(100),
+                         sim::Bandwidth slow_bw = sim::Bandwidth::gbps(10));
+
+/// Fig 6: `senders` hosts share an LB switch toward one receiver over two
+/// 100G paths; the second has +1us extra delay.
+TopologyFn dual_path(int senders);
+
+/// Fault-recovery fabric: snd -- sw1 ==(two 25G two-hop paths)== sw2 -- rcv.
+/// fault_links[0] is the sw1->swA uplink; pathlets 1/2 tag the two choices.
+TopologyFn dual_hop_fabric();
+
+/// Fig 7: two tenant hosts -> switch -> 100G/10us bottleneck -> receiver.
+/// `make_queue` builds the bottleneck queue (WFQ vs shared drop-tail);
+/// default drop-tail 256/ECN 40. paths[0] is the bottleneck link.
+TopologyFn shared_bottleneck(
+    std::function<std::unique_ptr<net::Queue>()> make_queue = {});
+
+/// Fig 3: `senders` hosts into one switch, one 100G link to the receiver.
+TopologyFn incast(int senders);
+
+/// Three-tier fat-tree (net::FatTree) in peer-to-peer mode: every host is a
+/// sender, there is no designated receiver, and with TransportKind::kMtp
+/// every endpoint listens on dst_port. Drive traffic through the concrete
+/// mtp_sender(i) accessors (bench_scale's any-to-any pattern). The
+/// Forwarding policy applies to all edge and aggregation switches.
+TopologyFn fat_tree(net::FatTree::Config cfg);
+
+}  // namespace topo
+
+/// A built experiment. Move-averse on purpose (callbacks capture `this`);
+/// ScenarioBuilder::build() returns it behind a unique_ptr.
+class Scenario {
+ public:
+  net::Network& network() { return *net_; }
+  sim::Simulator& simulator() { return net_->simulator(); }
+  const Topology& topo() const { return topo_; }
+  std::size_t num_senders() const { return topo_.senders.size(); }
+
+  /// Unified per-sender submission (bound to receiver:dst_port). Only
+  /// available when the topology has a receiver.
+  transport::MessageSender& sender(std::size_t i) { return *senders_[i]; }
+
+  // Concrete access for scenario-specific wiring; null for the other kind.
+  core::MtpEndpoint* mtp_sender(std::size_t i) { return mtp_eps_.empty() ? nullptr : mtp_eps_[i].get(); }
+  core::MtpEndpoint* mtp_receiver() { return mtp_rcv_.get(); }
+  transport::TcpStack* tcp_sender(std::size_t i) { return tcp_stacks_.empty() ? nullptr : tcp_stacks_[i].get(); }
+  transport::TcpStack* tcp_receiver() { return tcp_rcv_.get(); }
+
+  stats::FctRecorder& fct() { return fct_; }
+  /// Receiver-side goodput meter; null unless goodput_window() was set.
+  stats::ThroughputMeter* goodput() { return meter_.get(); }
+  workload::ArrivalSchedule& schedule() { return schedule_; }
+
+  /// First call starts the workload replay (and bulk sources), then runs
+  /// the simulator; later calls just continue.
+  void run(sim::SimTime until);
+  void run();  ///< run to quiescence
+
+  telemetry::RegistrySnapshot snapshot() const {
+    return telemetry::MetricRegistry::global().snapshot();
+  }
+
+ private:
+  friend class ScenarioBuilder;
+  Scenario() = default;
+  void start();
+
+  std::unique_ptr<net::Network> net_;
+  Topology topo_;
+  proto::PortNum dst_port_ = 80;
+  std::int64_t bulk_bytes_ = 0;  ///< 0 = no bulk; <0 = endless
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<core::MtpEndpoint>> mtp_eps_;
+  std::unique_ptr<core::MtpEndpoint> mtp_rcv_;
+  std::vector<std::unique_ptr<transport::TcpStack>> tcp_stacks_;
+  std::unique_ptr<transport::TcpStack> tcp_rcv_;
+  std::unique_ptr<transport::TcpSink> tcp_sink_;
+  std::vector<std::unique_ptr<transport::TcpBulkSource>> bulk_sources_;
+  std::vector<std::unique_ptr<transport::MessageSender>> senders_;
+
+  std::unique_ptr<stats::ThroughputMeter> meter_;
+  stats::FctRecorder fct_;
+  workload::ArrivalSchedule schedule_;
+  std::unique_ptr<fault::FaultInjector> faults_;
+};
+
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder& seed(std::uint64_t s) { seed_ = s; return *this; }
+  ScenarioBuilder& topology(TopologyFn fn) { topo_fn_ = std::move(fn); return *this; }
+  ScenarioBuilder& forwarding(Forwarding f, sim::SimTime alternating_period = 0_us) {
+    forwarding_ = f;
+    alternating_period_ = alternating_period;
+    return *this;
+  }
+  ScenarioBuilder& transport(TransportKind k) { transport_ = k; return *this; }
+  ScenarioBuilder& mtp_config(core::MtpConfig cfg) { mtp_cfg_ = std::move(cfg); return *this; }
+  ScenarioBuilder& tcp_config(transport::TcpConfig cfg) { tcp_cfg_ = std::move(cfg); return *this; }
+  ScenarioBuilder& dst_port(proto::PortNum p) { dst_port_ = p; return *this; }
+  /// Per-sender traffic class (MessageOptions.tc for MTP, TcpConfig.tc for
+  /// TCP). Missing entries default to 0.
+  ScenarioBuilder& sender_tcs(std::vector<proto::TrafficClassId> tcs) {
+    sender_tcs_ = std::move(tcs);
+    return *this;
+  }
+  /// Open-loop arrivals, replayed on run(): arrival.src picks the sender,
+  /// completions land in Scenario::fct().
+  ScenarioBuilder& workload(workload::ArrivalSchedule sched) {
+    schedule_ = std::move(sched);
+    return *this;
+  }
+  /// One long transfer from sender 0 (bytes < 0 = endless for TCP, a 1 GB
+  /// message for MTP) — Fig 5's long-lived flow.
+  ScenarioBuilder& bulk(std::int64_t bytes = -1) { bulk_bytes_ = bytes; return *this; }
+  /// Take topology fault_links[link] down over [at, at + duration).
+  ScenarioBuilder& flap(std::size_t link, sim::SimTime at, sim::SimTime duration) {
+    flaps_.push_back({link, at, duration});
+    return *this;
+  }
+  /// Attach a receiver-side ThroughputMeter with this sample window.
+  ScenarioBuilder& goodput_window(sim::SimTime w) { goodput_window_ = w; return *this; }
+
+  std::unique_ptr<Scenario> build();
+
+ private:
+  struct Flap {
+    std::size_t link;
+    sim::SimTime at;
+    sim::SimTime duration;
+  };
+
+  std::uint64_t seed_ = 1;
+  TopologyFn topo_fn_;
+  Forwarding forwarding_ = Forwarding::kStatic;
+  sim::SimTime alternating_period_ = 0_us;
+  TransportKind transport_ = TransportKind::kMtp;
+  core::MtpConfig mtp_cfg_;
+  transport::TcpConfig tcp_cfg_;
+  proto::PortNum dst_port_ = 80;
+  std::vector<proto::TrafficClassId> sender_tcs_;
+  workload::ArrivalSchedule schedule_;
+  std::int64_t bulk_bytes_ = 0;
+  std::vector<Flap> flaps_;
+  sim::SimTime goodput_window_ = 0_us;
+};
+
+}  // namespace mtp::scenario

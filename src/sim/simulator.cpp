@@ -2,7 +2,21 @@
 
 #include <utility>
 
+#include "sim/timer_wheel.hpp"
+
 namespace mtp::sim {
+
+Simulator::Simulator(std::size_t reserve_events) {
+  heap_.reserve(reserve_events);
+  free_slots_.reserve(reserve_events);
+}
+
+Simulator::~Simulator() = default;
+
+TimerWheel& Simulator::timers() {
+  if (!timers_) timers_ = std::make_unique<TimerWheel>(*this);
+  return *timers_;
+}
 
 // 4-ary heap: children of i are 4i+1 .. 4i+4. Compared to a binary heap the
 // tree is half as deep, so pop does half the sift-down levels; the extra

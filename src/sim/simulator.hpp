@@ -26,6 +26,8 @@
 
 namespace mtp::sim {
 
+class TimerWheel;
+
 /// Handle to a scheduled event; used only for cancellation.
 /// Default-constructed ids are "null" and safe to cancel (a no-op).
 class EventId {
@@ -54,10 +56,8 @@ class Simulator {
   /// and short-lived simulators (tests, per-scenario sweeps) would pay for
   /// pages they never touch — demand allocation in acquire_slot() reaches
   /// the same steady state after the first few hundred events.
-  explicit Simulator(std::size_t reserve_events = 1024) {
-    heap_.reserve(reserve_events);
-    free_slots_.reserve(reserve_events);
-  }
+  explicit Simulator(std::size_t reserve_events = 1024);
+  ~Simulator();  // out of line: timers_ holds an incomplete type here
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -116,6 +116,11 @@ class Simulator {
   /// concurrent sweeps are race-free and every run sees the same uid
   /// sequence regardless of what ran before it.
   std::uint64_t next_packet_uid() { return ++next_packet_uid_; }
+
+  /// The simulation-wide hashed timer wheel (sim/timer_wheel.hpp), built
+  /// lazily on first use. Transports share it for retransmission/RTO timers;
+  /// simulations that never arm a timer pay nothing.
+  TimerWheel& timers();
 
  private:
   // Heap entries are deliberately tiny (24 bytes): sift operations move
@@ -180,6 +185,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t next_packet_uid_ = 0;
+  std::unique_ptr<TimerWheel> timers_;  ///< lazy; see timers()
 };
 
 /// Convenience: a periodic task that reschedules itself until stopped.

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <limits>
 
 namespace mtp::telemetry {
@@ -106,8 +107,12 @@ bool RunReport::write_file(const std::string& path) const {
 }
 
 std::string RunReport::default_path() const {
+  // $MTP_REPORT_DIR wins; otherwise artifacts collect in ./reports (created
+  // on demand) so bench output never litters the working directory.
   const char* dir = std::getenv("MTP_REPORT_DIR");
-  std::string base = dir != nullptr && *dir != '\0' ? dir : ".";
+  std::string base = dir != nullptr && *dir != '\0' ? dir : "reports";
+  std::error_code ec;
+  std::filesystem::create_directories(base, ec);  // best effort; write reports failure
   if (base.back() != '/') base += '/';
   return base + experiment_ + "_report.json";
 }

@@ -4,7 +4,7 @@
 // registry snapshots, FCT / throughput recorder summaries — into a single
 // JSON document, so every figure's raw data is regenerable from one
 // artifact. Benches write `<experiment>_report.json` into the directory
-// named by $MTP_REPORT_DIR (default: the current directory).
+// named by $MTP_REPORT_DIR (default: ./reports, created on demand).
 #pragma once
 
 #include <cstdint>
@@ -59,7 +59,7 @@ class RunReport {
 
   std::string to_json() const;
   bool write_file(const std::string& path) const;
-  /// $MTP_REPORT_DIR/<experiment>_report.json (or ./ if the env var is unset).
+  /// $MTP_REPORT_DIR/<experiment>_report.json (or ./reports/ if unset).
   std::string default_path() const;
   /// write_file(default_path()), with a one-line note on stderr.
   bool write() const;

@@ -136,6 +136,8 @@ TcpConnection::TcpConnection(TcpStack& stack, net::NodeId peer, proto::PortNum l
   rto_ = cfg.min_rto.scaled(10.0);  // conservative until the first RTT sample
 }
 
+TcpConnection::~TcpConnection() { disarm_rto(); }
+
 sim::Simulator& TcpConnection::simulator() { return stack_.host().simulator(); }
 
 std::int64_t TcpConnection::data_sent() const {
@@ -365,7 +367,7 @@ void TcpConnection::on_ack(const proto::TcpHeader& hdr) {
 
   const std::size_t sack_intervals_before = sacked_.size();
   const std::int64_t sacked_bytes_before = sacked_bytes_;
-  if (!hdr.sack.empty()) merge_sack(hdr.sack);
+  if (!hdr.sack().empty()) merge_sack(hdr.sack());
 
   if (hdr.ack > snd_una_) {
     const std::int64_t acked = static_cast<std::int64_t>(hdr.ack - snd_una_);
@@ -539,14 +541,14 @@ void TcpConnection::fill_sack(proto::TcpHeader& hdr) const {
   if (recent != ooo_.begin()) {
     recent = std::prev(recent);
     if (recent->second > last_ooo_seq_) {
-      hdr.sack.push_back({recent->first, recent->second});
+      hdr.sack().push_back({recent->first, recent->second});
     }
   }
   for (auto it = ooo_.rbegin();
-       it != ooo_.rend() && hdr.sack.size() < proto::TcpHeader::kMaxSackBlocks; ++it) {
+       it != ooo_.rend() && hdr.sack().size() < proto::TcpHeader::kMaxSackBlocks; ++it) {
     const proto::TcpSackBlock b{it->first, it->second};
-    if (!hdr.sack.empty() && hdr.sack.front() == b) continue;
-    hdr.sack.push_back(b);
+    if (!hdr.sack().empty() && hdr.sack().front() == b) continue;
+    hdr.sack().push_back(b);
   }
 }
 
@@ -665,26 +667,27 @@ void TcpConnection::rtt_sample(sim::SimTime sample) {
   rto_ = std::min(rto_, cfg.max_rto);
 }
 
+void TcpConnection::rto_fire(void* self, std::uint64_t) {
+  static_cast<TcpConnection*>(self)->on_rto();
+}
+
 // Restart the timer: tracks the oldest unacked segment, so it is reset on
 // cumulative ACK advance — never on mere (re)transmission, which would
-// starve it while the sender keeps pouring new data.
+// starve it while the sender keeps pouring new data. Lives on the shared
+// timer wheel (fires up to one wheel granularity late).
 void TcpConnection::arm_rto() {
   disarm_rto();
-  rto_armed_ = true;
-  rto_timer_ = simulator().schedule(rto_.scaled(rto_backoff_), [self = shared_from_this()] {
-    self->rto_armed_ = false;
-    self->on_rto();
-  });
+  rto_timer_ = simulator().timers().arm(
+      simulator().now() + rto_.scaled(rto_backoff_), &TcpConnection::rto_fire, this);
 }
 
 /// Arm only if no timer is pending (used on transmissions).
 void TcpConnection::arm_rto_if_idle() {
-  if (!rto_armed_) arm_rto();
+  if (!simulator().timers().armed(rto_timer_)) arm_rto();
 }
 
 void TcpConnection::disarm_rto() {
-  simulator().cancel(rto_timer_);
-  rto_armed_ = false;
+  simulator().timers().cancel(rto_timer_);
 }
 
 void TcpConnection::on_rto() {

@@ -23,6 +23,7 @@
 
 #include "net/host.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer_wheel.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace mtp::transport {
@@ -65,6 +66,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::function<void()> on_closed;                     ///< FIN handshake finished
 
   State state() const { return state_; }
+
+  /// Cancels the RTO wheel timer: it holds a raw pointer to this connection
+  /// (unlike the old heap event, which kept a shared_ptr alive).
+  ~TcpConnection();
 
   /// Queue `bytes` of application data for transmission.
   void send(std::int64_t bytes);
@@ -118,6 +123,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void arm_rto_if_idle();
   void disarm_rto();
   void on_rto();
+  static void rto_fire(void* self, std::uint64_t);  ///< timer-wheel trampoline
   void enter_established();
   void maybe_deliver();
   void maybe_close();
@@ -182,8 +188,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   bool rtt_valid_ = false;
   std::uint64_t rtt_seq_ = 0;        ///< measuring segment end-seq; 0 = none
   sim::SimTime rtt_sent_at_;
-  sim::EventId rto_timer_;
-  bool rto_armed_ = false;
+  sim::TimerId rto_timer_;  ///< on the simulator's shared timer wheel
   double rto_backoff_ = 1.0;
 
   // --- Classic ECN sender state.

@@ -250,7 +250,7 @@ TEST(LinkFailure, AutoExclusionKicksInAfterRepeatedTimeouts) {
    public:
     explicit Sniffer(bool& flag) : flag_(flag) {}
     bool process(net::Packet& pkt, net::Switch&) override {
-      if (pkt.is_mtp() && !pkt.mtp().path_exclude.empty()) flag_ = true;
+      if (pkt.is_mtp() && !pkt.mtp().path_exclude().empty()) flag_ = true;
       return false;
     }
     bool& flag_;

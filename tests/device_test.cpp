@@ -134,7 +134,7 @@ TEST(DeviceSender, WindowsEmissionAndClocksOnSacks) {
   ack.dst = rig.sw->id();
   proto::MtpHeader h;
   h.type = proto::MtpPacketType::kAck;
-  h.sack = {{id, 0}, {id, 1}};
+  h.sack() = {{id, 0}, {id, 1}};
   ack.header = h;
   EXPECT_TRUE(tx.handle_ack(ack));
   rig.net.simulator().run(200_us);
@@ -157,7 +157,7 @@ TEST(DeviceSender, NackTriggersImmediateRetransmit) {
   nack.dst = rig.sw->id();
   proto::MtpHeader h;
   h.type = proto::MtpPacketType::kAck;
-  h.nack = {{id, 1}};
+  h.nack() = {{id, 1}};
   nack.header = h;
   EXPECT_TRUE(tx.handle_ack(nack));
   rig.net.simulator().run(200_us);
@@ -182,7 +182,7 @@ TEST(DeviceSender, UnknownAckIgnored) {
   net::Packet ack;
   proto::MtpHeader h;
   h.type = proto::MtpPacketType::kAck;
-  h.sack = {{999, 0}};
+  h.sack() = {{999, 0}};
   ack.header = h;
   EXPECT_FALSE(tx.handle_ack(ack));
 }

@@ -223,15 +223,15 @@ TEST(Link, StampsEcnPathletFeedbackOnMtpData) {
   link.send(mk(true));   // ACK: never stamped
   sim.run();
   ASSERT_EQ(sink.pkts.size(), 4u);
-  const auto& fb0 = sink.pkts[0].mtp().path_feedback;
+  const auto& fb0 = sink.pkts[0].mtp().path_feedback();
   ASSERT_EQ(fb0.size(), 1u);
   EXPECT_EQ(fb0[0].pathlet, 42u);
   EXPECT_EQ(fb0[0].tc, 3);
   EXPECT_EQ(fb0[0].feedback.type, proto::FeedbackType::kEcn);
   EXPECT_EQ(fb0[0].feedback.value, 0u);
-  EXPECT_EQ(sink.pkts[1].mtp().path_feedback[0].feedback.value, 0u);
-  EXPECT_EQ(sink.pkts[2].mtp().path_feedback[0].feedback.value, 1u);
-  EXPECT_TRUE(sink.pkts[3].mtp().path_feedback.empty());
+  EXPECT_EQ(sink.pkts[1].mtp().path_feedback()[0].feedback.value, 0u);
+  EXPECT_EQ(sink.pkts[2].mtp().path_feedback()[0].feedback.value, 1u);
+  EXPECT_TRUE(sink.pkts[3].mtp().path_feedback().empty());
 }
 
 TEST(Link, DoesNotBlameUpstreamCeMarks) {
@@ -248,7 +248,7 @@ TEST(Link, DoesNotBlameUpstreamCeMarks) {
   link.send(std::move(p));
   sim.run();
   ASSERT_EQ(sink.pkts.size(), 1u);
-  EXPECT_EQ(sink.pkts[0].mtp().path_feedback[0].feedback.value, 0u);
+  EXPECT_EQ(sink.pkts[0].mtp().path_feedback()[0].feedback.value, 0u);
 }
 
 TEST(Link, DelayFeedbackReportsQueueingDelay) {
@@ -268,8 +268,8 @@ TEST(Link, DelayFeedbackReportsQueueingDelay) {
   sim.run();
   ASSERT_EQ(sink.pkts.size(), 2u);
   // First packet: no queueing. Second waited one serialization time (800ns).
-  EXPECT_EQ(sink.pkts[0].mtp().path_feedback[0].feedback.value, 0u);
-  EXPECT_EQ(sink.pkts[1].mtp().path_feedback[0].feedback.value, 800u);
+  EXPECT_EQ(sink.pkts[0].mtp().path_feedback()[0].feedback.value, 0u);
+  EXPECT_EQ(sink.pkts[1].mtp().path_feedback()[0].feedback.value, 800u);
 }
 
 TEST(PathletState, RcpRateConvergesTowardCapacityWhenIdle) {

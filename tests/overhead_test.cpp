@@ -222,7 +222,7 @@ TEST(SelectiveFeedback, UncongestedPathStampsOnlyEveryNth) {
     bool process(net::Packet& pkt, net::Switch&) override {
       if (pkt.is_mtp() && !pkt.mtp().is_ack()) {
         ++t_;
-        if (!pkt.mtp().path_feedback.empty()) ++s_;
+        if (!pkt.mtp().path_feedback().empty()) ++s_;
       }
       return false;
     }

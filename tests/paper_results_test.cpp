@@ -4,9 +4,9 @@
 // not just the benchmarks' eyeballs.
 #include <gtest/gtest.h>
 
-#include "scenarios.hpp"
+#include "scenario/paper_figs.hpp"
 
-namespace mtp::bench {
+namespace mtp::scenario {
 namespace {
 
 TEST(PaperFig5, MtpBeatsDctcpUnderPathFlapping) {
@@ -79,4 +79,4 @@ TEST(PaperFaultRecovery, MtpRecoversStrictlyFasterThanTcpAcrossAFlap) {
 }
 
 }  // namespace
-}  // namespace mtp::bench
+}  // namespace mtp::scenario

@@ -22,12 +22,12 @@ MtpHeader sample_header() {
   h.pkt_num = 41;
   h.pkt_offset = 41'000;
   h.pkt_len = 1000;
-  h.path_exclude = {{5, 1}, {9, 0}};
-  h.path_feedback = {{5, 1, {FeedbackType::kEcn, 1}},
+  h.path_exclude() = {{5, 1}, {9, 0}};
+  h.path_feedback() = {{5, 1, {FeedbackType::kEcn, 1}},
                      {7, 1, {FeedbackType::kRate, 40'000'000'000}}};
-  h.ack_path_feedback = {{5, 1, {FeedbackType::kDelay, 12'345}}};
-  h.sack = {{12, 3}, {12, 4}};
-  h.nack = {{13, 0}};
+  h.ack_path_feedback() = {{5, 1, {FeedbackType::kDelay, 12'345}}};
+  h.sack() = {{12, 3}, {12, 4}};
+  h.nack() = {{13, 0}};
   return h;
 }
 
@@ -87,7 +87,7 @@ TEST(MtpHeader, RejectsBadFeedbackType) {
   // Corrupt the first feedback TLV's type byte: it sits right after the
   // fixed part + exclude list (2 + 2*5 bytes) + feedback count (2) + path id
   // (4) + tc (1).
-  const std::size_t pos = MtpHeader::kFixedSize + 2 + h.path_exclude.size() * 5 + 2 + 4 + 1;
+  const std::size_t pos = MtpHeader::kFixedSize + 2 + h.path_exclude().size() * 5 + 2 + 4 + 1;
   buf[pos] = 0x99;
   EXPECT_FALSE(MtpHeader::parse(buf).has_value());
 }
@@ -107,9 +107,9 @@ TEST(MtpHeader, AckOverheadIsModest) {
   // plus reasonable slack.
   MtpHeader ack;
   ack.type = MtpPacketType::kAck;
-  ack.ack_path_feedback = {{1, 0, {FeedbackType::kEcn, 1}},
+  ack.ack_path_feedback() = {{1, 0, {FeedbackType::kEcn, 1}},
                            {2, 0, {FeedbackType::kEcn, 0}}};
-  ack.sack = {{100, 5}};
+  ack.sack() = {{100, 5}};
   EXPECT_LE(ack.wire_size(), 100u);
 }
 
@@ -133,27 +133,27 @@ TEST_P(MtpHeaderFuzz, RandomHeaderRoundTrips) {
   h.pkt_len = static_cast<std::uint32_t>(rng.next_u64());
   const auto n_excl = rng.uniform_int(0, 8);
   for (int i = 0; i < n_excl; ++i) {
-    h.path_exclude.push_back({static_cast<PathletId>(rng.next_u64()),
+    h.path_exclude().push_back({static_cast<PathletId>(rng.next_u64()),
                               static_cast<TrafficClassId>(rng.next_u64())});
   }
   auto random_feedback = [&rng] {
     return Feedback{static_cast<FeedbackType>(rng.uniform_int(0, 4)), rng.next_u64()};
   };
   for (int i = 0, n = static_cast<int>(rng.uniform_int(0, 8)); i < n; ++i) {
-    h.path_feedback.push_back({static_cast<PathletId>(rng.next_u64()),
+    h.path_feedback().push_back({static_cast<PathletId>(rng.next_u64()),
                                static_cast<TrafficClassId>(rng.next_u64()),
                                random_feedback()});
   }
   for (int i = 0, n = static_cast<int>(rng.uniform_int(0, 8)); i < n; ++i) {
-    h.ack_path_feedback.push_back({static_cast<PathletId>(rng.next_u64()),
+    h.ack_path_feedback().push_back({static_cast<PathletId>(rng.next_u64()),
                                    static_cast<TrafficClassId>(rng.next_u64()),
                                    random_feedback()});
   }
   for (int i = 0, n = static_cast<int>(rng.uniform_int(0, 16)); i < n; ++i) {
-    h.sack.push_back({rng.next_u64(), static_cast<std::uint32_t>(rng.next_u64())});
+    h.sack().push_back({rng.next_u64(), static_cast<std::uint32_t>(rng.next_u64())});
   }
   for (int i = 0, n = static_cast<int>(rng.uniform_int(0, 16)); i < n; ++i) {
-    h.nack.push_back({rng.next_u64(), static_cast<std::uint32_t>(rng.next_u64())});
+    h.nack().push_back({rng.next_u64(), static_cast<std::uint32_t>(rng.next_u64())});
   }
 
   std::vector<std::uint8_t> buf;
@@ -175,7 +175,7 @@ TEST(TcpHeader, RoundTrips) {
   h.flags = kTcpAck | kTcpEce;
   h.rwnd = 1 << 20;
   h.payload = 1448;
-  h.sack = {{1000, 2000}, {5000, 6000}};
+  h.sack() = {{1000, 2000}, {5000, 6000}};
   std::vector<std::uint8_t> buf;
   h.serialize(buf);
   EXPECT_EQ(buf.size(), h.wire_size());
@@ -186,7 +186,7 @@ TEST(TcpHeader, RoundTrips) {
 
 TEST(TcpHeader, RejectsTooManySackBlocks) {
   TcpHeader h;
-  h.sack = {{1, 2}, {3, 4}, {5, 6}};
+  h.sack() = {{1, 2}, {3, 4}, {5, 6}};
   std::vector<std::uint8_t> buf;
   h.serialize(buf);
   buf[TcpHeader::kFixedSize - 1] = 9;  // corrupt the block count
@@ -195,7 +195,7 @@ TEST(TcpHeader, RejectsTooManySackBlocks) {
 
 TEST(TcpHeader, RejectsInvertedSackBlock) {
   TcpHeader h;
-  h.sack = {{100, 50}};
+  h.sack() = {{100, 50}};
   std::vector<std::uint8_t> buf;
   h.serialize(buf);
   EXPECT_FALSE(TcpHeader::parse(buf).has_value());
