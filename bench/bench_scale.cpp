@@ -17,11 +17,18 @@
 //     ~1.2 KB per idle message in empty deque chunks alone).
 //  3. Determinism at scale: the same k=4 fat-tree sweep run serially and on
 //     a sim::ParallelSweep must produce bit-identical digests.
+//  4. Space-parallel speedup: the k=16 burst run on 1/2/4/8 sim::sharded
+//     shards (`--shards N` runs one shard count by itself). The completion
+//     digest — an XOR of per-source-host streams, so it is independent of
+//     how completions interleave across shards — must be bit-identical for
+//     every shard count; events/s against shards=1 is the speedup. The
+//     table also lands in a telemetry::RunReport ("scale_shards").
 //
-// `--smoke` runs probes 1-3 at k=8 and prints machine-readable lines for
-// scripts/check.sh (compared against BENCH_scale.json); the default mode
+// `--smoke` runs probes 1-4 at k=8/k=16 and prints machine-readable lines
+// for scripts/check.sh (compared against BENCH_scale.json); the default mode
 // also runs the k=16 (1024-host) smoke to prove the fabric constructs and
 // routes at four-digit host counts.
+#include <sched.h>
 #include <sys/resource.h>
 
 #include <atomic>
@@ -31,12 +38,14 @@
 #include <cstring>
 #include <new>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "net/fat_tree.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/parallel.hpp"
 #include "stats/table.hpp"
+#include "telemetry/report.hpp"
 
 namespace {
 // Net heap bytes currently allocated by this process (tracked via the
@@ -78,35 +87,55 @@ namespace {
 
 constexpr std::int64_t kMsgBytes = 10'000;  // 10 packets at the 1000 B MTU
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// CPUs this process may actually run on (the cgroup/affinity mask, not the
+/// machine) — what decides whether a sharded speedup is measurable here.
+unsigned available_cores() {
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
 struct ScaleResult {
   int hosts = 0;
+  unsigned shards = 1;
   std::uint64_t messages = 0;
   std::uint64_t completed = 0;
   std::uint64_t peak_concurrent = 0;
   std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t digest = 0;
   double wall_sec = 0;
   double sim_ms = 0;
   double events_per_sec = 0;
 };
 
-/// Probe 1: burst `msgs_per_host` messages from every fat-tree host to the
-/// host 37 ranks away, all inside the first 10 us of simulated time.
+/// Probes 1 and 4: burst `msgs_per_host` messages from every fat-tree host
+/// to the host 37 ranks away, all inside the first 10 us of simulated time,
+/// on `shards` space shards. The digest folds each completion into a cell
+/// owned by its *source host* and XORs the cells: per-host completion order
+/// is part of the (shard-invariant) timeline while cross-host interleaving
+/// is not, so equal digests across shard counts mean the sharded run
+/// completed the same messages at the same simulated times.
 ScaleResult run_fat_tree_burst(int k, int msgs_per_host,
-                               scenario::Forwarding fwd = scenario::Forwarding::kEcmp) {
+                               scenario::Forwarding fwd = scenario::Forwarding::kEcmp,
+                               unsigned shards = 1) {
   using Clock = std::chrono::steady_clock;
-  auto s = scenario::ScenarioBuilder()
-               .seed(7)
-               .topology(scenario::topo::fat_tree({.k = k}))
-               .forwarding(fwd)
-               .transport(scenario::TransportKind::kMtp)
-               .build();
-  const int hosts = static_cast<int>(s->num_senders());
+  const int hosts = k * k * k / 4;
 
-  ScaleResult r;
-  r.hosts = hosts;
-  r.messages = static_cast<std::uint64_t>(hosts) * msgs_per_host;
-
-  // One flat schedule, one cursor event: src field = sender host index.
+  // One flat schedule: src field = sender host index. Under shards > 1 the
+  // scenario replays each host's arrivals on the shard that owns the host,
+  // keyed by global schedule index (workload::KeyedReplay).
   workload::ArrivalSchedule sched;
   for (int m = 0; m < msgs_per_host; ++m) {
     const sim::SimTime at = sim::SimTime::nanoseconds(m * 10'000 / msgs_per_host);
@@ -115,23 +144,57 @@ ScaleResult run_fat_tree_burst(int k, int msgs_per_host,
     }
   }
 
-  std::uint64_t outstanding = 0;
-  ScaleResult* rp = &r;
-  const auto t0 = Clock::now();
-  sched.start(s->simulator(), [&, rp](const workload::ArrivalSchedule::Arrival& a) {
+  auto s = scenario::ScenarioBuilder()
+               .seed(7)
+               .shards(shards)
+               .topology(scenario::topo::fat_tree({.k = k}))
+               .forwarding(fwd)
+               .transport(scenario::TransportKind::kMtp)
+               .workload(std::move(sched))
+               .build();
+
+  ScaleResult r;
+  r.hosts = hosts;
+  r.shards = shards;
+  r.messages = static_cast<std::uint64_t>(hosts) * msgs_per_host;
+
+  // Counters live per shard (cacheline-padded: each slot is written only by
+  // its shard's worker thread) and digest cells per source host (each host
+  // lives on exactly one shard).
+  struct alignas(64) ShardStat {
+    std::uint64_t outstanding = 0;
+    std::uint64_t peak = 0;
+    std::uint64_t completed = 0;
+  };
+  std::vector<ShardStat> st(shards);
+  std::vector<std::uint64_t> cell(hosts);
+  for (int h = 0; h < hosts; ++h) cell[h] = splitmix64(0xc2b2ae3d27d4eb4fULL ^ h);
+
+  scenario::Scenario* sp = s.get();
+  s->set_arrival_handler([sp, &st, &cell, hosts](const workload::ArrivalSchedule::Arrival& a) {
     const int src = static_cast<int>(a.src);
-    const auto dst = s->topo().senders[(src + 37) % hosts]->id();
-    ++outstanding;
-    if (outstanding > rp->peak_concurrent) rp->peak_concurrent = outstanding;
-    s->mtp_sender(a.src)->send_message(
+    const auto dst = sp->topo().senders[(src + 37) % hosts]->id();
+    ShardStat& ss = st[sp->network().shard_of(*sp->topo().senders[src])];
+    ++ss.outstanding;
+    if (ss.outstanding > ss.peak) ss.peak = ss.outstanding;
+    sp->mtp_sender(a.src)->send_message(
         dst, a.bytes, {.dst_port = 80},
-        [&outstanding, rp](proto::MsgId, sim::SimTime) {
-          --outstanding;
-          ++rp->completed;
+        [&ss, c = &cell[src]](proto::MsgId, sim::SimTime fct) {
+          --ss.outstanding;
+          ++ss.completed;
+          *c ^= splitmix64(*c ^ static_cast<std::uint64_t>(fct.ns()));
         });
   });
-  r.events = s->simulator().run(200_ms);
+
+  const auto t0 = Clock::now();
+  r.events = s->run(200_ms);
   r.wall_sec = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (const ShardStat& ss : st) {
+    r.completed += ss.completed;
+    r.peak_concurrent += ss.peak;  // sum of per-shard peaks (== peak at shards=1)
+  }
+  for (int h = 0; h < hosts; ++h) r.digest ^= cell[h];
+  r.windows = s->windows();
   r.sim_ms = s->simulator().now().ms();
   r.events_per_sec = static_cast<double>(r.events) / r.wall_sec;
   return r;
@@ -208,11 +271,38 @@ double peak_rss_mb() {
   return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KB -> MB
 }
 
+/// Two runs are "the same experiment" when they completed the same messages
+/// at the same simulated times. Raw event counts are NOT compared: each
+/// shard runs its own sim::TimerWheel, so one serial bucket-wake serving
+/// timers of several shards becomes one wake per shard — a handful of extra
+/// bookkeeping events that never touch the model timeline.
+bool same_run(const ScaleResult& a, const ScaleResult& b) {
+  return a.digest == b.digest && a.completed == b.completed;
+}
+
 int smoke_main() {
   const ScaleResult r = run_fat_tree_burst(/*k=*/8, /*msgs_per_host=*/800);
   const double idle = idle_message_bytes(100'000);
   const std::uint64_t serial = sweep_digest(1);
   const std::uint64_t parallel = sweep_digest(0);
+
+  // Probe 4 (sharded): digest equality at k=8 across 1/2/4 shards, then the
+  // k=16 speedup pair. scripts/check.sh gates the digests unconditionally
+  // and the speedup only when shard_available_cores is large enough to make
+  // a wall-clock ratio meaningful (a 1-vCPU CI box timeslices the shards).
+  const ScaleResult d1 = run_fat_tree_burst(/*k=*/8, /*msgs_per_host=*/64,
+                                            scenario::Forwarding::kEcmp, /*shards=*/1);
+  const ScaleResult d2 = run_fat_tree_burst(/*k=*/8, /*msgs_per_host=*/64,
+                                            scenario::Forwarding::kEcmp, /*shards=*/2);
+  const ScaleResult d4 = run_fat_tree_burst(/*k=*/8, /*msgs_per_host=*/64,
+                                            scenario::Forwarding::kEcmp, /*shards=*/4);
+  const ScaleResult s1 = run_fat_tree_burst(/*k=*/16, /*msgs_per_host=*/64,
+                                            scenario::Forwarding::kEcmp, /*shards=*/1);
+  const ScaleResult s8 = run_fat_tree_burst(/*k=*/16, /*msgs_per_host=*/64,
+                                            scenario::Forwarding::kEcmp, /*shards=*/8);
+  const bool shard_match =
+      same_run(d1, d2) && same_run(d1, d4) && same_run(s1, s8);
+
   std::printf("events_per_sec=%.0f\n", r.events_per_sec);
   std::printf("peak_concurrent_msgs=%llu\n",
               static_cast<unsigned long long>(r.peak_concurrent));
@@ -222,7 +312,60 @@ int smoke_main() {
   std::printf("digest_serial=%016llx\n", static_cast<unsigned long long>(serial));
   std::printf("digest_parallel=%016llx\n", static_cast<unsigned long long>(parallel));
   std::printf("digest_match=%d\n", serial == parallel ? 1 : 0);
-  return serial == parallel ? 0 : 1;
+  std::printf("shard_available_cores=%u\n", available_cores());
+  std::printf("shard_digest_match=%d\n", shard_match ? 1 : 0);
+  std::printf("shard1_events_per_sec=%.0f\n", s1.events_per_sec);
+  std::printf("shard8_events_per_sec=%.0f\n", s8.events_per_sec);
+  std::printf("shard8_windows=%llu\n", static_cast<unsigned long long>(s8.windows));
+  std::printf("shard_speedup=%.2f\n", s8.events_per_sec / s1.events_per_sec);
+  return (serial == parallel && shard_match) ? 0 : 1;
+}
+
+/// Probe 4 in full: the k=16 burst at 1/2/4/8 shards, printed as a table
+/// and written to a telemetry::RunReport.
+bool shard_speedup_main(const std::vector<unsigned>& shard_counts) {
+  std::printf("\n=== sim::sharded speedup: k=16 burst, %u core(s) available ===\n\n",
+              available_cores());
+  stats::Table t({"shards", "events", "windows", "wall (s)", "Mevents/s",
+                  "speedup", "digest"});
+  telemetry::RunReport report("scale_shards");
+  std::vector<ScaleResult> rs;
+  for (unsigned n : shard_counts) {
+    rs.push_back(run_fat_tree_burst(/*k=*/16, /*msgs_per_host=*/64,
+                                    scenario::Forwarding::kEcmp, n));
+  }
+  const double base = rs.front().events_per_sec;
+  bool match = true;
+  for (const ScaleResult& r : rs) {
+    match = match && same_run(rs.front(), r);
+    t.add_row({stats::format("%u", r.shards),
+               stats::format("%llu", static_cast<unsigned long long>(r.events)),
+               stats::format("%llu", static_cast<unsigned long long>(r.windows)),
+               stats::format("%.2f", r.wall_sec),
+               stats::format("%.1f", r.events_per_sec / 1e6),
+               stats::format("%.2fx", r.events_per_sec / base),
+               stats::format("%016llx", static_cast<unsigned long long>(r.digest))});
+    auto& sec = report.section(stats::format("shards_%u", r.shards));
+    sec.add_scalar("shards", r.shards);
+    sec.add_scalar("hosts", r.hosts);
+    sec.add_scalar("events", static_cast<double>(r.events));
+    sec.add_scalar("windows", static_cast<double>(r.windows));
+    sec.add_scalar("completed_msgs", static_cast<double>(r.completed));
+    sec.add_scalar("wall_sec", r.wall_sec);
+    sec.add_scalar("events_per_sec", r.events_per_sec);
+    sec.add_scalar("speedup_vs_1", r.events_per_sec / base);
+    sec.add_text("digest", stats::format("%016llx",
+                                         static_cast<unsigned long long>(r.digest)));
+  }
+  t.print();
+  std::printf("shard digests %s across {", match ? "bit-identical" : "MISMATCH");
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    std::printf("%s%u", i ? "," : "", shard_counts[i]);
+  }
+  std::printf("} shards; %u core(s) available\n", available_cores());
+  report.section("env").add_scalar("available_cores", available_cores());
+  report.write();
+  return match;
 }
 
 }  // namespace
@@ -230,6 +373,19 @@ int smoke_main() {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--smoke") return smoke_main();
+    if (std::string_view(argv[i]) == "--shards" && i + 1 < argc) {
+      // One shard count by itself (plus the shards=1 baseline it is judged
+      // against): the handle for profiling a single configuration.
+      const unsigned n = static_cast<unsigned>(std::atoi(argv[i + 1]));
+      if (n == 0) {
+        std::fprintf(stderr, "bench_scale: --shards needs a count >= 1\n");
+        return 2;
+      }
+      return shard_speedup_main(n == 1 ? std::vector<unsigned>{1}
+                                       : std::vector<unsigned>{1, n})
+                 ? 0
+                 : 1;
+    }
   }
 
   std::printf("=== Scale-out fabrics: fat-tree capacity and event-core throughput ===\n\n");
@@ -271,5 +427,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(parallel),
               serial == parallel ? "bit-identical" : "MISMATCH");
   std::printf("peak RSS: %.1f MB\n", peak_rss_mb());
-  return serial == parallel ? 0 : 1;
+
+  const bool shard_match = shard_speedup_main({1, 2, 4, 8});
+  return (serial == parallel && shard_match) ? 0 : 1;
 }

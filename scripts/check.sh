@@ -25,10 +25,13 @@ run_tsan() {
   # and per-simulator packet uids from several workers at once.
   # scale_test's scenario-sweep case runs whole ScenarioBuilder rigs on
   # worker threads, covering the scenario library's thread-local surfaces.
+  # sharded_test/chaos_test's Sharded* cases run one fabric split across
+  # worker shards, covering the SPSC handoff channels, the window barrier,
+  # and the per-shard counter slots.
   cmake --preset tsan -S "$repo"
-  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test scale_test scenario_test
+  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test scale_test scenario_test sharded_test
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-    -R 'ParallelSweep|ScenarioSweep|ScenarioBuilder'
+    -R 'ParallelSweep|ScenarioSweep|ScenarioBuilder|Sharded'
 }
 
 run_chaos() {
@@ -79,26 +82,47 @@ run_bench_smoke() {
 run_scale_smoke() {
   # Fails on a >25% events/sec regression against the recorded baseline, a
   # peak below 100k concurrent messages, an idle-message footprint above the
-  # recorded bound, or a serial-vs-ParallelSweep digest mismatch.
+  # recorded bound, a serial-vs-ParallelSweep digest mismatch, or a
+  # serial-vs-sharded digest mismatch on the k=16 burst. The sharded speedup
+  # gate (shards=8 >= speedup_min x shards=1) only arms when the box exposes
+  # at least speedup_gate_min_cores CPUs — digest equality is asserted
+  # regardless, speedup on a 1-core CI box is not meaningful.
   cmake --preset release -S "$repo"
   cmake --build --preset release -j "$jobs" --target bench_scale
   local out
   out="$("$repo/build/bench/bench_scale" --smoke)"
   echo "$out"
   local events peak idle match base_events peak_min idle_max
+  local scores smatch s1 s8 sspeed base_s1 speed_min gate_cores
   events="$(echo "$out" | sed -n 's/^events_per_sec=//p')"
   peak="$(echo "$out" | sed -n 's/^peak_concurrent_msgs=//p')"
   idle="$(echo "$out" | sed -n 's/^bytes_per_idle_msg=//p')"
   match="$(echo "$out" | sed -n 's/^digest_match=//p')"
+  scores="$(echo "$out" | sed -n 's/^shard_available_cores=//p')"
+  smatch="$(echo "$out" | sed -n 's/^shard_digest_match=//p')"
+  s1="$(echo "$out" | sed -n 's/^shard1_events_per_sec=//p')"
+  s8="$(echo "$out" | sed -n 's/^shard8_events_per_sec=//p')"
+  sspeed="$(echo "$out" | sed -n 's/^shard_speedup=//p')"
   base_events="$(sed -n 's/.*"events_per_sec": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
   peak_min="$(sed -n 's/.*"peak_concurrent_msgs_min": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
   idle_max="$(sed -n 's/.*"bytes_per_idle_msg_max": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  base_s1="$(sed -n 's/.*"k16_shard1_events_per_sec": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  speed_min="$(sed -n 's/.*"speedup_min": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  gate_cores="$(sed -n 's/.*"speedup_gate_min_cores": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
   if [ -z "$events" ] || [ -z "$base_events" ] || [ -z "$peak" ]; then
     echo "scale-smoke: failed to parse bench output or baseline" >&2
     exit 1
   fi
   if [ "$match" != "1" ]; then
     echo "scale-smoke: FAIL serial vs ParallelSweep digest mismatch" >&2
+    exit 1
+  fi
+  if [ -z "$smatch" ] || [ -z "$s1" ] || [ -z "$base_s1" ]; then
+    echo "scale-smoke: failed to parse sharded bench output or shard baseline" >&2
+    exit 1
+  fi
+  if [ "$smatch" != "1" ]; then
+    echo "scale-smoke: FAIL serial vs sharded digest mismatch" >&2
     exit 1
   fi
   awk -v got="$events" -v base="$base_events" 'BEGIN {
@@ -123,6 +147,25 @@ run_scale_smoke() {
     }
     printf "scale-smoke: OK bytes_per_idle_msg %.1f <= %d\n", got, max;
   }'
+  awk -v got="$s1" -v base="$base_s1" 'BEGIN {
+    floor = base * 0.75;
+    if (got < floor) {
+      printf "scale-smoke: FAIL shard1_events_per_sec %.0f < 75%% of baseline %.0f (floor %.0f)\n", got, base, floor;
+      exit 1;
+    }
+    printf "scale-smoke: OK shard1_events_per_sec %.0f >= floor %.0f (baseline %.0f)\n", got, floor, base;
+  }'
+  if [ "${scores:-0}" -ge "${gate_cores:-8}" ]; then
+    awk -v got="$sspeed" -v min="$speed_min" -v s8="$s8" 'BEGIN {
+      if (got + 0 < min + 0) {
+        printf "scale-smoke: FAIL shard_speedup %.2f < %.1f (shard8_events_per_sec %.0f)\n", got, min, s8;
+        exit 1;
+      }
+      printf "scale-smoke: OK shard_speedup %.2f >= %.1f (shard8_events_per_sec %.0f)\n", got, min, s8;
+    }'
+  else
+    echo "scale-smoke: INFO shard_speedup $sspeed on $scores core(s) — gate needs >= ${gate_cores:-8} cores, skipped"
+  fi
 }
 
 case "$mode" in

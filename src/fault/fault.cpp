@@ -22,6 +22,17 @@ std::uint64_t hash_name(const std::string& s) {
   }
   return h;
 }
+
+// Content-derived packet identity for digest folds. pkt.uid is allocated by
+// whichever shard's simulator transmitted the packet and is NOT
+// shard-invariant (shards use disjoint uid ranges); the headers are.
+std::uint64_t packet_identity(const net::Packet& pkt) {
+  std::uint64_t h = pkt.flow_hash ^ (std::uint64_t{pkt.size_bytes()} << 1);
+  if (pkt.is_mtp()) {
+    h ^= splitmix64((std::uint64_t{pkt.mtp().msg_id} << 20) ^ pkt.mtp().pkt_num);
+  }
+  return h;
+}
 }  // namespace
 
 FaultInjector::FaultInjector(sim::Simulator& sim, std::uint64_t seed, std::string name)
@@ -32,13 +43,13 @@ FaultInjector::FaultInjector(sim::Simulator& sim, std::uint64_t seed, std::strin
         out.push_back({"flaps_scheduled", MetricKind::kCounter,
                        static_cast<double>(flaps_scheduled_)});
         out.push_back({"flaps_executed", MetricKind::kCounter,
-                       static_cast<double>(flaps_executed_)});
-        out.push_back({"crashes", MetricKind::kCounter, static_cast<double>(crashes_)});
-        out.push_back({"restarts", MetricKind::kCounter, static_cast<double>(restarts_)});
+                       static_cast<double>(flaps_executed())});
+        out.push_back({"crashes", MetricKind::kCounter, static_cast<double>(crashes())});
+        out.push_back({"restarts", MetricKind::kCounter, static_cast<double>(restarts())});
         out.push_back({"pkts_dropped", MetricKind::kCounter,
-                       static_cast<double>(pkts_dropped_)});
+                       static_cast<double>(pkts_dropped())});
         out.push_back({"pkts_corrupted", MetricKind::kCounter,
-                       static_cast<double>(pkts_corrupted_)});
+                       static_cast<double>(pkts_corrupted())});
       });
 }
 
@@ -52,25 +63,47 @@ std::uint64_t FaultInjector::derive_seed() {
   return splitmix64(seed_ ^ splitmix64(++streams_));
 }
 
-void FaultInjector::fold(std::uint64_t v) {
-  digest_ ^= splitmix64(v + digest_);
+void FaultInjector::Cell::fold(std::uint64_t v) {
+  state ^= splitmix64(v + state);
 }
 
-void FaultInjector::set_link_state(net::Link& link, bool up) {
-  ++flaps_executed_;
-  fold(static_cast<std::uint64_t>(sim_.now().ns()) * 2 + (up ? 1 : 0));
+FaultInjector::Cell* FaultInjector::new_cell() {
+  cells_.emplace_back(splitmix64(0xa5a5a5a5a5a5a5a5ULL ^ ++cells_created_));
+  return &cells_.back();
+}
+
+FaultInjector::Cell& FaultInjector::flap_cell(net::Link& link) {
+  auto it = flap_cells_.find(&link);
+  if (it == flap_cells_.end()) it = flap_cells_.emplace(&link, new_cell()).first;
+  return *it->second;
+}
+
+std::uint64_t FaultInjector::digest() const {
+  std::uint64_t d = schedule_cell_.state;
+  for (const Cell& c : cells_) d ^= c.state;
+  for (const auto& [link, st] : impaired_) d ^= st->cell.state;
+  return d;
+}
+
+void FaultInjector::set_link_state(net::Link& link, Cell& cell, bool up) {
+  flaps_executed_.fetch_add(1, std::memory_order_relaxed);
+  cell.fold(static_cast<std::uint64_t>(link.simulator().now().ns()) * 2 + (up ? 1 : 0));
   link.set_up(up);
 }
 
 void FaultInjector::flap_link(net::Link& link, sim::SimTime down_at,
                               sim::SimTime down_for) {
   ++flaps_scheduled_;
-  fold(hash_name(link.name()));
-  fold(static_cast<std::uint64_t>(down_at.ns()));
-  fold(static_cast<std::uint64_t>(down_for.ns()));
+  schedule_cell_.fold(hash_name(link.name()));
+  schedule_cell_.fold(static_cast<std::uint64_t>(down_at.ns()));
+  schedule_cell_.fold(static_cast<std::uint64_t>(down_for.ns()));
   net::Link* l = &link;
-  sim_.schedule_at(down_at, [this, l] { set_link_state(*l, false); });
-  sim_.schedule_at(down_at + down_for, [this, l] { set_link_state(*l, true); });
+  Cell* cell = &flap_cell(link);
+  // Flap events run on the link's own simulator: under sim::sharded that is
+  // the shard whose worker thread owns the link's queue and stats.
+  link.simulator().schedule_at(down_at, [this, l, cell] { set_link_state(*l, *cell, false); });
+  link.simulator().schedule_at(down_at + down_for,
+                               [this, l, cell] { set_link_state(*l, *cell, true); });
 }
 
 void FaultInjector::random_flaps(net::Link& link, sim::SimTime start,
@@ -94,17 +127,18 @@ void FaultInjector::random_flaps(net::Link& link, sim::SimTime start,
 }
 
 void FaultInjector::impair_link(net::Link& link, GilbertElliott::Config model) {
-  auto st = std::make_unique<Impairment>(model, derive_seed());
+  auto st = std::make_unique<Impairment>(model, derive_seed(),
+                                         splitmix64(0x5c5c5c5c5c5c5c5cULL ^ ++cells_created_));
   Impairment* s = st.get();
   impaired_[&link] = std::move(st);
   link.set_fault_hook([this, s](const net::Packet& pkt) {
     const net::FaultAction action = s->chain.step(s->rng);
     if (action != net::FaultAction::kNone) {
-      fold(pkt.uid * 4 + static_cast<std::uint64_t>(action));
+      s->cell.fold(packet_identity(pkt) * 4 + static_cast<std::uint64_t>(action));
       if (action == net::FaultAction::kDrop) {
-        ++pkts_dropped_;
+        pkts_dropped_.fetch_add(1, std::memory_order_relaxed);
       } else {
-        ++pkts_corrupted_;
+        pkts_corrupted_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     return action;
@@ -119,31 +153,40 @@ void FaultInjector::clear_impairment(net::Link& link) {
 void FaultInjector::crash_device(std::string name, sim::SimTime at,
                                  sim::SimTime down_for, std::function<void()> crash_fn,
                                  std::function<void()> restart_fn) {
-  fold(hash_name(name));
-  fold(static_cast<std::uint64_t>(at.ns()));
-  fold(static_cast<std::uint64_t>(down_for.ns()));
-  auto trace_crash = [this](const std::string& who, bool restart) {
+  crash_device(sim_, std::move(name), at, down_for, std::move(crash_fn),
+               std::move(restart_fn));
+}
+
+void FaultInjector::crash_device(sim::Simulator& on, std::string name, sim::SimTime at,
+                                 sim::SimTime down_for, std::function<void()> crash_fn,
+                                 std::function<void()> restart_fn) {
+  schedule_cell_.fold(hash_name(name));
+  schedule_cell_.fold(static_cast<std::uint64_t>(at.ns()));
+  schedule_cell_.fold(static_cast<std::uint64_t>(down_for.ns()));
+  Cell* cell = new_cell();
+  sim::Simulator* s = &on;
+  auto trace_crash = [s](const std::string& who, bool restart) {
     if (!telemetry::TraceSink::enabled()) return;
     telemetry::TraceEvent ev;
-    ev.t = sim_.now();
+    ev.t = s->now();
     ev.type = telemetry::TraceEventType::kCrash;
     ev.component = who;
     ev.value = restart ? 1 : 0;
     telemetry::trace().record(ev);
   };
-  sim_.schedule_at(at, [this, name, crash_fn = std::move(crash_fn), trace_crash] {
-    ++crashes_;
-    fold(static_cast<std::uint64_t>(sim_.now().ns()));
+  on.schedule_at(at, [this, s, cell, name, crash_fn = std::move(crash_fn), trace_crash] {
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    cell->fold(static_cast<std::uint64_t>(s->now().ns()));
     trace_crash(name, /*restart=*/false);
     if (crash_fn) crash_fn();
   });
-  sim_.schedule_at(at + down_for,
-                   [this, name, restart_fn = std::move(restart_fn), trace_crash] {
-                     ++restarts_;
-                     fold(static_cast<std::uint64_t>(sim_.now().ns()) | 1);
-                     trace_crash(name, /*restart=*/true);
-                     if (restart_fn) restart_fn();
-                   });
+  on.schedule_at(at + down_for,
+                 [this, s, cell, name, restart_fn = std::move(restart_fn), trace_crash] {
+                   restarts_.fetch_add(1, std::memory_order_relaxed);
+                   cell->fold(static_cast<std::uint64_t>(s->now().ns()) | 1);
+                   trace_crash(name, /*restart=*/true);
+                   if (restart_fn) restart_fn();
+                 });
 }
 
 void FaultInjector::apply(const FaultPlan& plan) {

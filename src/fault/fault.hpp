@@ -18,9 +18,20 @@
 //
 // Every decision folds into digest(), so tests can assert that two runs of
 // the same seed produced bit-identical fault timelines.
+//
+// Sharding (sim::sharded): an injector's faults may target links and devices
+// spread across shards, so runtime work executes on the *owner's* simulator
+// (flaps on link.simulator(), crashes on the simulator passed to
+// crash_device) and runtime bookkeeping is shard-safe: counters are relaxed
+// atomics, and the digest is a set of per-stream cells — each cell folds its
+// own decisions in event order on one shard, and digest() XORs the cells.
+// Per-cell order is fixed by the (shard-invariant) simulation timeline and
+// XOR commutes, so the digest is bit-identical for every shard count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -124,50 +135,77 @@ class FaultInjector {
   void clear_impairment(net::Link& link);
 
   /// Schedule a crash-with-state-wipe: `crash_fn` at `at`, `restart_fn`
-  /// `down_for` later. `name` identifies the device in traces.
+  /// `down_for` later. `name` identifies the device in traces. Runs on the
+  /// injector's own simulator — for a device living on another shard, use
+  /// the overload below with that shard's simulator.
   void crash_device(std::string name, sim::SimTime at, sim::SimTime down_for,
                     std::function<void()> crash_fn, std::function<void()> restart_fn);
+
+  /// Same, but the crash/restart events run on `on` (the simulator of the
+  /// shard that owns the device's state).
+  void crash_device(sim::Simulator& on, std::string name, sim::SimTime at,
+                    sim::SimTime down_for, std::function<void()> crash_fn,
+                    std::function<void()> restart_fn);
 
   /// Apply a whole declarative plan.
   void apply(const FaultPlan& plan);
 
-  // --- Introspection.
+  // --- Introspection. Relaxed atomics: runtime increments come from shard
+  // worker threads; reads are exact once a run has joined.
   std::uint64_t flaps_scheduled() const { return flaps_scheduled_; }
-  std::uint64_t flaps_executed() const { return flaps_executed_; }
-  std::uint64_t crashes() const { return crashes_; }
-  std::uint64_t restarts() const { return restarts_; }
-  std::uint64_t pkts_dropped() const { return pkts_dropped_; }
-  std::uint64_t pkts_corrupted() const { return pkts_corrupted_; }
+  std::uint64_t flaps_executed() const { return flaps_executed_.load(std::memory_order_relaxed); }
+  std::uint64_t crashes() const { return crashes_.load(std::memory_order_relaxed); }
+  std::uint64_t restarts() const { return restarts_.load(std::memory_order_relaxed); }
+  std::uint64_t pkts_dropped() const { return pkts_dropped_.load(std::memory_order_relaxed); }
+  std::uint64_t pkts_corrupted() const { return pkts_corrupted_.load(std::memory_order_relaxed); }
 
-  /// Order-sensitive fold of every fault decision this injector made —
-  /// schedule generation and per-packet impairment verdicts alike. Equal
-  /// digests mean bit-identical fault timelines.
-  std::uint64_t digest() const { return digest_; }
+  /// Fold of every fault decision this injector made — schedule generation
+  /// and per-packet impairment verdicts alike. Equal digests mean
+  /// bit-identical fault timelines. XOR of order-sensitive per-stream cells
+  /// (see the header comment), so the value is independent of the shard
+  /// count the experiment ran with. Call between runs, not during one.
+  std::uint64_t digest() const;
 
  private:
+  /// One order-sensitive digest stream. Each cell is owned by exactly one
+  /// shard at runtime (the schedule cell by the build thread). Cells start
+  /// at a per-creation-index salt so identical fold sequences in different
+  /// cells cannot XOR-cancel.
+  struct Cell {
+    explicit Cell(std::uint64_t salt) : state(salt) {}
+    void fold(std::uint64_t v);
+    std::uint64_t state;
+  };
+
   struct Impairment {
     GilbertElliott chain;
     sim::Rng rng;
-    Impairment(GilbertElliott::Config cfg, std::uint64_t seed) : chain(cfg), rng(seed) {}
+    Cell cell;
+    Impairment(GilbertElliott::Config cfg, std::uint64_t seed, std::uint64_t salt)
+        : chain(cfg), rng(seed), cell(salt) {}
   };
 
   /// Derive an independent substream: splitmix64 over (root seed, counter).
   std::uint64_t derive_seed();
-  void fold(std::uint64_t v);
-  void set_link_state(net::Link& link, bool up);
+  Cell* new_cell();  ///< build-time only (not thread-safe)
+  Cell& flap_cell(net::Link& link);
+  void set_link_state(net::Link& link, Cell& cell, bool up);
 
   sim::Simulator& sim_;
   std::uint64_t seed_;
   std::uint64_t streams_ = 0;
+  std::uint64_t cells_created_ = 0;
   std::string name_;
   std::unordered_map<net::Link*, std::unique_ptr<Impairment>> impaired_;
+  std::unordered_map<net::Link*, Cell*> flap_cells_;  ///< runtime flap folds, per link
+  std::deque<Cell> cells_;  ///< flap + crash cells; deque keeps pointers stable
+  Cell schedule_cell_{0x9e3779b97f4a7c15ULL};  ///< build-time scheduling decisions
   std::uint64_t flaps_scheduled_ = 0;
-  std::uint64_t flaps_executed_ = 0;
-  std::uint64_t crashes_ = 0;
-  std::uint64_t restarts_ = 0;
-  std::uint64_t pkts_dropped_ = 0;
-  std::uint64_t pkts_corrupted_ = 0;
-  std::uint64_t digest_ = 0x9e3779b97f4a7c15ULL;
+  std::atomic<std::uint64_t> flaps_executed_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint64_t> pkts_dropped_{0};
+  std::atomic<std::uint64_t> pkts_corrupted_{0};
   telemetry::Registration metrics_;
 };
 

@@ -48,12 +48,26 @@ class FatTree {
     const int k = cfg.k;
     const int half = k / 2;
 
+    // Space partitioning for sim::sharded: a pod is the natural cut (all its
+    // edge/agg/host traffic is internal), so pod p and everything below it
+    // land on shard p*S/k — contiguous pod ranges per shard. Core switches
+    // talk to every pod equally and are spread round-robin. With S == 1 every
+    // call is set_build_shard(0) and this is the classic serial build. Node
+    // *creation order* is identical for every S: NodeIds — and with them flow
+    // hashes and routing tables — never depend on the partitioning.
+    const unsigned S = net.shards();
+    const auto pod_shard = [k, S](int p) {
+      return static_cast<unsigned>(static_cast<long long>(p) * S / k);
+    };
+
     for (int c = 0; c < half * half; ++c) {
+      net.set_build_shard(static_cast<unsigned>(c) % S);
       cores_.push_back(net.add_switch("core" + std::to_string(c)));
     }
     edges_.resize(k);
     aggs_.resize(k);
     for (int p = 0; p < k; ++p) {
+      net.set_build_shard(pod_shard(p));
       for (int e = 0; e < half; ++e) {
         edges_[p].push_back(
             net.add_switch("p" + std::to_string(p) + ".e" + std::to_string(e)));
@@ -66,6 +80,7 @@ class FatTree {
 
     // Hosts first so every edge switch has ports [0, half) host-facing.
     for (int p = 0; p < k; ++p) {
+      net.set_build_shard(pod_shard(p));
       for (int e = 0; e < half; ++e) {
         for (int h = 0; h < half; ++h) {
           Host* host = net.add_host("h" + std::to_string(p) + "." +
@@ -127,6 +142,8 @@ class FatTree {
         core->add_route(id, static_cast<PortIndex>(p));
       }
     }
+
+    net.set_build_shard(0);  // leave the network in its default build state
   }
 
   int k() const { return cfg_.k; }

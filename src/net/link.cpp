@@ -49,8 +49,13 @@ void Link::register_metrics() {
 
 telemetry::TraceEvent Link::trace_event(telemetry::TraceEventType type,
                                         const Packet& pkt) const {
+  return trace_event_at(sim_.now(), type, pkt);
+}
+
+telemetry::TraceEvent Link::trace_event_at(sim::SimTime t, telemetry::TraceEventType type,
+                                           const Packet& pkt) const {
   telemetry::TraceEvent ev;
-  ev.t = sim_.now();
+  ev.t = t;
   ev.type = type;
   ev.component = name_;
   ev.src = pkt.src;
@@ -202,16 +207,27 @@ void Link::finish_tx() {
   if (telemetry::TraceSink::enabled()) {
     telemetry::trace().record(trace_event(telemetry::TraceEventType::kTx, f.pkt));
   }
-  // One delivery event per link, not per packet: serialization ends are
-  // strictly ordered and the propagation delay is fixed, so deliveries are
-  // FIFO at known times. Schedule only when no earlier packet's delivery is
-  // pending — deliver_front() chains to the next ready packet. Keeps the
-  // event heap at O(links) instead of O(packets in flight).
-  f.deliver_at = sim_.now() + delay_;
-  if (ready_count_ == 0) {
-    sim_.schedule(delay_, [this] { deliver_front(); });
+  // One *keyed* delivery event per packet (key = link uid + tx counter):
+  // deliveries at equal timestamps execute in link-uid order on every
+  // engine, which is what keeps serial and sharded runs bit-identical —
+  // FIFO tie-breaking would encode cross-shard scheduling history into the
+  // timeline. Per-link deliveries are still FIFO in time: serialization
+  // ends are strictly ordered onto a fixed propagation delay.
+  const sim::SimTime deliver_at = sim_.now() + delay_;
+  const std::uint64_t key = next_delivery_key();
+  if (remote_sink_) {
+    // Cross-shard hop: the receiving shard schedules the delivery. The
+    // packet leaves the ring now — sender-side accounting (stats, kTx) is
+    // already done above.
+    Packet pkt = std::move(f.pkt);
+    in_flight_.drop_back();
+    transmitting_ = false;
+    remote_sink_(std::move(pkt), deliver_at, key);
+    try_transmit();
+    return;
   }
-  ++ready_count_;
+  f.deliver_at = deliver_at;
+  sim_.schedule_keyed_at(deliver_at, key, [this] { deliver_front(); });
   transmitting_ = false;
   try_transmit();
 }
@@ -227,10 +243,6 @@ void Link::deliver_front() {
   // rvalue reference, so the only move left is the receiver's own store.
   Packet pkt = std::move(f.pkt);
   in_flight_.drop_front();
-  --ready_count_;
-  if (ready_count_ > 0) {
-    sim_.schedule(in_flight_.front().deliver_at - sim_.now(), [this] { deliver_front(); });
-  }
   dst_->receive(std::move(pkt), dst_in_port_);
 }
 

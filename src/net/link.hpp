@@ -43,6 +43,7 @@ class Link {
   Link(sim::Simulator& simulator, std::string name, sim::Bandwidth bandwidth,
        sim::SimTime propagation_delay, std::unique_ptr<Queue> queue)
       : sim_(simulator),
+        uid_(simulator.next_link_uid()),
         name_(std::move(name)),
         bandwidth_(bandwidth),
         delay_(propagation_delay),
@@ -67,6 +68,10 @@ class Link {
   void send(Packet&& pkt);
 
   const std::string& name() const { return name_; }
+  /// The simulator this link's events run on — the *sender's* shard under
+  /// sim::sharded. Fault machinery uses this to schedule flaps on the shard
+  /// that owns the link.
+  sim::Simulator& simulator() const { return sim_; }
   sim::Bandwidth bandwidth() const { return bandwidth_; }
   sim::SimTime propagation_delay() const { return delay_; }
   Queue& queue() { return *queue_; }
@@ -93,6 +98,30 @@ class Link {
   using FaultHook = std::function<FaultAction(const Packet&)>;
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
+  /// Canonical link identity, the high bits of every delivery key (see
+  /// delivery ordering below). Defaults to a per-simulator counter; Network
+  /// overrides it with a topology-global counter so keys stay unique across
+  /// shards no matter how the network is partitioned. Must be < 2^34.
+  std::uint64_t uid() const { return uid_; }
+  void set_uid(std::uint64_t uid) { uid_ = uid; }
+
+  /// In-port index this link delivers into on peer() (set by connect_to).
+  PortIndex peer_in_port() const { return dst_in_port_; }
+
+  /// Cross-shard handoff: when set, a packet finishing serialization is
+  /// passed to the sink — with its delivery time and canonical delivery
+  /// key — instead of being scheduled on this (the sender-side) simulator.
+  /// The sharded engine's drain schedules it on the receiving shard.
+  using RemoteSink =
+      std::function<void(Packet&&, sim::SimTime deliver_at, std::uint64_t key)>;
+  void set_remote_sink(RemoteSink sink) { remote_sink_ = std::move(sink); }
+
+  /// Build a trace event for this link at an explicit timestamp, touching
+  /// only immutable link state — safe to call from the receiving shard's
+  /// worker thread when a remote delivery executes.
+  telemetry::TraceEvent trace_event_at(sim::SimTime t, telemetry::TraceEventType type,
+                                       const Packet& pkt) const;
+
  private:
   void try_transmit();
   void finish_tx();
@@ -106,15 +135,26 @@ class Link {
   /// not inside scheduled closures — so the per-hop events capture only
   /// `this` (8 bytes) and the 312-byte Packet is moved three times per hop
   /// total (into the queue, into this ring, out to the receiver) instead of
-  /// six. Delivery order is FIFO because the serializer emits packets one at
-  /// a time onto a fixed propagation delay.
+  /// six. Each delivery is a *keyed* event at its deliver_at: key =
+  /// (uid << 28) | per-link tx counter, so at equal timestamps deliveries
+  /// execute in link-uid order — derived from topology, not from scheduling
+  /// history, which is what keeps serial and sharded runs bit-identical
+  /// (sim/sharded/engine.hpp). Per-link deliver_at is strictly increasing
+  /// (serialization is >= 1ns), so the counter only disambiguates events of
+  /// *different* links.
   struct InFlight {
     Packet pkt;
     sim::SimTime qdelay;      ///< queueing delay, for the pathlet stamp at tx end
     sim::SimTime deliver_at;  ///< set at serialization end (tx + propagation)
   };
 
+  std::uint64_t next_delivery_key() {
+    return (uid_ << 28) | (std::uint64_t{++tx_seq_} & 0x0fffffff);
+  }
+
   sim::Simulator& sim_;
+  std::uint64_t uid_;
+  std::uint32_t tx_seq_ = 0;  ///< low bits of the delivery key
   std::string name_;
   sim::Bandwidth bandwidth_;
   sim::SimTime delay_;
@@ -124,8 +164,8 @@ class Link {
   bool transmitting_ = false;
   bool up_ = true;
   sim::RingBuffer<InFlight> in_flight_{8};  ///< back = serializing, front = next to deliver
-  std::size_t ready_count_ = 0;  ///< in_flight_ entries past serialization (deliver_at set)
   std::int64_t in_flight_bytes_ = 0;
+  RemoteSink remote_sink_;
   LinkStats stats_;
   FaultHook fault_hook_;
   std::optional<PathletState> pathlet_;

@@ -1,7 +1,22 @@
-// Network: owns the simulator, nodes and links, and wires topologies.
+// Network: owns the simulator(s), nodes and links, and wires topologies.
+//
+// A Network is built for a shard count fixed at construction. With one shard
+// (the default) it is exactly the classic single-simulator container. With
+// S > 1 shards it owns S simulators and S arenas; topology builders place
+// each node on a shard (set_build_shard), links bind to their *sending*
+// node's simulator, and a link whose endpoints live on different shards
+// hands packets across through a lock-free SPSC channel instead of
+// scheduling the delivery locally. run() then drives all shards through
+// sim::sharded::Engine using the minimum cross-shard propagation delay as
+// conservative lookahead — and merges per-shard traces deterministically
+// (timestamp, then shard id) back into the caller's sink. See
+// sim/sharded/engine.hpp for why the result is bit-identical to shards=1.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -9,46 +24,72 @@
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "net/switch.hpp"
+#include "sim/arena.hpp"
 #include "sim/random.hpp"
+#include "sim/sharded/spsc.hpp"
 #include "sim/simulator.hpp"
+
+namespace mtp::sim::sharded {
+class Engine;
+}  // namespace mtp::sim::sharded
 
 namespace mtp::net {
 
 class Network {
  public:
-  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Network(std::uint64_t seed = 1, unsigned shards = 1);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
-  sim::Simulator& simulator() { return sim_; }
+  /// Shard 0's simulator — THE simulator for single-shard networks.
+  sim::Simulator& simulator() { return *sims_[0]; }
+  sim::Simulator& simulator(unsigned shard) { return *sims_.at(shard); }
+  unsigned shards() const { return static_cast<unsigned>(sims_.size()); }
   sim::Rng& rng() { return rng_; }
 
+  /// Conservative lookahead: the minimum propagation delay over cross-shard
+  /// links wired so far (SimTime::max() if none).
+  sim::SimTime lookahead() const { return min_cross_delay_; }
+
+  /// Topology builders call this before add_host()/add_switch() to place
+  /// subsequent nodes (and the links they send on) on `shard`.
+  void set_build_shard(unsigned shard) {
+    if (shard >= shards()) {
+      throw std::invalid_argument("Network::set_build_shard: shard out of range");
+    }
+    build_shard_ = shard;
+  }
+  unsigned build_shard() const { return build_shard_; }
+  /// Nodes constructed outside add_host()/add_switch() (test fixtures with
+  /// hand-picked ids) were never placed; they count as the current build
+  /// shard rather than indexing node_shard_ out of bounds.
+  unsigned shard_of(const Node& n) const {
+    return n.id() < node_shard_.size() ? node_shard_[n.id()] : build_shard_;
+  }
+
   Host* add_host(std::string name) {
-    auto host = std::make_unique<Host>(sim_, next_id(), std::move(name));
-    Host* p = host.get();
-    nodes_.push_back(std::move(host));
+    Host* p = arenas_[build_shard_]->make<Host>(*sims_[build_shard_], next_id(),
+                                                std::move(name));
+    nodes_.push_back(p);
+    node_shard_.push_back(build_shard_);
     return p;
   }
 
   Switch* add_switch(std::string name) {
-    auto sw = std::make_unique<Switch>(sim_, next_id(), std::move(name));
-    Switch* p = sw.get();
-    nodes_.push_back(std::move(sw));
+    Switch* p = arenas_[build_shard_]->make<Switch>(*sims_[build_shard_], next_id(),
+                                                    std::move(name));
+    nodes_.push_back(p);
+    node_shard_.push_back(build_shard_);
     return p;
   }
 
   /// One direction of a cable: a -> b. Returns the created link, attached as
-  /// a new out-port on `a` and delivering into `b`.
+  /// a new out-port on `a` and delivering into `b`. The link lives in `a`'s
+  /// shard (queueing and serialization run on the sender's simulator); when
+  /// `b` is on another shard the delivery crosses an SPSC channel.
   Link* connect_simplex(Node& a, Node& b, sim::Bandwidth bw, sim::SimTime delay,
-                        std::unique_ptr<Queue> queue) {
-    auto link = std::make_unique<Link>(sim_, a.name() + "->" + b.name(), bw, delay,
-                                       std::move(queue));
-    Link* p = link.get();
-    links_.push_back(std::move(link));
-    a.add_out_port(p);
-    // In-port index on the receiving side: we reuse the count of links that
-    // already deliver into b. Receivers only need a stable identifier.
-    p->connect_to(b, next_in_port(b));
-    return p;
-  }
+                        std::unique_ptr<Queue> queue);
 
   struct Duplex {
     Link* forward;   ///< a -> b
@@ -62,21 +103,65 @@ class Network {
             connect_simplex(b, a, bw, delay, std::make_unique<DropTailQueue>(qcfg))};
   }
 
+  /// Run every shard to `until` (exclusive bound on event timestamps, like
+  /// Simulator::run). Returns the number of events executed across shards.
+  /// Single-shard networks run inline on the calling thread; multi-shard
+  /// networks run under sim::sharded::Engine, with per-shard traces merged
+  /// back into the calling thread's sink ordered by (timestamp, shard).
+  std::uint64_t run(sim::SimTime until = sim::SimTime::max());
+
+  /// Conservative windows executed by run() so far (0 for single-shard).
+  std::uint64_t windows() const;
+
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t link_count() const { return links_.size(); }
 
  private:
+  /// A packet mid-flight between shards: everything the receiving shard
+  /// needs to schedule the delivery as a keyed event.
+  struct Handoff {
+    Packet pkt;
+    sim::SimTime deliver_at;
+    std::uint64_t key = 0;
+    const Link* link = nullptr;
+  };
+  using Channel = sim::sharded::SpscChannel<Handoff>;
+
   NodeId next_id() { return static_cast<NodeId>(nodes_.size()); }
   // Next in-port index on `b`: the number of links already delivering into
   // it. A running counter — scanning links_ per connect made building a
   // thousand-host fat-tree quadratic in the link count.
   PortIndex next_in_port(Node& b) { return in_port_count_[&b]++; }
 
-  sim::Simulator sim_;
+  Channel& channel(unsigned from, unsigned to) {
+    return *channels_[from * shards() + to];
+  }
+  /// Move every queued handoff bound for `shard` onto its simulator.
+  /// Called by the engine on the shard's worker thread between windows.
+  void drain_into(unsigned shard);
+
   sim::Rng rng_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<sim::Simulator>> sims_;   ///< one per shard
+  std::vector<std::unique_ptr<sim::Arena>> arenas_;     ///< nodes+links, per shard
+  std::vector<std::unique_ptr<Channel>> channels_;      ///< [from * S + to]
+  std::vector<std::vector<Handoff>> drain_buf_;         ///< per-shard scratch
+  unsigned build_shard_ = 0;
+  std::vector<Node*> nodes_;        ///< arena-owned
+  std::vector<unsigned> node_shard_;  ///< by NodeId
+  std::vector<Link*> links_;        ///< arena-owned
+  std::uint64_t next_link_uid_ = 0;
+  sim::SimTime min_cross_delay_ = sim::SimTime::max();
   std::unordered_map<const Node*, PortIndex> in_port_count_;
+
+  // --- sharded::Engine plumbing (multi-shard runs only).
+  std::unique_ptr<sim::sharded::Engine> engine_;
+  sim::SimTime engine_lookahead_ = sim::SimTime::zero();  ///< lookahead engine_ was built with
+  bool run_trace_on_ = false;                 ///< caller's trace flag, per run
+  std::size_t run_trace_cap_ = 0;             ///< caller's sink capacity
+  std::optional<std::uint64_t> run_filter_msg_;   ///< caller's filters, copied
+  std::optional<std::uint32_t> run_filter_node_;  ///< onto worker sinks
+  std::optional<std::uint64_t> run_filter_flow_;
+  std::vector<std::vector<telemetry::TraceEvent>> shard_events_;
 };
 
 }  // namespace mtp::net

@@ -41,10 +41,22 @@ class LeafSpine {
     // Create switches and hosts. Port layout on a leaf: [0, n_l) host-facing
     // (down), [n_l, n_l + spines) spine-facing (up), where n_l is that
     // leaf's own host count.
+    //
+    // Sharding (net.shards() > 1): a rack is the natural unit of space
+    // partitioning — a leaf and its hosts only talk to each other over
+    // leaf-local links, so leaves spread contiguously over the shards and
+    // spines round-robin. Node creation ORDER is identical for every shard
+    // count (NodeIds feed forwarding hashes); only placement changes.
+    const unsigned S = net.shards();
+    const auto leaf_shard = [&cfg, S](int l) {
+      return static_cast<unsigned>(static_cast<long long>(l) * S / cfg.leaves);
+    };
     for (int s = 0; s < cfg.spines; ++s) {
+      net.set_build_shard(static_cast<unsigned>(s) % S);
       spines_.push_back(net.add_switch("spine" + std::to_string(s)));
     }
     for (int l = 0; l < cfg.leaves; ++l) {
+      net.set_build_shard(leaf_shard(l));
       Switch* leaf = net.add_switch("leaf" + std::to_string(l));
       leaves_.push_back(leaf);
       leaf_host_base_.push_back(static_cast<int>(hosts_.size()));
@@ -57,6 +69,7 @@ class LeafSpine {
       }
       if (up_policy) leaf->set_policy(up_policy());
     }
+    net.set_build_shard(0);
     // Leaf <-> spine mesh. On a spine: port l faces leaf l.
     for (int l = 0; l < cfg.leaves; ++l) {
       for (int s = 0; s < cfg.spines; ++s) {

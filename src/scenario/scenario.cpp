@@ -195,7 +195,7 @@ TopologyFn fat_tree(net::FatTree::Config cfg) {
 
 std::unique_ptr<Scenario> ScenarioBuilder::build() {
   auto s = std::unique_ptr<Scenario>(new Scenario());
-  s->net_ = std::make_unique<net::Network>(seed_);
+  s->net_ = std::make_unique<net::Network>(seed_, shards_);
   s->topo_ = topo_fn_(*s->net_);
   s->dst_port_ = dst_port_;
   s->bulk_bytes_ = bulk_bytes_;
@@ -224,7 +224,9 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() {
       s->mtp_rcv_->listen(dst_port_, [](const core::ReceivedMessage&) {});
       if (s->meter_) {
         auto* meter = s->meter_.get();
-        auto* sim = &s->net_->simulator();
+        // The receiver's shard clock: payload deliveries (and so the meter)
+        // run on that shard's worker thread only.
+        auto* sim = &s->net_->simulator(s->net_->shard_of(*rcv));
         s->mtp_rcv_->on_payload = [meter, sim](std::int64_t bytes) {
           meter->record(sim->now(), bytes);
         };
@@ -280,21 +282,72 @@ void Scenario::start() {
     }
   }
   if (!schedule_.empty()) {
-    schedule_.start(net_->simulator(), [this](const workload::ArrivalSchedule::Arrival& a) {
-      senders_[a.src]->send_message(
-          a.bytes, [this](sim::SimTime fct, std::int64_t bytes) { fct_.record(fct, bytes); });
-    });
+    if (senders_.empty() && !arrival_handler_) {
+      throw std::logic_error(
+          "Scenario: a workload on a peer-to-peer topology needs set_arrival_handler()");
+    }
+    const unsigned S = net_->shards();
+    fct_samples_.assign(S, {});
+    replays_.reserve(S);
+    for (unsigned shard = 0; shard < S; ++shard) {
+      // Each shard replays the sub-schedule of arrivals whose source host it
+      // owns; KeyedReplay keys by global schedule index, so the union over
+      // shards is the exact serial timeline. S == 1 goes through the same
+      // keyed path (empty take = everything) to keep timelines comparable.
+      std::function<bool(const workload::ArrivalSchedule::Arrival&)> take;
+      if (S > 1) {
+        take = [this, shard](const workload::ArrivalSchedule::Arrival& a) {
+          return net_->shard_of(*topo_.senders[a.src]) == shard;
+        };
+      }
+      replays_.emplace_back(schedule_, std::move(take));
+    }
+    // Second pass: start() parks a chained event capturing the replay's
+    // address, so every emplace_back (and any reallocation) happens first.
+    for (unsigned shard = 0; shard < S; ++shard) {
+      replays_[shard].start(
+          net_->simulator(shard),
+          [this, shard](const workload::ArrivalSchedule::Arrival& a) {
+            if (arrival_handler_) {
+              arrival_handler_(a);
+              return;
+            }
+            senders_[a.src]->send_message(
+                a.bytes, [this, shard](sim::SimTime fct, std::int64_t bytes) {
+                  fct_samples_[shard].emplace_back(fct, bytes);
+                });
+          });
+    }
   }
 }
 
-void Scenario::run(sim::SimTime until) {
-  start();
-  net_->simulator().run(until);
+stats::FctRecorder& Scenario::fct() {
+  std::size_t total = 0;
+  for (const auto& v : fct_samples_) total += v.size();
+  if (total != fct_merged_) {
+    fct_ = stats::FctRecorder{};
+    for (const auto& v : fct_samples_) {
+      for (const auto& [t, b] : v) fct_.record(t, b);
+    }
+    fct_merged_ = total;
+  }
+  return fct_;
 }
 
-void Scenario::run() {
+std::size_t Scenario::replayed() const {
+  std::size_t n = 0;
+  for (const auto& r : replays_) n += r.replayed();
+  return n;
+}
+
+std::uint64_t Scenario::run(sim::SimTime until) {
   start();
-  net_->simulator().run();
+  return net_->run(until);
+}
+
+std::uint64_t Scenario::run() {
+  start();
+  return net_->run();
 }
 
 }  // namespace mtp::scenario

@@ -20,6 +20,14 @@
 // MtpEndpoint / TcpStack unless it opts into the concrete accessors.
 // Topologies are plain functors over net::Network; the canned ones in
 // namespace topo cover the paper's rigs, and callers can pass their own.
+//
+// .shards(n) partitions the experiment across n sim::sharded space shards
+// (net::Network's conservative engine). The workload replays through one
+// workload::KeyedReplay per shard — always keyed, even for n = 1, so every
+// shard count executes the identical event timeline — and completions are
+// logged per shard, merged into fct() on demand. fct() sample *order* is
+// shard-grouped; the multiset of samples (and thus every percentile/total)
+// is independent of n.
 #pragma once
 
 #include <cstdint>
@@ -107,6 +115,9 @@ class Scenario {
   sim::Simulator& simulator() { return net_->simulator(); }
   const Topology& topo() const { return topo_; }
   std::size_t num_senders() const { return topo_.senders.size(); }
+  unsigned shards() const { return net_->shards(); }
+  /// Conservative windows the sharded engine executed (0 when shards == 1).
+  std::uint64_t windows() const { return net_->windows(); }
 
   /// Unified per-sender submission (bound to receiver:dst_port). Only
   /// available when the topology has a receiver.
@@ -118,15 +129,30 @@ class Scenario {
   transport::TcpStack* tcp_sender(std::size_t i) { return tcp_stacks_.empty() ? nullptr : tcp_stacks_[i].get(); }
   transport::TcpStack* tcp_receiver() { return tcp_rcv_.get(); }
 
-  stats::FctRecorder& fct() { return fct_; }
+  /// Completion-time recorder over every workload completion so far.
+  /// Merged lazily from the per-shard logs; sample order is shard-grouped
+  /// under shards > 1, the sample multiset is shard-count-invariant.
+  stats::FctRecorder& fct();
   /// Receiver-side goodput meter; null unless goodput_window() was set.
   stats::ThroughputMeter* goodput() { return meter_.get(); }
   workload::ArrivalSchedule& schedule() { return schedule_; }
+  /// Workload arrivals delivered so far, summed over shards.
+  std::size_t replayed() const;
+
+  /// Peer-to-peer topologies: route every workload arrival to `fn` instead
+  /// of the built-in sender(i).send_message path. `fn` runs on the simulator
+  /// thread of the shard that owns senders[arrival.src], so per-source state
+  /// is safe but state shared across sources needs per-shard slots. Must be
+  /// set before the first run.
+  void set_arrival_handler(workload::ArrivalSchedule::SendFn fn) {
+    arrival_handler_ = std::move(fn);
+  }
 
   /// First call starts the workload replay (and bulk sources), then runs
-  /// the simulator; later calls just continue.
-  void run(sim::SimTime until);
-  void run();  ///< run to quiescence
+  /// the network — all shards, under sim::sharded when shards > 1; later
+  /// calls just continue. Returns events executed across shards.
+  std::uint64_t run(sim::SimTime until);
+  std::uint64_t run();  ///< run to quiescence
 
   telemetry::RegistrySnapshot snapshot() const {
     return telemetry::MetricRegistry::global().snapshot();
@@ -152,14 +178,23 @@ class Scenario {
   std::vector<std::unique_ptr<transport::MessageSender>> senders_;
 
   std::unique_ptr<stats::ThroughputMeter> meter_;
-  stats::FctRecorder fct_;
+  stats::FctRecorder fct_;  ///< merged view, rebuilt by fct() when stale
   workload::ArrivalSchedule schedule_;
+  std::vector<workload::KeyedReplay> replays_;  ///< one per shard
+  /// Per-shard completion logs: appended on the owning shard's thread.
+  std::vector<std::vector<std::pair<sim::SimTime, std::int64_t>>> fct_samples_;
+  std::size_t fct_merged_ = 0;  ///< samples already folded into fct_
+  workload::ArrivalSchedule::SendFn arrival_handler_;
   std::unique_ptr<fault::FaultInjector> faults_;
 };
 
 class ScenarioBuilder {
  public:
   ScenarioBuilder& seed(std::uint64_t s) { seed_ = s; return *this; }
+  /// Partition the experiment across `n` space shards (sim::sharded). The
+  /// timeline, fct() statistics and fault digests are bit-identical for
+  /// every n; only wall-clock changes.
+  ScenarioBuilder& shards(unsigned n) { shards_ = n; return *this; }
   ScenarioBuilder& topology(TopologyFn fn) { topo_fn_ = std::move(fn); return *this; }
   ScenarioBuilder& forwarding(Forwarding f, sim::SimTime alternating_period = 0_us) {
     forwarding_ = f;
@@ -203,6 +238,7 @@ class ScenarioBuilder {
   };
 
   std::uint64_t seed_ = 1;
+  unsigned shards_ = 1;
   TopologyFn topo_fn_;
   Forwarding forwarding_ = Forwarding::kStatic;
   sim::SimTime alternating_period_ = 0_us;

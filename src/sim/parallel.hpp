@@ -16,28 +16,25 @@
 // threads do not inherit the caller's thread-local state.
 #pragma once
 
-#include <algorithm>
-#include <atomic>
 #include <cstddef>
-#include <exception>
 #include <functional>
 #include <optional>
-#include <stdexcept>
-#include <thread>
 #include <utility>
 #include <vector>
+
+#include "sim/worker_pool.hpp"
 
 namespace mtp::sim {
 
 class ParallelSweep {
  public:
-  /// `workers` = 0 picks std::thread::hardware_concurrency(). `workers` = 1
+  /// `workers` = 0 picks WorkerPool::default_workers() — the MTP_THREADS
+  /// environment override when set, else hardware_concurrency. `workers` = 1
   /// runs every job inline on the calling thread (the serial baseline —
   /// including thread-local state, so serial-vs-parallel comparisons are
   /// meaningful).
   explicit ParallelSweep(unsigned workers = 0)
-      : workers_(workers != 0 ? workers
-                              : std::max(1u, std::thread::hardware_concurrency())) {}
+      : workers_(workers != 0 ? workers : WorkerPool::default_workers()) {}
 
   unsigned workers() const { return workers_; }
 
@@ -69,43 +66,16 @@ class ParallelSweep {
   }
 
  private:
-  /// Work-stealing-free static pool: an atomic cursor hands each worker the
-  /// next unclaimed job. Which thread runs a job is nondeterministic; the
-  /// result slot it fills is not.
+  /// One sweep = one WorkerPool dispatch (sim/worker_pool.hpp — the same
+  /// pool abstraction sharded::Engine runs on). The pool hands lane k jobs
+  /// k, k+W, 2W+k, ...; which thread runs a job is deterministic in the lane
+  /// mapping but irrelevant to results — the slot a job fills is its index.
   template <class RunOne>
   void dispatch(std::size_t n, RunOne run_one) const {
     if (n == 0) return;
-    std::vector<std::exception_ptr> errors(n);
-    if (workers_ == 1 || n == 1) {
-      for (std::size_t i = 0; i < n; ++i) {
-        try {
-          run_one(i);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      }
-    } else {
-      std::atomic<std::size_t> next{0};
-      auto worker = [&] {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) return;
-          try {
-            run_one(i);
-          } catch (...) {
-            errors[i] = std::current_exception();
-          }
-        }
-      };
-      const std::size_t nthreads = workers_ < n ? workers_ : n;
-      std::vector<std::thread> threads;
-      threads.reserve(nthreads);
-      for (std::size_t t = 0; t < nthreads; ++t) threads.emplace_back(worker);
-      for (auto& t : threads) t.join();
-    }
-    for (auto& e : errors) {
-      if (e) std::rethrow_exception(e);
-    }
+    WorkerPool pool(workers_);
+    const std::function<void(std::size_t)> body = [&](std::size_t i) { run_one(i); };
+    pool.parallel_for(n, body);
   }
 
   unsigned workers_;

@@ -1,0 +1,107 @@
+#include "sim/sharded/engine.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <stdexcept>
+
+namespace mtp::sim::sharded {
+
+Engine::Engine(Config cfg) : cfg_(std::move(cfg)), pool_(static_cast<unsigned>(cfg_.sims.size())) {
+  if (cfg_.sims.empty()) {
+    throw std::invalid_argument("sharded::Engine: no shards");
+  }
+  if (cfg_.sims.size() > 1) {
+    if (cfg_.lookahead <= SimTime::zero()) {
+      throw std::invalid_argument(
+          "sharded::Engine: lookahead must be positive (a zero-delay "
+          "cross-shard link defeats conservative windows)");
+    }
+    if (!cfg_.drain) {
+      throw std::invalid_argument("sharded::Engine: drain hook is required");
+    }
+  }
+}
+
+std::uint64_t Engine::run(SimTime until) {
+  const std::size_t S = cfg_.sims.size();
+  if (S == 1) {
+    // Serial fast path: no windows, no barriers, caller's thread-local
+    // telemetry — byte-for-byte the classic engine.
+    if (cfg_.drain) cfg_.drain(0);
+    return cfg_.sims[0]->run(until);
+  }
+
+  std::vector<SimTime> next(S, SimTime::max());
+  std::vector<std::uint64_t> counts(S, 0);
+  std::vector<std::exception_ptr> errors(S);
+  std::atomic<bool> failed{false};
+  SimTime window_end = SimTime::zero();
+  bool stop = false;
+
+  // Runs single-threaded between barrier phases; its writes are published
+  // to every shard by the barrier itself. The completion fires at *both*
+  // sync points of a window; only the publish phase (after drain +
+  // next-event publication) computes anything — the post-run phase exists
+  // purely to order handoff pushes before the next drain.
+  bool publish_phase = true;
+  auto on_completion = [&]() noexcept {
+    if (!publish_phase) {
+      publish_phase = true;
+      return;
+    }
+    publish_phase = false;
+    ++windows_;
+    SimTime gmin = SimTime::max();
+    for (const SimTime t : next) {
+      if (t < gmin) gmin = t;
+    }
+    if (failed.load(std::memory_order_relaxed) || gmin >= until) {
+      stop = true;
+      return;
+    }
+    // Window = [gmin, gmin + Δ), clipped to `until`. Guard the addition:
+    // gmin + Δ must not overflow when until == SimTime::max().
+    window_end = gmin > until - cfg_.lookahead ? until : gmin + cfg_.lookahead;
+  };
+  std::barrier bar(static_cast<std::ptrdiff_t>(S), on_completion);
+
+  pool_.parallel_for(S, [&](std::size_t shard) {
+    if (cfg_.on_worker_start) cfg_.on_worker_start(shard);
+    for (;;) {
+      try {
+        cfg_.drain(shard);
+        next[shard] = cfg_.sims[shard]->next_event_time();
+      } catch (...) {
+        errors[shard] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        next[shard] = SimTime::max();
+      }
+      bar.arrive_and_wait();
+      if (stop) break;
+      try {
+        counts[shard] += cfg_.sims[shard]->run(window_end);
+      } catch (...) {
+        errors[shard] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+      bar.arrive_and_wait();
+    }
+    // Leave every shard clock at `until`, exactly like a serial run() that
+    // stopped on its bound. No pending event is earlier (gmin >= until), so
+    // this executes nothing.
+    if (!failed.load(std::memory_order_relaxed)) {
+      counts[shard] += cfg_.sims[shard]->run(until);
+    }
+    if (cfg_.on_worker_finish) cfg_.on_worker_finish(shard);
+  });
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  return total;
+}
+
+}  // namespace mtp::sim::sharded

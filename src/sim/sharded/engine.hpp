@@ -1,0 +1,85 @@
+// sim::sharded::Engine — conservative space-parallel execution of one run.
+//
+// A single experiment is split into S shards, each owning a private
+// Simulator (event heap, timer wheel, clock). The engine advances all
+// shards through synchronized time windows (classic Chandy-Misra-Bryant
+// conservatism, specialized to a global window barrier):
+//
+//   lookahead Δ = minimum propagation delay over all cross-shard links.
+//   Every cross-shard interaction is a packet handoff, and a packet sent at
+//   time t arrives no earlier than t + Δ. So if every shard has seen every
+//   handoff with deliver_at < W, all shards may run [W, W + Δ) with no
+//   further communication: anything a peer generates inside the window
+//   lands at >= W + Δ.
+//
+// The window loop per shard is:
+//   1. drain(shard)  — pull queued handoffs from peers, schedule them
+//   2. publish the shard's next-event time; barrier. The barrier completion
+//      computes gmin = min over shards and the window end
+//      min(until, gmin + Δ) — jumping the window start to gmin skips idle
+//      gaps instead of spinning Δ at a time.
+//   3. run the shard's simulator to the window end; barrier (so every
+//      handoff pushed during the window is published before anyone drains).
+//
+// Determinism does NOT depend on thread timing: handoffs are scheduled as
+// *keyed* events (Simulator::schedule_keyed_at) whose tie-break key derives
+// from simulation content, so each shard executes the exact event sequence
+// the serial engine would execute restricted to that shard (docs/scale.md).
+//
+// The engine runs on sim::WorkerPool — the same pool abstraction behind
+// sim::ParallelSweep — with exactly one lane per shard, because shard
+// bodies block on each other through the barrier and must run concurrently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "sim/worker_pool.hpp"
+
+namespace mtp::sim::sharded {
+
+class Engine {
+ public:
+  struct Config {
+    /// One Simulator per shard; the engine does not own them.
+    std::vector<Simulator*> sims;
+    /// Conservative lookahead: minimum cross-shard propagation delay.
+    /// Must be > zero when sims.size() > 1.
+    SimTime lookahead;
+    /// drain(shard): move every queued incoming handoff onto the shard's
+    /// simulator (as keyed events). Called at the top of every window, on
+    /// the shard's worker thread. Required for multi-shard configs.
+    std::function<void(std::size_t)> drain;
+    /// Optional per-worker bracket, run on the shard's thread before the
+    /// first window / after the last. Used to set up and collect
+    /// thread-local telemetry (trace sinks). Not called when sims.size()==1
+    /// — the serial fast path runs on the caller's thread with its existing
+    /// thread-local state.
+    std::function<void(std::size_t)> on_worker_start;
+    std::function<void(std::size_t)> on_worker_finish;
+  };
+
+  explicit Engine(Config cfg);
+
+  /// Advance every shard to `until` (exclusive bound on event timestamps,
+  /// like Simulator::run). Returns the total number of events executed
+  /// across shards. Callable repeatedly with increasing bounds.
+  std::uint64_t run(SimTime until);
+
+  std::size_t shards() const { return cfg_.sims.size(); }
+
+  /// Barrier rounds executed so far (one round = one window) — exposed for
+  /// tests and the bench report; the window count bounds synchronization
+  /// overhead.
+  std::uint64_t windows() const { return windows_; }
+
+ private:
+  Config cfg_;
+  WorkerPool pool_;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace mtp::sim::sharded

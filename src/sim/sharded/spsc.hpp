@@ -1,0 +1,84 @@
+// sharded::SpscChannel — single-producer single-consumer handoff queue.
+//
+// One channel exists per ordered shard pair (src shard -> dst shard). The
+// sharded engine's window protocol makes its use phases barrier-separated:
+// producers push only while a window executes, the consumer drains only
+// between windows, and the std::barrier between the two phases provides the
+// acquire/release ordering for the element payloads. The atomics here make
+// the index handoff race-free even if a producer's last push and the
+// consumer's first pop straddle the barrier by nanoseconds (TSan-clean),
+// but the capacity/ordering contract leans on the protocol, not on the
+// queue: an unbounded segment list means push never blocks, so a window
+// can generate any number of cross-shard packets.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace mtp::sim::sharded {
+
+template <class T, std::size_t kSegment = 256>
+class SpscChannel {
+ public:
+  SpscChannel() : head_(new Segment), tail_(head_) {}
+  ~SpscChannel() {
+    Segment* s = head_;
+    while (s != nullptr) {
+      Segment* next = s->next.load(std::memory_order_relaxed);
+      delete s;
+      s = next;
+    }
+  }
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  /// Producer side. Never blocks; allocates a fresh segment only when the
+  /// current one fills (steady state reuses nothing — segments retire to the
+  /// consumer — but windows are short, so a segment covers most windows).
+  void push(T value) {
+    Segment* t = tail_;
+    const std::size_t w = t->write.load(std::memory_order_relaxed);
+    if (w == kSegment) {
+      auto* next = new Segment;
+      next->slots[0] = std::move(value);
+      next->write.store(1, std::memory_order_release);
+      t->next.store(next, std::memory_order_release);
+      tail_ = next;
+      return;
+    }
+    t->slots[w] = std::move(value);
+    t->write.store(w + 1, std::memory_order_release);
+  }
+
+  /// Consumer side: move every queued element into `out`. Called between
+  /// windows, after the barrier, so everything the producer pushed this
+  /// window is visible.
+  void drain(std::vector<T>& out) {
+    for (;;) {
+      Segment* h = head_;
+      const std::size_t w = h->write.load(std::memory_order_acquire);
+      while (read_ < w) out.push_back(std::move(h->slots[read_++]));
+      Segment* next = h->next.load(std::memory_order_acquire);
+      if (next == nullptr) return;
+      head_ = next;
+      read_ = 0;
+      delete h;
+    }
+  }
+
+ private:
+  struct Segment {
+    T slots[kSegment];
+    std::atomic<std::size_t> write{0};
+    std::atomic<Segment*> next{nullptr};
+  };
+
+  Segment* head_;         ///< consumer-owned
+  std::size_t read_ = 0;  ///< consumer cursor within head_
+  alignas(64) Segment* tail_;  ///< producer-owned
+};
+
+}  // namespace mtp::sim::sharded

@@ -56,6 +56,16 @@ void Simulator::pop_top() {
   if (!heap_.empty()) sift_down(0);
 }
 
+SimTime Simulator::next_event_time() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    if (!slot(top.slot).cancelled) return top.when;
+    pop_top();
+    release_slot(top.slot);
+  }
+  return SimTime::max();
+}
+
 std::uint64_t Simulator::run(SimTime until) {
   std::uint64_t executed_this_run = 0;
   while (!heap_.empty()) {

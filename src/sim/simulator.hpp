@@ -28,6 +28,18 @@ namespace mtp::sim {
 
 class TimerWheel;
 
+/// Canonical keyspace for Simulator::schedule_keyed_at (63 usable bits).
+/// Keyed events at one timestamp run in ascending key order, before every
+/// plain FIFO event — so this layout fixes the cross-component ordering at
+/// equal timestamps, independent of scheduling history:
+///   [0, 2^44)   link packet deliveries: (link uid << 28) | tx counter
+///   2^61        timer-wheel bucket service (at most one per sim per time)
+///   [2^62, ...) workload arrival replay: base | arrival index
+/// History-independent tie-breaking is what makes a sharded run execute the
+/// exact per-shard event sequences of the serial run (sim/sharded/engine.hpp).
+inline constexpr std::uint64_t kTimerWheelKey = std::uint64_t{1} << 61;
+inline constexpr std::uint64_t kArrivalKeyBase = std::uint64_t{1} << 62;
+
 /// Handle to a scheduled event; used only for cancellation.
 /// Default-constructed ids are "null" and safe to cancel (a no-op).
 class EventId {
@@ -78,15 +90,25 @@ class Simulator {
   /// Schedule `fn` at an absolute time, which must not be in the past.
   template <class F>
   EventId schedule_at(SimTime when, F&& fn) {
-    if (when < now_) {
-      throw std::invalid_argument("Simulator::schedule_at: time in the past " + when.to_string());
+    return schedule_with_seq(when, kFifoBit | ++next_seq_, std::forward<F>(fn));
+  }
+
+  /// Schedule `fn` at an absolute time with a *canonical* tie-break key
+  /// instead of FIFO order. At equal timestamps every keyed event runs
+  /// before every plain schedule()/schedule_at() event, and keyed events
+  /// run in ascending `key` order — regardless of the order the schedule
+  /// calls were made in. This is what lets the sharded engine replay
+  /// cross-shard packet handoffs in a different real-time order than the
+  /// serial engine and still execute the identical event sequence: the key
+  /// is derived from simulation content (link uid, per-link packet index),
+  /// not from scheduling history. Keys must be unique per (when, key) —
+  /// the top bit is reserved (keys >= 2^63 throw).
+  template <class F>
+  EventId schedule_keyed_at(SimTime when, std::uint64_t key, F&& fn) {
+    if (key & kFifoBit) {
+      throw std::invalid_argument("Simulator::schedule_keyed_at: key has reserved top bit");
     }
-    const std::uint32_t idx = acquire_slot();
-    Slot& s = slot(idx);
-    s.task.emplace(std::forward<F>(fn));
-    heap_.push_back(HeapEntry{when, ++next_seq_, idx});
-    sift_up(heap_.size() - 1);
-    return EventId{idx, s.gen};
+    return schedule_with_seq(when, key, std::forward<F>(fn));
   }
 
   /// Cancel a pending event in O(1). Safe to call on null ids, already-run
@@ -117,6 +139,22 @@ class Simulator {
   /// sequence regardless of what ran before it.
   std::uint64_t next_packet_uid() { return ++next_packet_uid_; }
 
+  /// Fresh link uid for keyed delivery ordering (net/link.hpp). Deterministic
+  /// in construction order; net::Network overrides per-link with a
+  /// topology-global counter so uids agree across shard counts.
+  std::uint64_t next_link_uid() { return ++next_link_uid_; }
+
+  /// Re-base the packet uid counter (next uid handed out is base + 1).
+  /// The sharded engine gives shard i base i << 48 so uids stay unique
+  /// across shards without any cross-thread coordination.
+  void seed_packet_uids(std::uint64_t base) { next_packet_uid_ = base; }
+
+  /// Timestamp of the earliest pending (non-cancelled) event, or
+  /// SimTime::max() if the queue is empty. Prunes cancelled heap tops as a
+  /// side effect. The sharded engine's barrier uses this to compute the
+  /// global next-window start.
+  SimTime next_event_time();
+
   /// The simulation-wide hashed timer wheel (sim/timer_wheel.hpp), built
   /// lazily on first use. Transports share it for retransmission/RTO timers;
   /// simulations that never arm a timer pay nothing.
@@ -126,9 +164,16 @@ class Simulator {
   // Heap entries are deliberately tiny (24 bytes): sift operations move
   // entries O(log n) times per event, while the fat Task moves exactly twice
   // (into its slot, out at execution).
+  //
+  // The seq field doubles as the equal-timestamp tie-break. Plain events get
+  // kFifoBit | counter (FIFO among themselves); keyed events get their
+  // canonical key, which sorts below kFifoBit — so at one timestamp the
+  // order is: all keyed events ascending by key, then FIFO.
+  static constexpr std::uint64_t kFifoBit = 1ull << 63;
+
   struct HeapEntry {
     SimTime when;
-    std::uint64_t seq;   ///< tie-break: FIFO at equal timestamps
+    std::uint64_t seq;   ///< tie-break: canonical key, or kFifoBit | counter
     std::uint32_t slot;  ///< index into slots_
   };
 
@@ -173,6 +218,19 @@ class Simulator {
     free_slots_.push_back(idx);
   }
 
+  template <class F>
+  EventId schedule_with_seq(SimTime when, std::uint64_t seq, F&& fn) {
+    if (when < now_) {
+      throw std::invalid_argument("Simulator::schedule_at: time in the past " + when.to_string());
+    }
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slot(idx);
+    s.task.emplace(std::forward<F>(fn));
+    heap_.push_back(HeapEntry{when, seq, idx});
+    sift_up(heap_.size() - 1);
+    return EventId{idx, s.gen};
+  }
+
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
   void pop_top();
@@ -185,6 +243,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t next_packet_uid_ = 0;
+  std::uint64_t next_link_uid_ = 0;
   std::unique_ptr<TimerWheel> timers_;  ///< lazy; see timers()
 };
 

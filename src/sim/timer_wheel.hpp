@@ -179,7 +179,13 @@ class TimerWheel {
     t.prev = t.next = kNull;
   }
 
-  /// Ensure bucket `b` has a wake event at or before `tick`.
+  /// Ensure bucket `b` has a wake event at or before `tick`. The wake is a
+  /// *keyed* event (kTimerWheelKey): a wake's position among same-timestamp
+  /// events must not depend on how often it was cancelled and rescheduled —
+  /// FIFO seq order would encode that history and break serial-vs-sharded
+  /// bit-identity. At most one wake exists per timestamp per wheel (a wake
+  /// time determines its tick, a tick its bucket), so a constant key is
+  /// collision-free.
   void wake_bucket(std::size_t b, std::uint64_t tick) {
     Bucket& bk = buckets_[b];
     if (bk.wake_tick <= tick) return;
@@ -187,7 +193,7 @@ class TimerWheel {
     bk.wake_tick = tick;
     const SimTime when =
         SimTime::nanoseconds(static_cast<std::int64_t>(tick) * cfg_.granularity.ns());
-    bk.wake_event = sim_.schedule_at(when, [this, b] { service_bucket(b); });
+    bk.wake_event = sim_.schedule_keyed_at(when, kTimerWheelKey, [this, b] { service_bucket(b); });
   }
 
   /// Fire every timer in bucket `b` whose tick has arrived, then reschedule

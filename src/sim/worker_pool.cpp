@@ -1,0 +1,108 @@
+#include "sim/worker_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mtp::sim {
+
+unsigned WorkerPool::default_workers() {
+  if (const char* env = std::getenv("MTP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+WorkerPool::WorkerPool(unsigned workers)
+    : workers_(workers != 0 ? workers : default_workers()) {}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::rethrow_first(std::vector<std::exception_ptr>& errors) {
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void WorkerPool::run_lane(std::size_t lane) {
+  // Strided assignment: deterministic index->lane mapping, and with
+  // n == lanes exactly one index per lane (the sharded::Engine shape).
+  for (std::size_t i = lane; i < dispatch_.n; i += dispatch_.lanes) {
+    try {
+      (*dispatch_.body)(i);
+    } catch (...) {
+      dispatch_.errors[i] = std::current_exception();
+    }
+  }
+}
+
+void WorkerPool::worker_main(std::size_t lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    if (lane < dispatch_.lanes) {
+      run_lane(lane);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++dispatch_.lanes_done == dispatch_.lanes) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::ensure_threads(std::size_t lanes) {
+  while (threads_.size() < lanes) {
+    const std::size_t lane = threads_.size();
+    threads_.emplace_back([this, lane] { worker_main(lane); });
+  }
+}
+
+void WorkerPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t lanes = std::min<std::size_t>(workers_, n);
+  if (lanes == 1) {
+    std::vector<std::exception_ptr> errors(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    rethrow_first(errors);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ensure_threads(lanes);
+    dispatch_.body = &body;
+    dispatch_.n = n;
+    dispatch_.lanes = lanes;
+    dispatch_.lanes_done = 0;
+    dispatch_.errors.assign(n, nullptr);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    // The caller only waits: every lane runs on a pool thread, so jobs never
+    // see the caller's thread-local telemetry state (the ParallelSweep
+    // isolation contract).
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return dispatch_.lanes_done == dispatch_.lanes; });
+    dispatch_.body = nullptr;
+  }
+  rethrow_first(dispatch_.errors);
+}
+
+}  // namespace mtp::sim

@@ -1,0 +1,85 @@
+// sim::WorkerPool — the one thread pool behind every parallel surface.
+//
+// Both parallel surfaces in the simulator — sim::ParallelSweep (many
+// independent simulations) and sim::sharded::Engine (one simulation split
+// into space shards) — need the same primitive: run fn(0..n-1) on a fixed
+// set of worker threads and block until all are done. They used to be free
+// to spawn their own threads; WorkerPool is the shared abstraction so worker
+// count is decided in exactly one place.
+//
+// Worker-count policy: an explicit count wins; 0 means "the default", which
+// is the MTP_THREADS environment variable when set (and >= 1), else
+// std::thread::hardware_concurrency(). Setting MTP_THREADS=1 therefore
+// forces every parallel surface in the process onto the calling thread —
+// handy on CI boxes where the container is pinned to one core.
+//
+// Threads are spawned lazily on the first multi-way dispatch and parked on a
+// condition variable between dispatches, so a pool that is constructed but
+// never used (or only ever used with one worker) costs nothing. Multi-way
+// dispatches run every lane on a pool thread while the caller blocks — jobs
+// never share the caller's thread-local telemetry singletons. Only the
+// one-lane serial baseline (workers == 1, or n == 1) runs inline on the
+// calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mtp::sim {
+
+class WorkerPool {
+ public:
+  /// `workers` = 0 picks default_workers(). `workers` = 1 runs every
+  /// dispatch inline on the calling thread (the serial baseline, including
+  /// thread-local state, so serial-vs-parallel comparisons are meaningful).
+  explicit WorkerPool(unsigned workers = 0);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// MTP_THREADS (if set and >= 1) else hardware_concurrency(), min 1.
+  static unsigned default_workers();
+
+  unsigned workers() const { return workers_; }
+
+  /// Run body(i) for every i in [0, n), spread over min(workers, n) lanes;
+  /// blocks until every index finished. Lane k executes indices k, k+W,
+  /// k+2W, ... in order, so with n == workers each lane is one long-lived
+  /// body — the shape sharded::Engine needs for its window loop, where each
+  /// body synchronizes with its peers through a barrier and must therefore
+  /// run on its own lane. If any body throws, the first exception (by index)
+  /// is rethrown after all lanes drain.
+  ///
+  /// NOT reentrant: a body must not call parallel_for on the same pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Dispatch {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::size_t lanes = 0;
+    std::size_t lanes_done = 0;
+    std::vector<std::exception_ptr> errors;
+  };
+
+  void run_lane(std::size_t lane);
+  void worker_main(std::size_t lane);
+  void ensure_threads(std::size_t lanes);
+  void rethrow_first(std::vector<std::exception_ptr>& errors);
+
+  const unsigned workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait here between dispatches
+  std::condition_variable done_cv_;  ///< the caller waits here for lanes_done
+  std::uint64_t generation_ = 0;     ///< bumped per dispatch to wake workers
+  bool shutdown_ = false;
+  Dispatch dispatch_;
+  std::vector<std::thread> threads_;  ///< lanes 1..workers-1, spawned lazily
+};
+
+}  // namespace mtp::sim

@@ -79,6 +79,11 @@ class TraceSink {
   void filter_node(std::optional<std::uint32_t> node) { node_filter_ = node; }
   void filter_flow(std::optional<std::uint64_t> flow) { flow_filter_ = flow; }
   void clear_filters();
+  // Getters so the sharded engine can copy the main thread's filter config
+  // onto each worker's thread-local sink before a run.
+  std::optional<std::uint64_t> message_filter() const { return msg_filter_; }
+  std::optional<std::uint32_t> node_filter() const { return node_filter_; }
+  std::optional<std::uint64_t> flow_filter() const { return flow_filter_; }
 
   void record(TraceEvent ev);
 

@@ -205,6 +205,62 @@ class ArrivalSchedule {
   SendFn send_;
 };
 
+/// Shard-invariant replay of a subset of an ArrivalSchedule.
+///
+/// Unlike ArrivalSchedule::start() — which chains plain FIFO events and
+/// batches same-timestamp arrivals — every arrival here executes as its own
+/// *keyed* event at (arrival.at, kArrivalKeyBase | schedule index). The
+/// tie-break position among same-timestamp events is derived from the
+/// schedule, not from when the cursor event happened to be scheduled, so S
+/// replays over S disjoint subsets (one per shard, each on its own
+/// simulator) execute every arrival at exactly the position the serial
+/// single-replay run would. Still one pending simulator event per replay at
+/// any moment.
+class KeyedReplay {
+ public:
+  using Arrival = ArrivalSchedule::Arrival;
+  using SendFn = ArrivalSchedule::SendFn;
+
+  /// Select the subset at construction: `take(arrival)` in schedule order.
+  /// An empty `take` selects everything (the serial case — used for shard
+  /// count 1 too, so one- and many-shard runs replay through identical
+  /// machinery).
+  KeyedReplay(const ArrivalSchedule& schedule, std::function<bool(const Arrival&)> take)
+      : schedule_(&schedule) {
+    const auto& all = schedule.arrivals();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (!take || take(all[i])) picks_.push_back(i);
+    }
+  }
+
+  void start(sim::Simulator& simulator, SendFn send) {
+    send_ = std::move(send);
+    cursor_ = 0;
+    schedule_next(simulator);
+  }
+
+  std::size_t size() const { return picks_.size(); }
+  std::size_t replayed() const { return cursor_; }
+
+ private:
+  void schedule_next(sim::Simulator& simulator) {
+    if (cursor_ >= picks_.size()) return;
+    const std::size_t idx = picks_[cursor_];
+    const Arrival& a = schedule_->arrivals()[idx];
+    simulator.schedule_keyed_at(a.at, sim::kArrivalKeyBase | idx, [this, &simulator] {
+      const Arrival& arr = schedule_->arrivals()[picks_[cursor_]];
+      ++cursor_;
+      schedule_next(simulator);  // chain first so send_ may run() recursively
+      send_(arr);
+    });
+  }
+
+  const ArrivalSchedule* schedule_;
+  std::vector<std::size_t> picks_;  ///< global schedule indices, ascending
+  std::size_t cursor_ = 0;
+  SendFn send_;
+};
+
 /// Closed-loop generator: keeps exactly `concurrency` messages outstanding;
 /// the owner must call on_complete() when one finishes.
 class ClosedLoopGenerator {

@@ -181,6 +181,141 @@ TEST(ParallelSweepChaos, FaultTimelinesBitIdenticalSerialVsParallel) {
   }
 }
 
+// One chaos run on `shards` space shards (sim::sharded via net::Network).
+// Same fabric, fault families and 48-message workload as run_chaos, but all
+// runtime folds are shard-local: delivery/completion digests live in
+// per-host cells (each host is owned by exactly one shard) combined by XOR,
+// counters are per-host, and workload sends are scheduled on the simulator
+// of the shard owning the sending host. The result is therefore a pure
+// function of `seed` alone — `shards` must not change a single bit of it.
+ChaosResult run_chaos_sharded(std::uint64_t seed, unsigned shards) {
+  net::Network net(seed, shards);
+  // 5 us fabric delay = 5 us conservative lookahead: wider windows keep the
+  // barrier count civil on the CI box. (The timeline differs from run_chaos's
+  // 1 us default, which is fine — sharded runs are compared to each other.)
+  net::LeafSpine ls(net,
+                    {.leaves = 4, .spines = 2, .hosts_per_leaf = 1,
+                     .link_delay = 5_us},
+                    [] { return std::make_unique<net::MessageAwarePolicy>(); });
+  ls.uplink(0, 0)->set_pathlet({.id = 11, .feedback = proto::FeedbackType::kEcn});
+  ls.uplink(0, 1)->set_pathlet({.id = 12, .feedback = proto::FeedbackType::kEcn});
+  ls.uplink(1, 0)->set_pathlet({.id = 21, .feedback = proto::FeedbackType::kEcn});
+  ls.uplink(1, 1)->set_pathlet({.id = 22, .feedback = proto::FeedbackType::kEcn});
+
+  core::MtpConfig cfg;
+  cfg.auto_exclude_after_losses = 2;
+  cfg.exclude_duration = 300_us;
+
+  struct alignas(64) HostSlot {
+    std::uint64_t cell = 0;  ///< delivery + completion fold, this host only
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t duplicates = 0;
+    std::set<std::pair<net::NodeId, proto::MsgId>> seen;
+  };
+  std::vector<HostSlot> slot(4);
+  for (int h = 0; h < 4; ++h) slot[h].cell = mix64(0x2545f4914f6cdd1dULL ^ h);
+
+  std::vector<std::unique_ptr<MtpEndpoint>> eps;
+  for (std::size_t h = 0; h < ls.hosts().size(); ++h) {
+    auto ep = std::make_unique<MtpEndpoint>(*ls.hosts()[h], cfg);
+    ep->listen_any([s = &slot[h]](const ReceivedMessage& m) {
+      ++s->delivered;
+      if (!s->seen.emplace(m.src, m.msg_id).second) ++s->duplicates;
+      s->cell = mix64(s->cell ^ mix64(m.src) ^ mix64(m.msg_id) ^
+                      mix64(static_cast<std::uint64_t>(m.bytes)));
+    });
+    eps.push_back(std::move(ep));
+  }
+
+  FaultInjector inj(net.simulator(), seed);
+  inj.random_flaps(*ls.uplink(0, 0), 200_us, 3_ms, 400_us, 150_us);
+  inj.random_flaps(*ls.uplink(1, 1), 250_us, 3_ms, 400_us, 150_us);
+  inj.impair_link(*ls.uplink(0, 1), {.p_good_to_bad = 0.01,
+                                     .p_bad_to_good = 0.1,
+                                     .bad_loss = 0.2,
+                                     .bad_corrupt = 0.2});
+
+  sim::Rng wl(mix64(seed ^ 0xabcdef));
+  const int kMessages = 48;
+  for (int i = 0; i < kMessages; ++i) {
+    const auto src = static_cast<std::size_t>(wl.uniform_int(0, 3));
+    std::size_t dst = static_cast<std::size_t>(wl.uniform_int(0, 2));
+    if (dst >= src) ++dst;
+    const std::int64_t bytes = wl.uniform_int(1, 40'000);
+    const SimTime at = SimTime::nanoseconds(wl.uniform_int(0, 2'000'000));
+    net::Host* to = ls.hosts()[dst];
+    MtpEndpoint* ep = eps[src].get();
+    HostSlot* s = &slot[src];
+    // The send fires on the sending host's own shard; the completion
+    // callback therefore also runs there and folds into the same slot.
+    net.simulator(net.shard_of(*ls.hosts()[src]))
+        .schedule_at(at, [ep, to, bytes, s] {
+          ++s->sent;
+          ep->send_message(to->id(), bytes, {.dst_port = 80},
+                           [s](proto::MsgId, SimTime fct) {
+                             ++s->completions;
+                             s->cell = mix64(s->cell ^
+                                             static_cast<std::uint64_t>(fct.ns()));
+                           });
+        });
+  }
+
+  net.run(500_ms);
+  ChaosResult res;
+  res.fault_digest = inj.digest();
+  res.flaps = inj.flaps_executed();
+  for (const HostSlot& s : slot) {
+    res.sent += s.sent;
+    res.delivered += s.delivered;
+    res.completions += s.completions;
+    res.duplicates += s.duplicates;
+    res.run_digest ^= s.cell;
+  }
+  for (const auto& ep : eps) {
+    res.corrupted_delivered += ep->corrupted_delivered();
+    res.checksum_drops += ep->checksum_drops();
+  }
+  for (unsigned sh = 0; sh < net.shards(); ++sh) {
+    res.leaked_events += net.simulator(sh).pending_events();
+  }
+  res.run_digest = mix64(res.run_digest ^ res.fault_digest ^ res.delivered ^
+                         res.checksum_drops);
+  return res;
+}
+
+// Named to match the tsan suite filter (-R 'Sharded'): four shard workers
+// exchange packets over the SPSC channels and fold into adjacent per-host
+// slots while TSan watches.
+TEST(ShardedChaos, SeededSchedulesSatisfyAllInvariantsOnShards) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const ChaosResult r = run_chaos_sharded(seed, /*shards=*/4);
+    EXPECT_EQ(r.sent, 48u) << "seed " << seed;
+    EXPECT_EQ(r.completions, r.sent) << "seed " << seed << ": message never completed";
+    EXPECT_EQ(r.delivered, r.sent) << "seed " << seed << ": lost or duplicated";
+    EXPECT_EQ(r.duplicates, 0u) << "seed " << seed;
+    EXPECT_EQ(r.corrupted_delivered, 0u) << "seed " << seed;
+    EXPECT_EQ(r.leaked_events, 0u) << "seed " << seed << ": queues did not drain";
+    EXPECT_GT(r.flaps, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ShardedChaos, DigestsBitIdenticalAcrossShardCounts) {
+  for (const std::uint64_t seed : {1ull, 7ull, 13ull, 19ull}) {
+    const ChaosResult one = run_chaos_sharded(seed, 1);
+    for (const unsigned shards : {2u, 4u}) {
+      const ChaosResult r = run_chaos_sharded(seed, shards);
+      EXPECT_EQ(r.fault_digest, one.fault_digest) << "seed " << seed << " x" << shards;
+      EXPECT_EQ(r.run_digest, one.run_digest) << "seed " << seed << " x" << shards;
+      EXPECT_EQ(r.delivered, one.delivered) << "seed " << seed << " x" << shards;
+      EXPECT_EQ(r.completions, one.completions) << "seed " << seed << " x" << shards;
+      EXPECT_EQ(r.checksum_drops, one.checksum_drops) << "seed " << seed << " x" << shards;
+      EXPECT_EQ(r.flaps, one.flaps) << "seed " << seed << " x" << shards;
+    }
+  }
+}
+
 // Devices + RPC under chaos: a KVS cache that crashes (twice) and a flapping
 // backend link, with client retries on. Every call's callback fires exactly
 // once and the sum of outcomes accounts for every call.

@@ -32,7 +32,7 @@ TEST(ScenarioBuilder, MtpWorkloadRecordsAllCompletions) {
   EXPECT_EQ(s->sender(0).name(), "mtp");
   s->run();
   EXPECT_EQ(s->fct().count(), 20u);
-  EXPECT_EQ(s->schedule().replayed(), 20u);
+  EXPECT_EQ(s->replayed(), 20u);
   EXPECT_GT(s->fct().p50_us(), 0.0);
   EXPECT_EQ(s->sender(0).completed() + s->sender(1).completed(), 20u);
 }
