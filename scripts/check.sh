@@ -14,6 +14,8 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 mode="${1:-asan}"
 
 run_asan() {
+  # The full suite includes the `hybrid`-labelled flow_test (fluid bulk model
+  # + packet/flow fidelity gates), so the asan lane covers it by construction.
   cmake --preset asan -S "$repo"
   cmake --build --preset asan -j "$jobs"
   ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
@@ -28,10 +30,13 @@ run_tsan() {
   # sharded_test/chaos_test's Sharded* cases run one fabric split across
   # worker shards, covering the SPSC handoff channels, the window barrier,
   # and the per-shard counter slots.
+  # flow_test's hybrid scenarios run per-shard FluidModel replicas on worker
+  # threads; the `hybrid` ctest label selects exactly those cases.
   cmake --preset tsan -S "$repo"
-  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test scale_test scenario_test sharded_test
+  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test scale_test scenario_test sharded_test flow_test
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
     -R 'ParallelSweep|ScenarioSweep|ScenarioBuilder|Sharded'
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L hybrid
 }
 
 run_chaos() {
@@ -87,6 +92,10 @@ run_scale_smoke() {
   # gate (shards=8 >= speedup_min x shards=1) only arms when the box exposes
   # at least speedup_gate_min_cores CPUs — digest equality is asserted
   # regardless, speedup on a 1-core CI box is not meaningful.
+  # Hybrid gates: fig3/fig7 fluid-vs-packet foreground FCT delta within
+  # hybrid_fct_delta_pct_max, bulk event collapse >= hybrid_bulk_event_ratio_min,
+  # k=32 tenant-isolation digests identical across 1/2/4 shards plus a 75%
+  # events/s floor, and the idle-TCP-connection heap probe under its ceiling.
   cmake --preset release -S "$repo"
   cmake --build --preset release -j "$jobs" --target bench_scale
   local out
@@ -94,6 +103,7 @@ run_scale_smoke() {
   echo "$out"
   local events peak idle match base_events peak_min idle_max
   local scores smatch s1 s8 sspeed base_s1 speed_min gate_cores
+  local iconn iconn_max hdelta hdelta_max hratio hratio_min hk32 hk32eps base_k32
   events="$(echo "$out" | sed -n 's/^events_per_sec=//p')"
   peak="$(echo "$out" | sed -n 's/^peak_concurrent_msgs=//p')"
   idle="$(echo "$out" | sed -n 's/^bytes_per_idle_msg=//p')"
@@ -103,12 +113,21 @@ run_scale_smoke() {
   s1="$(echo "$out" | sed -n 's/^shard1_events_per_sec=//p')"
   s8="$(echo "$out" | sed -n 's/^shard8_events_per_sec=//p')"
   sspeed="$(echo "$out" | sed -n 's/^shard_speedup=//p')"
+  iconn="$(echo "$out" | sed -n 's/^bytes_per_idle_conn=//p')"
+  hdelta="$(echo "$out" | sed -n 's/^hybrid_fct_delta_pct=//p')"
+  hratio="$(echo "$out" | sed -n 's/^hybrid_bulk_event_ratio=//p')"
+  hk32="$(echo "$out" | sed -n 's/^hybrid_k32_digest_match=//p')"
+  hk32eps="$(echo "$out" | sed -n 's/^hybrid_k32_events_per_sec=//p')"
   base_events="$(sed -n 's/.*"events_per_sec": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
   peak_min="$(sed -n 's/.*"peak_concurrent_msgs_min": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
   idle_max="$(sed -n 's/.*"bytes_per_idle_msg_max": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
   base_s1="$(sed -n 's/.*"k16_shard1_events_per_sec": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
   speed_min="$(sed -n 's/.*"speedup_min": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
   gate_cores="$(sed -n 's/.*"speedup_gate_min_cores": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  iconn_max="$(sed -n 's/.*"bytes_per_idle_conn_max": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  hdelta_max="$(sed -n 's/.*"hybrid_fct_delta_pct_max": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  hratio_min="$(sed -n 's/.*"hybrid_bulk_event_ratio_min": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  base_k32="$(sed -n 's/.*"k32_events_per_sec": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
   if [ -z "$events" ] || [ -z "$base_events" ] || [ -z "$peak" ]; then
     echo "scale-smoke: failed to parse bench output or baseline" >&2
     exit 1
@@ -154,6 +173,43 @@ run_scale_smoke() {
       exit 1;
     }
     printf "scale-smoke: OK shard1_events_per_sec %.0f >= floor %.0f (baseline %.0f)\n", got, floor, base;
+  }'
+  if [ -z "$hdelta" ] || [ -z "$hratio" ] || [ -z "$hk32" ] || [ -z "$iconn" ]; then
+    echo "scale-smoke: failed to parse hybrid/idle-conn bench output" >&2
+    exit 1
+  fi
+  if [ "$hk32" != "1" ]; then
+    echo "scale-smoke: FAIL k=32 tenant-isolation digest mismatch across 1/2/4 shards" >&2
+    exit 1
+  fi
+  awk -v got="$iconn" -v max="$iconn_max" 'BEGIN {
+    if (got + 0 > max + 0) {
+      printf "scale-smoke: FAIL bytes_per_idle_conn %.1f > %d\n", got, max;
+      exit 1;
+    }
+    printf "scale-smoke: OK bytes_per_idle_conn %.1f <= %d\n", got, max;
+  }'
+  awk -v got="$hdelta" -v max="$hdelta_max" 'BEGIN {
+    if (got + 0 > max + 0) {
+      printf "scale-smoke: FAIL hybrid_fct_delta_pct %.2f > %.1f\n", got, max;
+      exit 1;
+    }
+    printf "scale-smoke: OK hybrid_fct_delta_pct %.2f <= %.1f\n", got, max;
+  }'
+  awk -v got="$hratio" -v min="$hratio_min" 'BEGIN {
+    if (got + 0 < min + 0) {
+      printf "scale-smoke: FAIL hybrid_bulk_event_ratio %.1f < %.1f\n", got, min;
+      exit 1;
+    }
+    printf "scale-smoke: OK hybrid_bulk_event_ratio %.1fx >= %.1fx\n", got, min;
+  }'
+  awk -v got="$hk32eps" -v base="$base_k32" 'BEGIN {
+    floor = base * 0.75;
+    if (got < floor) {
+      printf "scale-smoke: FAIL hybrid_k32_events_per_sec %.0f < 75%% of baseline %.0f (floor %.0f)\n", got, base, floor;
+      exit 1;
+    }
+    printf "scale-smoke: OK hybrid_k32_events_per_sec %.0f >= floor %.0f (baseline %.0f)\n", got, floor, base;
   }'
   if [ "${scores:-0}" -ge "${gate_cores:-8}" ]; then
     awk -v got="$sspeed" -v min="$speed_min" -v s8="$s8" 'BEGIN {

@@ -81,8 +81,11 @@ class FairSharePolicer final : public net::IngressProcessor {
  private:
   void update() {
     const double period_s = cfg_.update_period.sec();
-    const double capacity =
-        static_cast<double>(cfg_.egress->bandwidth().bits_per_sec());
+    // Police packet-level tenants to the *residual* capacity: bandwidth a
+    // fluid bulk flow has reserved on the egress (sim/flow) is not available
+    // to share, exactly as it wouldn't be if the bulk bytes were packets.
+    const double capacity = static_cast<double>(
+        cfg_.egress->residual_bandwidth().bits_per_sec());
     int active = 0;
     for (auto& tc : tcs_) {
       // EWMA over windows so transient bursts don't flip activity.

@@ -41,6 +41,8 @@ void Link::register_metrics() {
     out.push_back({"backlog_bytes", MetricKind::kGauge,
                    static_cast<double>(backlog_bytes())});
     out.push_back({"up", MetricKind::kGauge, up_ ? 1.0 : 0.0});
+    out.push_back({"fluid_reserved_bps", MetricKind::kGauge,
+                   static_cast<double>(fluid_reserved_bps_)});
   });
   queue_metrics_ = registry.add("queue", name_, [this](std::vector<telemetry::MetricSample>& out) {
     queue_->append_metrics(out);
@@ -192,7 +194,10 @@ void Link::try_transmit() {
   f.qdelay = sim_.now() - f.pkt.hop_enqueued_at;
   const std::uint32_t size = f.pkt.size_bytes();
   in_flight_bytes_ += size;
-  sim_.schedule(bandwidth_.serialization_delay(size), [this] { finish_tx(); });
+  // Serialization runs at the residual rate: line rate minus whatever the
+  // fluid flow model has reserved on this link (bandwidth_ itself when no
+  // reservation is active — the common case costs one load and a compare).
+  sim_.schedule(residual_bandwidth().serialization_delay(size), [this] { finish_tx(); });
 }
 
 // Serialization finished: the wire has the whole packet. The serializing

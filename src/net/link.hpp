@@ -84,6 +84,31 @@ class Link {
   /// Used by load-aware forwarding policies.
   std::int64_t backlog_bytes() const { return queue_->len_bytes() + in_flight_bytes_; }
 
+  /// Capacity reservation (sim::flow fluid bulk transfers). The reserved
+  /// rate is bandwidth a fluid flow is currently "transmitting" at; packet
+  /// traffic serializes into the residual, so a bulk rate process inflates
+  /// packet serialization delay exactly as competing bulk packets would,
+  /// without one event per bulk packet. Clamped so packets always keep at
+  /// least 1% of line rate (a reservation must slow packets, not wedge
+  /// them). Only the shard that owns the link may call this (the fluid
+  /// model installs its apply hook on the owning replica only).
+  void set_fluid_reserved(std::int64_t bps) {
+    const std::int64_t cap = bandwidth_.bits_per_sec();
+    fluid_reserved_bps_ = bps < 0 ? 0 : (bps > cap ? cap : bps);
+  }
+  std::int64_t fluid_reserved_bps() const { return fluid_reserved_bps_; }
+
+  /// Line rate minus the fluid reservation, floored at 1% of line rate —
+  /// what packet-level traffic serializes at.
+  sim::Bandwidth residual_bandwidth() const {
+    if (fluid_reserved_bps_ == 0) return bandwidth_;
+    const std::int64_t cap = bandwidth_.bits_per_sec();
+    std::int64_t floor_bps = cap / 100;
+    if (floor_bps < 1) floor_bps = 1;
+    const std::int64_t residual = cap - fluid_reserved_bps_;
+    return sim::Bandwidth::bps(residual > floor_bps ? residual : floor_bps);
+  }
+
   /// Failure injection: a down link blackholes every send (packets already
   /// in flight still arrive — the fiber was cut behind them). Queued packets
   /// are discarded on the transition, as on a real port flap.
@@ -163,6 +188,7 @@ class Link {
   PortIndex dst_in_port_ = 0;
   bool transmitting_ = false;
   bool up_ = true;
+  std::int64_t fluid_reserved_bps_ = 0;  ///< sim::flow capacity reservation
   sim::RingBuffer<InFlight> in_flight_{8};  ///< back = serializing, front = next to deliver
   std::int64_t in_flight_bytes_ = 0;
   RemoteSink remote_sink_;

@@ -41,6 +41,7 @@ Link* Network::connect_simplex(Node& a, Node& b, sim::Bandwidth bw, sim::SimTime
   // timeline — independent of the partitioning.
   p->set_uid(next_link_uid_++);
   links_.push_back(p);
+  link_shard_.push_back(sa);
   a.add_out_port(p);
   // In-port index on the receiving side: we reuse the count of links that
   // already deliver into b. Receivers only need a stable identifier.

@@ -116,6 +116,16 @@ class Network {
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t link_count() const { return links_.size(); }
 
+  /// Every link in topology-construction order — the order is a function of
+  /// the topology alone (not the shard count), so an index into this vector
+  /// is a shard-invariant link identity. The fluid flow model (sim/flow)
+  /// registers its conduits in exactly this order on every replica.
+  const std::vector<Link*>& links() const { return links_; }
+  /// The shard whose simulator runs a link's events (its sender's shard).
+  unsigned shard_of_link(std::size_t link_index) const {
+    return link_shard_[link_index];
+  }
+
  private:
   /// A packet mid-flight between shards: everything the receiving shard
   /// needs to schedule the delivery as a keyed event.
@@ -149,6 +159,7 @@ class Network {
   std::vector<Node*> nodes_;        ///< arena-owned
   std::vector<unsigned> node_shard_;  ///< by NodeId
   std::vector<Link*> links_;        ///< arena-owned
+  std::vector<unsigned> link_shard_;  ///< by links_ index: the sender's shard
   std::uint64_t next_link_uid_ = 0;
   sim::SimTime min_cross_delay_ = sim::SimTime::max();
   std::unordered_map<const Node*, PortIndex> in_port_count_;

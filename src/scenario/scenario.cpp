@@ -1,11 +1,59 @@
 #include "scenario/scenario.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
 #include "net/fat_tree.hpp"
 #include "net/forwarding.hpp"
 
 namespace mtp::scenario {
 
 namespace {
+
+/// Destination port shared by every paced bulk datagram; the transfer index
+/// rides in the source port.
+constexpr proto::PortNum kBulkUdpPort = 21930;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Static hop-by-hop walk src -> dst through the forwarding tables, picking
+/// among multipath candidates by a hash of the transfer index (an ECMP-style
+/// pin). Purely a function of topology + index, so every fluid replica
+/// computes the identical path. Returns link indices into Network::links().
+std::vector<std::uint32_t> walk_path(const std::unordered_map<const net::Link*, std::uint32_t>& index_of,
+                                     net::Host* src, net::Host* dst, std::uint32_t transfer) {
+  std::vector<std::uint32_t> path;
+  net::Node* node = src;
+  const net::NodeId dst_id = dst->id();
+  for (int hop = 0; hop < 64; ++hop) {
+    net::Link* link = nullptr;
+    if (node == src) {
+      link = src->out_port(0);  // hosts are single-homed in every canned topology
+    } else {
+      auto* sw = dynamic_cast<net::Switch*>(node);
+      if (!sw) throw std::logic_error("bulk_transfer path hit a non-switch transit node");
+      const std::span<const net::PortIndex> cand = sw->route_candidates(dst_id);
+      if (cand.empty()) throw std::logic_error("bulk_transfer path: no route at " + sw->name());
+      const net::PortIndex port =
+          cand[mix64(transfer * 0x9e3779b9ULL + hop) % cand.size()];
+      link = sw->out_port(port);
+    }
+    const auto it = index_of.find(link);
+    if (it == index_of.end()) throw std::logic_error("bulk_transfer path: unknown link");
+    path.push_back(it->second);
+    node = link->peer();
+    if (node->id() == dst_id) return path;
+  }
+  throw std::logic_error("bulk_transfer path: no route from " + src->name() + " to " +
+                         dst->name());
+}
 
 std::unique_ptr<net::ForwardingPolicy> make_policy(Forwarding f, sim::SimTime period) {
   switch (f) {
@@ -193,12 +241,25 @@ TopologyFn fat_tree(net::FatTree::Config cfg) {
 
 }  // namespace topo
 
+Scenario::Scenario() = default;
+Scenario::~Scenario() = default;
+
+net::Host* Scenario::bulk_host(std::uint32_t idx) const {
+  if (idx == kBulkToReceiver) {
+    if (!topo_.receiver) throw std::logic_error("bulk_transfer: topology has no receiver");
+    return topo_.receiver;
+  }
+  return topo_.senders.at(idx);
+}
+
 std::unique_ptr<Scenario> ScenarioBuilder::build() {
   auto s = std::unique_ptr<Scenario>(new Scenario());
   s->net_ = std::make_unique<net::Network>(seed_, shards_);
   s->topo_ = topo_fn_(*s->net_);
   s->dst_port_ = dst_port_;
   s->bulk_bytes_ = bulk_bytes_;
+  s->bulk_mode_ = bulk_mode_;
+  s->bulk_transfers_ = bulk_transfers_;
   s->schedule_ = std::move(schedule_);
 
   for (net::Switch* sw : s->topo_.lb_switches) {
@@ -264,12 +325,226 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() {
       s->faults_->flap_link(*s->topo_.fault_links[f.link], f.at, f.duration);
     }
   }
+  if (!bulk_transfers_.empty() && bulk_mode_ == BulkMode::kFlowLevel) {
+    wire_flow_level(*s);
+  }
+  s->bulk_done_.assign(s->net_->shards(), {});
   return s;
+}
+
+/// Build the fluid model: one replica per shard, each declared the complete
+/// experiment (every conduit, flow, flap mirror and optional foreground-load
+/// window) so replicas execute identical keyed event sequences on their own
+/// simulators. Side effects are installed only on owners: a link's RateFn on
+/// the shard that runs the link, a flow's DoneFn on the shard that owns its
+/// source host. That replication — not cross-shard messaging — is what keeps
+/// rate re-solves deterministic for every shard count.
+void ScenarioBuilder::wire_flow_level(Scenario& s) {
+  net::Network& net = *s.net_;
+  const unsigned S = net.shards();
+  const auto& links = net.links();
+
+  std::unordered_map<const net::Link*, std::uint32_t> index_of;
+  index_of.reserve(links.size());
+  for (std::uint32_t li = 0; li < links.size(); ++li) index_of.emplace(links[li], li);
+
+  sim::flow::FluidModel::Config fcfg;
+  fcfg.capacity_num = flow_cap_num_;
+  fcfg.capacity_den = flow_cap_den_;
+  s.flow_models_.reserve(S);
+  for (unsigned shard = 0; shard < S; ++shard) {
+    auto fm = std::make_unique<sim::flow::FluidModel>(net.simulator(shard), fcfg);
+    for (std::uint32_t li = 0; li < links.size(); ++li) {
+      sim::flow::FluidModel::RateFn apply;
+      if (net.shard_of_link(li) == shard) {
+        apply = [link = links[li]](std::int64_t bps) { link->set_fluid_reserved(bps); };
+      }
+      fm->add_conduit(links[li]->bandwidth().bits_per_sec(), std::move(apply));
+    }
+    s.flow_models_.push_back(std::move(fm));
+  }
+
+  std::vector<std::uint32_t> used_conduits;
+  for (std::uint32_t ti = 0; ti < bulk_transfers_.size(); ++ti) {
+    const workload::BulkTransfer& t = bulk_transfers_[ti];
+    net::Host* src = s.bulk_host(t.src);
+    net::Host* dst = s.bulk_host(t.dst);
+    const std::vector<std::uint32_t> path = walk_path(index_of, src, dst, ti);
+    used_conduits.insert(used_conduits.end(), path.begin(), path.end());
+    const unsigned owner = net.shard_of(*src);
+    for (unsigned shard = 0; shard < S; ++shard) {
+      sim::flow::FluidModel::DoneFn done;
+      if (shard == owner) {
+        auto* sp = &s;
+        done = [sp, shard](std::uint32_t flow, sim::SimTime at) {
+          sp->bulk_done_[shard].emplace_back(flow, at);
+        };
+      }
+      s.flow_models_[shard]->add_flow(t.at, path, t.bytes, t.rate_cap_bps,
+                                      std::move(done));
+    }
+  }
+
+  // Scheduled link flaps, declared here at build time, mirror into every
+  // replica as capacity events (down -> 0, up -> line rate). Deliberately
+  // not a Link::set_up listener: a runtime hook would fire only on the
+  // owning shard and desynchronise the replicas.
+  for (const Flap& f : flaps_) {
+    const net::Link* link = s.topo_.fault_links.at(f.link);
+    const auto it = index_of.find(link);
+    if (it == index_of.end()) continue;
+    for (unsigned shard = 0; shard < S; ++shard) {
+      s.flow_models_[shard]->set_capacity_at(f.at, it->second, 0);
+      s.flow_models_[shard]->set_capacity_at(f.at + f.duration, it->second,
+                                             link->bandwidth().bits_per_sec());
+    }
+  }
+
+  // Optional reverse coupling: each declared foreground arrival becomes an
+  // external-load window (full line rate for the message's serialization
+  // time) on its source's uplink, if that uplink carries any fluid flow.
+  if (fg_coupling_ && !s.schedule_.empty()) {
+    const std::unordered_set<std::uint32_t> used(used_conduits.begin(),
+                                                 used_conduits.end());
+    for (const auto& a : s.schedule_.arrivals()) {
+      net::Link* uplink = s.topo_.senders.at(a.src)->out_port(0);
+      const auto it = index_of.find(uplink);
+      if (it == index_of.end() || !used.count(it->second)) continue;
+      const std::int64_t rate = uplink->bandwidth().bits_per_sec();
+      const sim::SimTime end = a.at + uplink->bandwidth().serialization_delay(a.bytes);
+      for (unsigned shard = 0; shard < S; ++shard) {
+        s.flow_models_[shard]->add_load_at(a.at, it->second, rate);
+        s.flow_models_[shard]->add_load_at(end, it->second, -rate);
+      }
+    }
+  }
+}
+
+/// Paced CBR sender for one bulk transfer in kPacket mode: a chain of keyed
+/// events on the source host's shard, one per MTU-sized datagram, spaced so
+/// the *payload* rate equals the transfer's cap (or the uplink line rate when
+/// uncapped). Keys live in a private corner of the arrival keyspace
+/// (kArrivalKeyBase | bit 45) so they can never collide with KeyedReplay's
+/// schedule indices.
+struct Scenario::PacedBulk {
+  static constexpr std::uint32_t kMtu = 1000;  ///< payload bytes per datagram
+
+  net::Host* src = nullptr;
+  net::NodeId dst = net::kInvalidNode;
+  sim::Simulator* sim = nullptr;
+  std::uint32_t index = 0;
+  std::int64_t remaining = 0;
+  std::int64_t rate_bps = 0;
+  sim::SimTime next;
+  std::uint64_t seq = 0;
+
+  void arm() {
+    const std::uint64_t key = sim::kArrivalKeyBase | (std::uint64_t{1} << 45) |
+                              (std::uint64_t{index} << 25) | (seq & 0x1ffffffULL);
+    ++seq;
+    sim->schedule_keyed_at(next, key, [this] { fire(); });
+  }
+
+  void fire() {
+    const std::uint32_t payload =
+        remaining < kMtu ? static_cast<std::uint32_t>(remaining) : kMtu;
+    net::Packet pkt;
+    pkt.src = src->id();
+    pkt.dst = dst;
+    pkt.payload_bytes = payload;
+    pkt.header_bytes = 28;  // UDP + IP, like transport::UdpSocket
+    pkt.flow_hash = mix64((std::uint64_t{index} << 32) ^ 0xb01cb01cULL);
+    pkt.uid = sim->next_packet_uid();
+    pkt.header = proto::UdpHeader{static_cast<proto::PortNum>(index), kBulkUdpPort,
+                                  static_cast<std::uint16_t>(payload)};
+    src->send(std::move(pkt));
+    remaining -= payload;
+    if (remaining > 0) {
+      const __int128 gap_ns = (static_cast<__int128>(payload) * 8 * 1'000'000'000 +
+                               (rate_bps - 1)) / rate_bps;
+      next = next + sim::SimTime::nanoseconds(static_cast<std::int64_t>(gap_ns));
+      arm();
+    }
+  }
+};
+
+void Scenario::start_paced_bulk() {
+  if (bulk_transfers_.empty() || bulk_mode_ != BulkMode::kPacket) return;
+  if (bulk_transfers_.size() > 0xffff) {
+    throw std::logic_error(
+        "BulkMode::kPacket supports at most 65535 transfers (the transfer index "
+        "rides in the UDP source port); use BulkMode::kFlowLevel");
+  }
+  paced_rx_bytes_.assign(bulk_transfers_.size(), 0);
+
+  // One receive handler per destination host, demuxing on the source port
+  // (= transfer index). Runs on the destination's shard thread; each
+  // paced_rx_bytes_ slot is only ever touched by its transfer's dst shard.
+  std::unordered_set<net::Host*> bound;
+  for (const workload::BulkTransfer& t : bulk_transfers_) {
+    net::Host* dsth = bulk_host(t.dst);
+    if (!bound.insert(dsth).second) continue;
+    const unsigned shard = net_->shard_of(*dsth);
+    auto* sim = &net_->simulator(shard);
+    dsth->set_udp_handler(kBulkUdpPort, [this, shard, sim](net::Packet&& pkt) {
+      const std::uint32_t idx = pkt.udp().src_port;
+      const std::int64_t before = paced_rx_bytes_[idx];
+      const std::int64_t total = bulk_transfers_[idx].bytes;
+      paced_rx_bytes_[idx] = before + pkt.payload_bytes;
+      if (before < total && paced_rx_bytes_[idx] >= total) {
+        bulk_done_[shard].emplace_back(idx, sim->now());
+      }
+    });
+  }
+
+  for (std::uint32_t ti = 0; ti < bulk_transfers_.size(); ++ti) {
+    const workload::BulkTransfer& t = bulk_transfers_[ti];
+    net::Host* src = bulk_host(t.src);
+    if (t.bytes <= 0) {
+      // Degenerate transfer: completes at its arrival instant, like the
+      // fluid model's zero-byte case.
+      net::Host* dsth = bulk_host(t.dst);
+      const unsigned shard = net_->shard_of(*dsth);
+      net_->simulator(shard).schedule_keyed_at(
+          t.at, sim::kArrivalKeyBase | (std::uint64_t{1} << 45) | (std::uint64_t{ti} << 25),
+          [this, shard, ti] {
+            bulk_done_[shard].emplace_back(ti, net_->simulator(shard).now());
+          });
+      continue;
+    }
+    auto pb = std::make_unique<PacedBulk>();
+    pb->src = src;
+    pb->dst = bulk_host(t.dst)->id();
+    pb->sim = &net_->simulator(net_->shard_of(*src));
+    pb->index = ti;
+    pb->remaining = t.bytes;
+    pb->rate_bps = t.rate_cap_bps > 0 ? t.rate_cap_bps
+                                      : src->out_port(0)->bandwidth().bits_per_sec();
+    pb->next = t.at;
+    pb->arm();
+    paced_.push_back(std::move(pb));
+  }
+}
+
+std::vector<std::pair<std::uint32_t, sim::SimTime>> Scenario::bulk_completions() const {
+  std::vector<std::pair<std::uint32_t, sim::SimTime>> out;
+  for (const auto& v : bulk_done_) out.insert(out.end(), v.begin(), v.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::size_t Scenario::bulk_completed() const {
+  std::size_t n = 0;
+  for (const auto& v : bulk_done_) n += v.size();
+  return n;
 }
 
 void Scenario::start() {
   if (started_) return;
   started_ = true;
+  for (auto& fm : flow_models_) fm->start();
+  start_paced_bulk();
   if (bulk_bytes_ != 0) {
     if (!mtp_eps_.empty()) {
       // A long-lasting flow: one very large message (endless = 1 GB, which

@@ -39,6 +39,7 @@
 #include "mtp/endpoint.hpp"
 #include "net/fat_tree.hpp"
 #include "net/network.hpp"
+#include "sim/flow/fluid.hpp"
 #include "stats/stats.hpp"
 #include "telemetry/metrics.hpp"
 #include "transport/apps.hpp"
@@ -51,6 +52,14 @@ namespace mtp::scenario {
 using namespace mtp::sim::literals;
 
 enum class TransportKind { kMtp, kTcp, kDctcp };
+
+/// How declared bulk transfers (bulk_transfer) are simulated.
+///   kPacket:    paced packet streams — every byte costs per-packet events.
+///   kFlowLevel: fluid rate processes (sim::flow) that reserve link capacity
+///               along their path; packet traffic sees the residual as
+///               serialization-delay inflation. Orders of magnitude fewer
+///               events for the same background load.
+enum class BulkMode { kPacket, kFlowLevel };
 
 /// Policy applied to every multipath (lb) switch the topology reports.
 enum class Forwarding {
@@ -148,6 +157,20 @@ class Scenario {
     arrival_handler_ = std::move(fn);
   }
 
+  /// Fluid replica for `shard` (null unless built with BulkMode::kFlowLevel
+  /// and at least one bulk_transfer). Replicas are state-identical at equal
+  /// sim times; shard 0's is the one to introspect.
+  sim::flow::FluidModel* flow_model(unsigned shard = 0) {
+    return shard < flow_models_.size() ? flow_models_[shard].get() : nullptr;
+  }
+  /// Bulk-transfer completions so far, merged across shards and sorted by
+  /// transfer index: (index, completion time). In kFlowLevel mode the time
+  /// is the fluid model's last-bit time; in kPacket mode the receiver-side
+  /// delivery of the last packet.
+  std::vector<std::pair<std::uint32_t, sim::SimTime>> bulk_completions() const;
+  std::size_t bulk_completed() const;
+  std::size_t bulk_transfer_count() const { return bulk_transfers_.size(); }
+
   /// First call starts the workload replay (and bulk sources), then runs
   /// the network — all shards, under sim::sharded when shards > 1; later
   /// calls just continue. Returns events executed across shards.
@@ -158,15 +181,31 @@ class Scenario {
     return telemetry::MetricRegistry::global().snapshot();
   }
 
+ public:
+  ~Scenario();
+
  private:
   friend class ScenarioBuilder;
-  Scenario() = default;
+  struct PacedBulk;
+  Scenario();
   void start();
+  void start_paced_bulk();
+  net::Host* bulk_host(std::uint32_t idx) const;
 
   std::unique_ptr<net::Network> net_;
   Topology topo_;
   proto::PortNum dst_port_ = 80;
   std::int64_t bulk_bytes_ = 0;  ///< 0 = no bulk; <0 = endless
+  BulkMode bulk_mode_ = BulkMode::kPacket;
+  std::vector<workload::BulkTransfer> bulk_transfers_;
+  /// One fluid replica per shard (kFlowLevel). Replicas execute identical
+  /// event sequences; side effects (link reservations, completion logs) are
+  /// installed only on the owning shard's replica.
+  std::vector<std::unique_ptr<sim::flow::FluidModel>> flow_models_;
+  /// Per-shard bulk completion logs, appended on the owning shard's thread.
+  std::vector<std::vector<std::pair<std::uint32_t, sim::SimTime>>> bulk_done_;
+  std::vector<std::unique_ptr<PacedBulk>> paced_;       ///< kPacket mode state
+  std::vector<std::int64_t> paced_rx_bytes_;            ///< per transfer, receiver side
   bool started_ = false;
 
   std::vector<std::unique_ptr<core::MtpEndpoint>> mtp_eps_;
@@ -220,6 +259,35 @@ class ScenarioBuilder {
   /// One long transfer from sender 0 (bytes < 0 = endless for TCP, a 1 GB
   /// message for MTP) — Fig 5's long-lived flow.
   ScenarioBuilder& bulk(std::int64_t bytes = -1) { bulk_bytes_ = bytes; return *this; }
+  /// How declared bulk_transfer()s run: paced packet streams (default) or
+  /// fluid rate processes (sim::flow) with no per-packet events.
+  ScenarioBuilder& bulk_mode(BulkMode m) { bulk_mode_ = m; return *this; }
+  /// Declare one long bulk transfer. src/dst index the topology's sender
+  /// hosts; dst == kBulkToReceiver targets the topology receiver instead.
+  ScenarioBuilder& bulk_transfer(workload::BulkTransfer t) {
+    bulk_transfers_.push_back(t);
+    return *this;
+  }
+  ScenarioBuilder& bulk_transfers(std::vector<workload::BulkTransfer> v) {
+    for (const auto& t : v) bulk_transfers_.push_back(t);
+    return *this;
+  }
+  /// Fluid flows may claim at most num/den of any link (default 95/100), so
+  /// packet traffic always keeps a serialization residual.
+  ScenarioBuilder& flow_capacity_fraction(std::uint32_t num, std::uint32_t den) {
+    flow_cap_num_ = num;
+    flow_cap_den_ = den;
+    return *this;
+  }
+  /// Mirror the declared foreground workload into the fluid model as
+  /// external-load windows on each source's uplink: flows yield (re-solve)
+  /// while a declared packet burst occupies a shared conduit. Off by
+  /// default — CBR (rate-capped) bulk does not yield to bursts, and that is
+  /// the regime the packet-mode oracle compares against.
+  ScenarioBuilder& bulk_foreground_coupling(bool on) {
+    fg_coupling_ = on;
+    return *this;
+  }
   /// Take topology fault_links[link] down over [at, at + duration).
   ScenarioBuilder& flap(std::size_t link, sim::SimTime at, sim::SimTime duration) {
     flaps_.push_back({link, at, duration});
@@ -249,8 +317,18 @@ class ScenarioBuilder {
   std::vector<proto::TrafficClassId> sender_tcs_;
   workload::ArrivalSchedule schedule_;
   std::int64_t bulk_bytes_ = 0;
+  BulkMode bulk_mode_ = BulkMode::kPacket;
+  std::vector<workload::BulkTransfer> bulk_transfers_;
+  std::uint32_t flow_cap_num_ = 95;
+  std::uint32_t flow_cap_den_ = 100;
+  bool fg_coupling_ = false;
   std::vector<Flap> flaps_;
   sim::SimTime goodput_window_ = 0_us;
+
+  void wire_flow_level(Scenario& s);
 };
+
+/// bulk_transfer() dst sentinel: target the topology's receiver host.
+inline constexpr std::uint32_t kBulkToReceiver = 0xffffffffu;
 
 }  // namespace mtp::scenario

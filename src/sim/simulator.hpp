@@ -33,10 +33,15 @@ class TimerWheel;
 /// plain FIFO event — so this layout fixes the cross-component ordering at
 /// equal timestamps, independent of scheduling history:
 ///   [0, 2^44)   link packet deliveries: (link uid << 28) | tx counter
+///   [2^60, 2^61) fluid flow-model steps (sim/flow): base | per-model seq —
+///               after deliveries so a rate re-solve at time t sees every
+///               packet that finished serializing at t, replica-identical
+///               across shards because the seq counter advances identically
 ///   2^61        timer-wheel bucket service (at most one per sim per time)
 ///   [2^62, ...) workload arrival replay: base | arrival index
 /// History-independent tie-breaking is what makes a sharded run execute the
 /// exact per-shard event sequences of the serial run (sim/sharded/engine.hpp).
+inline constexpr std::uint64_t kFlowKeyBase = std::uint64_t{1} << 60;
 inline constexpr std::uint64_t kTimerWheelKey = std::uint64_t{1} << 61;
 inline constexpr std::uint64_t kArrivalKeyBase = std::uint64_t{1} << 62;
 

@@ -205,6 +205,39 @@ class ArrivalSchedule {
   SendFn send_;
 };
 
+/// One long bulk transfer, declared to ScenarioBuilder::bulk_transfer().
+/// `src`/`dst` index the topology's sender hosts. rate_cap_bps > 0 paces the
+/// transfer (a CBR source); 0 lets it take its max-min fair share. In
+/// BulkMode::kFlowLevel these become fluid flows (sim/flow) — no per-packet
+/// events; in BulkMode::kPacket the same transfers run as paced packet
+/// streams, which is what the flow-vs-packet oracle test compares against.
+struct BulkTransfer {
+  sim::SimTime at;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::int64_t bytes = 0;
+  std::int64_t rate_cap_bps = 0;
+};
+
+/// `count` bulk transfers spread across `hosts` sources: source h sends to
+/// the host `stride` ranks away, staggered `spacing` apart — the canned
+/// background-load pattern the hybrid fidelity scenarios and the k=32
+/// tenant-isolation rig share.
+inline std::vector<BulkTransfer> bulk_ring(std::uint32_t hosts, std::uint32_t count,
+                                           std::int64_t bytes, std::uint32_t stride,
+                                           sim::SimTime spacing = sim::SimTime::zero(),
+                                           std::int64_t rate_cap_bps = 0) {
+  std::vector<BulkTransfer> v;
+  v.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t src =
+        hosts == 0 ? 0 : static_cast<std::uint32_t>((std::uint64_t{i} * 97) % hosts);
+    v.push_back({spacing * static_cast<std::int64_t>(i), src,
+                 (src + stride) % (hosts == 0 ? 1 : hosts), bytes, rate_cap_bps});
+  }
+  return v;
+}
+
 /// Shard-invariant replay of a subset of an ArrivalSchedule.
 ///
 /// Unlike ArrivalSchedule::start() — which chains plain FIFO events and
