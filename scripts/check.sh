@@ -6,6 +6,7 @@
 #   check.sh chaos         robustness gate: fixed-seed chaos schedules under ASan
 #   check.sh bench-smoke   perf gate: bench_micro_core --smoke vs BENCH_core.json
 #   check.sh scale-smoke   scale gate: bench_scale --smoke vs BENCH_scale.json
+#   check.sh stream-smoke  stream gate: bench_stream_loss --smoke vs BENCH_scale.json
 #   check.sh all           every gate in sequence
 set -euo pipefail
 
@@ -32,11 +33,14 @@ run_tsan() {
   # and the per-shard counter slots.
   # flow_test's hybrid scenarios run per-shard FluidModel replicas on worker
   # threads; the `hybrid` ctest label selects exactly those cases.
+  # stream_test's `stream` label covers the mtp::stream reassembly/FEC suite;
+  # its StreamSharded chaos case also runs sharded muxes on worker threads.
   cmake --preset tsan -S "$repo"
-  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test scale_test scenario_test sharded_test flow_test
+  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test scale_test scenario_test sharded_test flow_test stream_test
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
     -R 'ParallelSweep|ScenarioSweep|ScenarioBuilder|Sharded'
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L hybrid
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L stream
 }
 
 run_chaos() {
@@ -224,21 +228,89 @@ run_scale_smoke() {
   fi
 }
 
+run_stream_smoke() {
+  # mtp::stream loss-recovery gate vs the stream_baseline in BENCH_scale.json:
+  # FEC p99 under its ceiling AND >= ratio_min better than ARQ-only, goodput
+  # overhead under its cap, repairs actually happening, all records delivered,
+  # and a hard fail on any 1/2/4-shard stream digest mismatch. Every metric is
+  # simulated time (deterministic per seed); --smoke takes best-of-3
+  # interleaved FEC/ARQ pairs internally per the de-flaking pattern.
+  cmake --preset release -S "$repo"
+  cmake --build --preset release -j "$jobs" --target bench_stream_loss
+  local out
+  out="$("$repo/build/bench/bench_stream_loss" --smoke)"
+  echo "$out"
+  local p99 ratio overhead repairs dmatch complete
+  local p99_max ratio_min overhead_max repairs_min
+  p99="$(echo "$out" | sed -n 's/^stream_fec_p99_us=//p')"
+  ratio="$(echo "$out" | sed -n 's/^stream_p99_ratio=//p')"
+  overhead="$(echo "$out" | sed -n 's/^stream_fec_overhead_pct=//p')"
+  repairs="$(echo "$out" | sed -n 's/^stream_fec_repairs=//p')"
+  dmatch="$(echo "$out" | sed -n 's/^stream_digest_match=//p')"
+  complete="$(echo "$out" | sed -n 's/^stream_complete=//p')"
+  p99_max="$(sed -n 's/.*"stream_fec_p99_us_max": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  ratio_min="$(sed -n 's/.*"stream_p99_ratio_min": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  overhead_max="$(sed -n 's/.*"stream_fec_overhead_pct_max": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  repairs_min="$(sed -n 's/.*"stream_fec_repairs_min": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  if [ -z "$p99" ] || [ -z "$ratio" ] || [ -z "$p99_max" ] || [ -z "$ratio_min" ]; then
+    echo "stream-smoke: failed to parse bench output or stream_baseline" >&2
+    exit 1
+  fi
+  if [ "$dmatch" != "1" ]; then
+    echo "stream-smoke: FAIL stream digest mismatch across 1/2/4 shards" >&2
+    exit 1
+  fi
+  if [ "$complete" != "1" ]; then
+    echo "stream-smoke: FAIL not every record was delivered" >&2
+    exit 1
+  fi
+  awk -v got="$p99" -v max="$p99_max" 'BEGIN {
+    if (got + 0 > max + 0) {
+      printf "stream-smoke: FAIL stream_fec_p99_us %.2f > %.1f\n", got, max;
+      exit 1;
+    }
+    printf "stream-smoke: OK stream_fec_p99_us %.2f <= %.1f\n", got, max;
+  }'
+  awk -v got="$ratio" -v min="$ratio_min" 'BEGIN {
+    if (got + 0 < min + 0) {
+      printf "stream-smoke: FAIL stream_p99_ratio %.2f < %.1f (FEC must beat ARQ-only)\n", got, min;
+      exit 1;
+    }
+    printf "stream-smoke: OK stream_p99_ratio %.2fx >= %.1fx\n", got, min;
+  }'
+  awk -v got="$overhead" -v max="$overhead_max" 'BEGIN {
+    if (got + 0 > max + 0) {
+      printf "stream-smoke: FAIL stream_fec_overhead_pct %.2f > %.1f\n", got, max;
+      exit 1;
+    }
+    printf "stream-smoke: OK stream_fec_overhead_pct %.2f%% <= %.1f%%\n", got, max;
+  }'
+  awk -v got="$repairs" -v min="$repairs_min" 'BEGIN {
+    if (got + 0 < min + 0) {
+      printf "stream-smoke: FAIL stream_fec_repairs %d < %d (FEC never repaired)\n", got, min;
+      exit 1;
+    }
+    printf "stream-smoke: OK stream_fec_repairs %d >= %d\n", got, min;
+  }'
+}
+
 case "$mode" in
   asan) run_asan ;;
   tsan) run_tsan ;;
   chaos) run_chaos ;;
   bench-smoke) run_bench_smoke ;;
   scale-smoke) run_scale_smoke ;;
+  stream-smoke) run_stream_smoke ;;
   all)
     run_asan
     run_tsan
     run_chaos
     run_bench_smoke
     run_scale_smoke
+    run_stream_smoke
     ;;
   *)
-    echo "usage: check.sh [asan|tsan|chaos|bench-smoke|scale-smoke|all]" >&2
+    echo "usage: check.sh [asan|tsan|chaos|bench-smoke|scale-smoke|stream-smoke|all]" >&2
     exit 2
     ;;
 esac

@@ -345,6 +345,7 @@ void MtpEndpoint::send_data_pkt(OutgoingMessage& msg, std::uint32_t pkt, PathInd
   hdr.pkt_len = p.payload_bytes;
   hdr.path_exclude() = active_exclusions();
   if (pkt == 0 && msg.opts.app) p.app = *msg.opts.app;
+  if (pkt == 0 && msg.opts.stream) hdr.stream = *msg.opts.stream;
   p.header_bytes =
       cfg_.base_header_bytes + static_cast<std::uint32_t>(hdr.path_exclude().size() * 5);
   p.header = std::move(hdr);
@@ -633,6 +634,7 @@ void MtpEndpoint::on_data(net::Packet&& pkt) {
     msg.first_pkt_at = sim_.now();
   }
   if (pkt.app) msg.app = *pkt.app;
+  if (hdr.has_stream()) msg.stream = *hdr.stream;
   if (!msg.have[hdr.pkt_num]) {
     msg.have[hdr.pkt_num] = true;
     ++msg.received;
@@ -667,6 +669,7 @@ void MtpEndpoint::on_data(net::Packet&& pkt) {
     done.src_port = msg.src_port;
     done.dst_port = msg.dst_port;
     done.app = std::move(msg.app);
+    done.stream = std::move(msg.stream);
     done.first_pkt_at = msg.first_pkt_at;
     done.completed_at = sim_.now();
     incoming_.erase(it);

@@ -88,6 +88,7 @@ struct MessageOptions {
   proto::PortNum src_port = 0;
   proto::PortNum dst_port = 0;
   std::optional<net::AppData> app;  ///< rides on packet 0 (request key, ...)
+  std::optional<proto::StreamHeader> stream;  ///< rides on packet 0 (mtp::stream)
 };
 
 /// A completed incoming message handed to the application.
@@ -100,6 +101,7 @@ struct ReceivedMessage {
   proto::PortNum src_port = 0;
   proto::PortNum dst_port = 0;
   std::optional<net::AppData> app;
+  std::optional<proto::StreamHeader> stream;
   sim::SimTime first_pkt_at;
   sim::SimTime completed_at;
 };
@@ -257,6 +259,7 @@ class MtpEndpoint {
     proto::PortNum src_port = 0;
     proto::PortNum dst_port = 0;
     std::optional<net::AppData> app;
+    std::optional<proto::StreamHeader> stream;
     sim::SimTime first_pkt_at;
   };
 

@@ -1,0 +1,144 @@
+#include "mtp/stream/fec.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace mtp::stream::fec {
+
+namespace {
+
+// Log/exp tables for GF(256) with generator 0x03 over polynomial 0x11d.
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};
+  Tables() {
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+// Cauchy points: x_j for parity rows, y_i for data columns, all distinct.
+inline std::uint8_t cauchy(unsigned j, unsigned i) {
+  return gf_inv(static_cast<std::uint8_t>(j ^ (kMaxR + i)));
+}
+
+}  // namespace
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t gf_inv(std::uint8_t a) {
+  const auto& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t coeff(unsigned j, unsigned i) {
+  // Normalize each column by its row-0 entry so row 0 is all-ones; scaling
+  // columns by nonzero constants preserves the any-submatrix-invertible
+  // Cauchy property.
+  return gf_mul(cauchy(j, i), gf_inv(cauchy(0, i)));
+}
+
+std::vector<std::string> encode(const std::vector<std::string>& data, unsigned r) {
+  std::size_t width = 0;
+  for (const auto& d : data) width = std::max(width, d.size());
+  std::vector<std::string> out(r);
+  for (unsigned j = 0; j < r; ++j) {
+    std::string p(width, '\0');
+    for (unsigned i = 0; i < data.size(); ++i) {
+      const std::uint8_t c = coeff(j, i);
+      const auto& d = data[i];
+      for (std::size_t pos = 0; pos < d.size(); ++pos) {
+        p[pos] = static_cast<char>(static_cast<std::uint8_t>(p[pos]) ^
+                                   gf_mul(c, static_cast<std::uint8_t>(d[pos])));
+      }
+    }
+    out[j] = std::move(p);
+  }
+  return out;
+}
+
+bool decode(std::vector<std::optional<std::string>>& segments,
+            const std::vector<std::pair<std::uint8_t, std::string>>& parities) {
+  const unsigned k = static_cast<unsigned>(segments.size());
+  if (k == 0 || k > kMaxK) return false;
+  std::vector<unsigned> missing;
+  for (unsigned i = 0; i < k; ++i) {
+    if (!segments[i]) missing.push_back(i);
+  }
+  if (missing.empty()) return true;
+  const unsigned t = static_cast<unsigned>(missing.size());
+  if (t > parities.size()) return false;
+
+  std::size_t width = 0;
+  for (const auto& [j, p] : parities) width = std::max(width, p.size());
+  for (const auto& s : segments) {
+    if (s) width = std::max(width, s->size());
+  }
+
+  // Syndromes: rhs_a = parity_a XOR sum over present i of coeff(j_a, i)*d_i.
+  // Unknowns x_b = missing segment contents; M[a][b] = coeff(j_a, missing_b).
+  std::vector<std::string> rhs(t);
+  std::array<std::array<std::uint8_t, kMaxR>, kMaxR> m{};
+  for (unsigned a = 0; a < t; ++a) {
+    const std::uint8_t row = parities[a].first;
+    if (row >= kMaxR) return false;
+    std::string acc(width, '\0');
+    const auto& p = parities[a].second;
+    std::copy(p.begin(), p.end(), acc.begin());
+    for (unsigned i = 0; i < k; ++i) {
+      if (!segments[i]) continue;
+      const std::uint8_t c = coeff(row, i);
+      const auto& d = *segments[i];
+      for (std::size_t pos = 0; pos < d.size(); ++pos) {
+        acc[pos] = static_cast<char>(static_cast<std::uint8_t>(acc[pos]) ^
+                                     gf_mul(c, static_cast<std::uint8_t>(d[pos])));
+      }
+    }
+    rhs[a] = std::move(acc);
+    for (unsigned b = 0; b < t; ++b) m[a][b] = coeff(row, missing[b]);
+  }
+
+  // Gaussian elimination with partial pivoting (t <= 3), applied to the
+  // coefficient matrix and the rhs payload rows simultaneously.
+  for (unsigned col = 0; col < t; ++col) {
+    unsigned pivot = col;
+    while (pivot < t && m[pivot][col] == 0) ++pivot;
+    if (pivot == t) return false;  // duplicate parity rows
+    if (pivot != col) {
+      std::swap(m[pivot], m[col]);
+      std::swap(rhs[pivot], rhs[col]);
+    }
+    const std::uint8_t inv = gf_inv(m[col][col]);
+    for (unsigned b = col; b < t; ++b) m[col][b] = gf_mul(m[col][b], inv);
+    for (char& ch : rhs[col]) ch = static_cast<char>(gf_mul(static_cast<std::uint8_t>(ch), inv));
+    for (unsigned a = 0; a < t; ++a) {
+      if (a == col || m[a][col] == 0) continue;
+      const std::uint8_t f = m[a][col];
+      for (unsigned b = col; b < t; ++b) m[a][b] ^= gf_mul(f, m[col][b]);
+      for (std::size_t pos = 0; pos < width; ++pos) {
+        rhs[a][pos] = static_cast<char>(
+            static_cast<std::uint8_t>(rhs[a][pos]) ^
+            gf_mul(f, static_cast<std::uint8_t>(rhs[col][pos])));
+      }
+    }
+  }
+  for (unsigned b = 0; b < t; ++b) segments[missing[b]] = std::move(rhs[b]);
+  return true;
+}
+
+}  // namespace mtp::stream::fec

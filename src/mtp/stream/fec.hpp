@@ -1,0 +1,51 @@
+// Systematic erasure coding for mtp::stream FEC groups (GF(256)).
+//
+// Every k data segments are coded into r parity segments so a receiver can
+// reconstruct up to r lost segments without waiting out a retransmission
+// timeout. The parity coefficient matrix is a column-normalized Cauchy
+// matrix: coeff(0, i) == 1 for every i, so the single-parity case (r = 1)
+// degenerates to plain XOR, and — unlike the naive Vandermonde extension
+// alpha^(j*i), which is singular for some erasure patterns at r >= 3 — every
+// square submatrix of a Cauchy matrix is invertible, so ANY combination of
+// <= r erasures among the k data segments is recoverable from any r
+// surviving parities (Reed-Solomon-style MDS property).
+//
+// Sized for stream groups: k <= 8 data segments, r <= 3 parities. Decoding
+// is a t x t Gaussian elimination (t <= 3) plus one pass over the payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mtp::stream::fec {
+
+inline constexpr unsigned kMaxK = 8;
+inline constexpr unsigned kMaxR = 3;
+
+/// GF(256) arithmetic, polynomial 0x11d (the AES/RS field).
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t gf_inv(std::uint8_t a);  ///< a != 0
+
+/// Parity coefficient for parity row j in [0, kMaxR) and data index i in
+/// [0, kMaxK). Row 0 is all-ones (XOR parity).
+std::uint8_t coeff(unsigned j, unsigned i);
+
+/// Code `data` (k = data.size() segments, possibly ragged lengths) into r
+/// parity payloads. Each parity is as long as the longest data segment;
+/// shorter segments are implicitly zero-padded. With all-empty data (the
+/// sized-only simulation mode) the parities are empty strings.
+std::vector<std::string> encode(const std::vector<std::string>& data, unsigned r);
+
+/// Reconstruct missing data segments in place. `segments[i]` is the payload
+/// of data segment i, or nullopt if it was lost; `parities` holds the
+/// surviving (row index, payload) parity segments. Returns false when more
+/// segments are missing than parities are available (or on a malformed
+/// input); on success every segment is engaged, recovered ones padded to the
+/// parity length (callers truncate to the true segment length).
+bool decode(std::vector<std::optional<std::string>>& segments,
+            const std::vector<std::pair<std::uint8_t, std::string>>& parities);
+
+}  // namespace mtp::stream::fec

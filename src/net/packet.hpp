@@ -116,6 +116,13 @@ struct Packet {
       mix((static_cast<std::uint64_t>(m.msg_id) << 8) | static_cast<std::uint64_t>(m.type));
       mix((static_cast<std::uint64_t>(m.pkt_num) << 32) | m.pkt_len);
       mix(m.pkt_offset);
+      if (m.has_stream()) {
+        const auto& s = *m.stream;
+        mix((static_cast<std::uint64_t>(s.stream_id) << 16) |
+            (static_cast<std::uint64_t>(s.kind) << 8) | s.flags);
+        mix((static_cast<std::uint64_t>(s.seq) << 32) | s.fec_index);
+        mix(s.offset);
+      }
     } else if (is_tcp()) {
       const auto& t = tcp();
       mix((t.seq << 8) | t.flags);

@@ -93,13 +93,39 @@ bool get_sack(WireReader& r, Ensure ensure) {
   return true;
 }
 
+// StreamHeader fixed fields: stream_id + kind + flags + seq + offset +
+// fec_group + fec_k + fec_r + fec_index + fec_repaired + gap_events.
+constexpr std::size_t kStreamFixedSize = 4 + 1 + 1 + 4 + 8 + 4 + 1 + 1 + 1 + 8 + 4;
+
+void put_u32_list(WireWriter& w, const std::vector<std::uint32_t>& v) {
+  w.put<std::uint16_t>(static_cast<std::uint16_t>(v.size()));
+  for (const auto e : v) w.put<std::uint32_t>(e);
+}
+
+bool get_u32_list(WireReader& r, std::vector<std::uint32_t>& v) {
+  const auto n = r.get<std::uint16_t>();
+  if (!n) return false;
+  v.reserve(*n);
+  for (std::uint16_t i = 0; i < *n; ++i) {
+    const auto e = r.get<std::uint32_t>();
+    if (!e) return false;
+    v.push_back(*e);
+  }
+  return true;
+}
+
 }  // namespace
 
 std::size_t MtpHeader::wire_size() const {
-  return kFixedSize + 5 * 2  // five 16-bit list counts
-         + path_exclude().size() * kPathRefSize
-         + (path_feedback().size() + ack_path_feedback().size()) * kPathFeedbackSize
-         + (sack().size() + nack().size()) * kSackEntrySize;
+  std::size_t n = kFixedSize + 5 * 2  // five 16-bit list counts
+                  + path_exclude().size() * kPathRefSize
+                  + (path_feedback().size() + ack_path_feedback().size()) * kPathFeedbackSize
+                  + (sack().size() + nack().size()) * kSackEntrySize;
+  n += 1;  // stream presence flag
+  if (stream) {
+    n += kStreamFixedSize + 2 * 2 + (stream->seg_lens.size() + stream->sack.size()) * 4;
+  }
+  return n;
 }
 
 void MtpHeader::serialize(std::vector<std::uint8_t>& out) const {
@@ -121,6 +147,23 @@ void MtpHeader::serialize(std::vector<std::uint8_t>& out) const {
   put_path_feedback(w, ack_path_feedback());
   put_sack(w, sack());
   put_sack(w, nack());
+  w.put<std::uint8_t>(stream ? 1 : 0);
+  if (stream) {
+    const auto& s = *stream;
+    w.put<std::uint32_t>(s.stream_id);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(s.kind));
+    w.put<std::uint8_t>(s.flags);
+    w.put<std::uint32_t>(s.seq);
+    w.put<std::uint64_t>(s.offset);
+    w.put<std::uint32_t>(s.fec_group);
+    w.put<std::uint8_t>(s.fec_k);
+    w.put<std::uint8_t>(s.fec_r);
+    w.put<std::uint8_t>(s.fec_index);
+    w.put<std::uint64_t>(s.fec_repaired);
+    w.put<std::uint32_t>(s.gap_events);
+    put_u32_list(w, s.seg_lens);
+    put_u32_list(w, s.sack);
+  }
 }
 
 std::optional<MtpHeader> MtpHeader::parse(std::span<const std::uint8_t> in) {
@@ -158,6 +201,40 @@ std::optional<MtpHeader> MtpHeader::parse(std::span<const std::uint8_t> in) {
   if (!get_path_feedback(r, [&]() -> auto& { return h.ack_path_feedback(); })) return std::nullopt;
   if (!get_sack(r, [&]() -> auto& { return h.sack(); })) return std::nullopt;
   if (!get_sack(r, [&]() -> auto& { return h.nack(); })) return std::nullopt;
+  // Stream block: presence byte, then the fixed fields + two u32 lists.
+  const auto sp = r.get<std::uint8_t>();
+  if (!sp.has_value() || *sp > 1) return std::nullopt;
+  if (*sp == 0) return h;
+  auto& s = h.stream.ensure();
+  const auto sid = r.get<std::uint32_t>();
+  const auto kind = r.get<std::uint8_t>();
+  const auto flags = r.get<std::uint8_t>();
+  const auto seq = r.get<std::uint32_t>();
+  const auto off = r.get<std::uint64_t>();
+  const auto group = r.get<std::uint32_t>();
+  const auto fk = r.get<std::uint8_t>();
+  const auto fr = r.get<std::uint8_t>();
+  const auto fi = r.get<std::uint8_t>();
+  const auto repaired = r.get<std::uint64_t>();
+  const auto gaps = r.get<std::uint32_t>();
+  if (!sid || !kind || !flags.has_value() || !seq || !off || !group || !fk.has_value() ||
+      !fr.has_value() || !fi.has_value() || !repaired || !gaps) {
+    return std::nullopt;
+  }
+  if (*kind > static_cast<std::uint8_t>(StreamKind::kFeedback)) return std::nullopt;
+  s.stream_id = *sid;
+  s.kind = static_cast<StreamKind>(*kind);
+  s.flags = *flags;
+  s.seq = *seq;
+  s.offset = *off;
+  s.fec_group = *group;
+  s.fec_k = *fk;
+  s.fec_r = *fr;
+  s.fec_index = *fi;
+  s.fec_repaired = *repaired;
+  s.gap_events = *gaps;
+  if (!get_u32_list(r, s.seg_lens)) return std::nullopt;
+  if (!get_u32_list(r, s.sack)) return std::nullopt;
   return h;
 }
 

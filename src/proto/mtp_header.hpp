@@ -68,6 +68,41 @@ struct SackEntry {
 /// payload_bytes == 0 (NDP-style packet trimming).
 enum class MtpPacketType : std::uint8_t { kData = 0, kAck = 1 };
 
+/// Role of an mtp::stream message. kData carries one stream segment, kParity
+/// carries one FEC parity segment coding a group of data segments, kFeedback
+/// is the receiver's cumulative/selective progress report.
+enum class StreamKind : std::uint8_t { kData = 0, kParity = 1, kFeedback = 2 };
+
+inline constexpr std::uint8_t kStreamFin = 1;    ///< data: last segment of the stream
+inline constexpr std::uint8_t kStreamReset = 2;  ///< feedback: receiver lost stream state
+
+/// mtp::stream segment/feedback metadata. Rides packet 0 of the MTP message
+/// that carries one stream segment (or one feedback report); boxed on
+/// MtpHeader because most MTP messages are not stream traffic.
+struct StreamHeader {
+  std::uint32_t stream_id = 0;
+  StreamKind kind = StreamKind::kData;
+  std::uint8_t flags = 0;    ///< kStreamFin / kStreamReset
+  std::uint32_t seq = 0;     ///< data: segment seq; parity: group base seq; feedback: cumulative ack
+  std::uint64_t offset = 0;  ///< data: stream byte offset; feedback: in-order bytes delivered
+
+  // --- FEC group description (parity segments only).
+  std::uint32_t fec_group = 0;
+  std::uint8_t fec_k = 0;      ///< data segments coded into the group
+  std::uint8_t fec_r = 0;      ///< parity segments emitted for the group
+  std::uint8_t fec_index = 0;  ///< which parity row [0, fec_r) this segment is
+  std::vector<std::uint32_t> seg_lens;  ///< parity: payload length of each data segment
+
+  // --- Receiver loss/repair telemetry (feedback only; drives adaptive r).
+  std::vector<std::uint32_t> sack;  ///< seqs received above the cumulative ack (capped)
+  std::uint64_t fec_repaired = 0;   ///< cumulative segments repaired by parity
+  std::uint32_t gap_events = 0;     ///< cumulative segments first observed missing
+
+  bool fin() const { return flags & kStreamFin; }
+  bool reset() const { return flags & kStreamReset; }
+  bool operator==(const StreamHeader&) const = default;
+};
+
 struct MtpHeader {
   PortNum src_port = 0;
   PortNum dst_port = 0;
@@ -113,6 +148,11 @@ struct MtpHeader {
   const std::vector<SackEntry>& sack() const { return lists.view().sack; }
   std::vector<SackEntry>& nack() { return lists.ensure().nack; }
   const std::vector<SackEntry>& nack() const { return lists.view().nack; }
+
+  // mtp::stream metadata, present only on stream traffic (packet 0 of the
+  // carrying message). Same boxing rationale as the lists above.
+  Boxed<StreamHeader> stream;
+  bool has_stream() const { return stream.has_value(); }
 
   bool is_ack() const { return type == MtpPacketType::kAck; }
   bool is_last_pkt() const { return msg_len_pkts != 0 && pkt_num + 1 == msg_len_pkts; }

@@ -297,7 +297,25 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() {
             *s->mtp_eps_[i], rcv->id(), dst_port_, tc_of(i)));
       }
     }
+    if (stream_on_) {
+      if (!rcv) {
+        throw std::logic_error("Scenario: stream_workload needs a receiver topology");
+      }
+      // The receiver mux's listen() supersedes the no-op listener above.
+      s->stream_rcv_ =
+          std::make_unique<stream::StreamMux>(*s->mtp_rcv_, dst_port_, stream_cfg_);
+      for (std::size_t i = 0; i < s->mtp_eps_.size(); ++i) {
+        s->stream_muxes_.push_back(
+            std::make_unique<stream::StreamMux>(*s->mtp_eps_[i], dst_port_, stream_cfg_));
+        s->stream_senders_.push_back(
+            &s->stream_muxes_.back()->open(rcv->id(), dst_port_));
+        s->stream_src_index_[s->topo_.senders[i]->id()] = i;
+      }
+    }
   } else {
+    if (stream_on_) {
+      throw std::logic_error("Scenario: stream_workload requires TransportKind::kMtp");
+    }
     transport::TcpConfig cfg = tcp_cfg_;
     if (transport_ == TransportKind::kDctcp) cfg.dctcp = true;
     for (std::size_t i = 0; i < s->topo_.senders.size(); ++i) {
@@ -563,6 +581,33 @@ void Scenario::start() {
     }
     const unsigned S = net_->shards();
     fct_samples_.assign(S, {});
+    if (stream_rcv_) {
+      // Precompute where each record's last byte lands in its sender's
+      // stream; the receiver's in-order progress then times completions.
+      const std::size_t N = topo_.senders.size();
+      record_marks_.assign(N, {});
+      record_cursor_.assign(N, 0);
+      writes_left_.assign(N, 0);
+      std::vector<std::uint64_t> cum(N, 0);
+      for (const auto& a : schedule_.arrivals()) {
+        cum[a.src] += a.bytes;
+        record_marks_[a.src].push_back({a.at, a.bytes, cum[a.src]});
+        ++writes_left_[a.src];
+      }
+      const unsigned rshard = net_->shard_of(*topo_.receiver);
+      auto* rsim = &net_->simulator(rshard);
+      stream_rcv_->on_progress = [this, rshard, rsim](net::NodeId src, std::uint32_t,
+                                                      std::uint64_t bytes) {
+        const auto it = stream_src_index_.find(src);
+        if (it == stream_src_index_.end()) return;
+        auto& cur = record_cursor_[it->second];
+        const auto& marks = record_marks_[it->second];
+        while (cur < marks.size() && bytes >= marks[cur].cum) {
+          fct_samples_[rshard].emplace_back(rsim->now() - marks[cur].at, marks[cur].bytes);
+          ++cur;
+        }
+      };
+    }
     replays_.reserve(S);
     for (unsigned shard = 0; shard < S; ++shard) {
       // Each shard replays the sub-schedule of arrivals whose source host it
@@ -583,6 +628,14 @@ void Scenario::start() {
       replays_[shard].start(
           net_->simulator(shard),
           [this, shard](const workload::ArrivalSchedule::Arrival& a) {
+            if (!stream_senders_.empty()) {
+              // Runs on the shard owning senders[a.src]; writes_left_[src]
+              // has that same single writer.
+              stream::Stream& st = *stream_senders_[a.src];
+              st.write(a.bytes);
+              if (--writes_left_[a.src] == 0) st.finish();
+              return;
+            }
             if (arrival_handler_) {
               arrival_handler_(a);
               return;
@@ -607,6 +660,43 @@ stats::FctRecorder& Scenario::fct() {
     fct_merged_ = total;
   }
   return fct_;
+}
+
+stream::StreamMux::Stats Scenario::stream_stats() const {
+  stream::StreamMux::Stats out;
+  const auto add = [&out](const stream::StreamMux::Stats& s) {
+    out.segments_sent += s.segments_sent;
+    out.parity_sent += s.parity_sent;
+    out.stream_retx += s.stream_retx;
+    out.bytes_submitted += s.bytes_submitted;
+    out.segments_received += s.segments_received;
+    out.parity_received += s.parity_received;
+    out.segments_delivered += s.segments_delivered;
+    out.bytes_delivered += s.bytes_delivered;
+    out.fec_repairs += s.fec_repairs;
+    out.arq_recovered += s.arq_recovered;
+    out.dup_segments += s.dup_segments;
+    out.reorder_drops += s.reorder_drops;
+    out.gap_events += s.gap_events;
+    out.feedback_sent += s.feedback_sent;
+    out.streams_completed += s.streams_completed;
+    out.streams_failed += s.streams_failed;
+  };
+  for (const auto& m : stream_muxes_) add(m->stats());
+  if (stream_rcv_) add(stream_rcv_->stats());
+  return out;
+}
+
+std::uint64_t Scenario::stream_digest() const {
+  std::uint64_t d = 0x9e3779b97f4a7c15ull;
+  const auto mix = [&d](std::uint64_t v) {
+    v *= 0xbf58476d1ce4e5b9ull;
+    v ^= v >> 27;
+    d = (d ^ v) * 0x94d049bb133111ebull;
+  };
+  for (const auto& m : stream_muxes_) mix(m->digest());
+  if (stream_rcv_) mix(stream_rcv_->digest());
+  return d;
 }
 
 std::size_t Scenario::replayed() const {

@@ -33,10 +33,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/fault.hpp"
 #include "mtp/endpoint.hpp"
+#include "mtp/stream/stream.hpp"
 #include "net/fat_tree.hpp"
 #include "net/network.hpp"
 #include "sim/flow/fluid.hpp"
@@ -138,6 +140,21 @@ class Scenario {
   transport::TcpStack* tcp_sender(std::size_t i) { return tcp_stacks_.empty() ? nullptr : tcp_stacks_[i].get(); }
   transport::TcpStack* tcp_receiver() { return tcp_rcv_.get(); }
 
+  // Stream mode (ScenarioBuilder::stream_workload): one mtp::stream per
+  // sender into the receiver's StreamMux. fct() then records per-record
+  // delivery latency (arrival -> in-order delivery at the receiver).
+  stream::StreamMux* stream_mux(std::size_t i) {
+    return stream_muxes_.empty() ? nullptr : stream_muxes_[i].get();
+  }
+  stream::StreamMux* stream_receiver() { return stream_rcv_.get(); }
+  stream::Stream* stream_sender(std::size_t i) {
+    return stream_senders_.empty() ? nullptr : stream_senders_[i];
+  }
+  /// Sum over every mux (sender sides + receiver side).
+  stream::StreamMux::Stats stream_stats() const;
+  /// Fold of every mux digest — the shard-equality check for stream runs.
+  std::uint64_t stream_digest() const;
+
   /// Completion-time recorder over every workload completion so far.
   /// Merged lazily from the per-shard logs; sample order is shard-grouped
   /// under shards > 1, the sample multiset is shard-count-invariant.
@@ -216,6 +233,21 @@ class Scenario {
   std::vector<std::unique_ptr<transport::TcpBulkSource>> bulk_sources_;
   std::vector<std::unique_ptr<transport::MessageSender>> senders_;
 
+  // Stream mode. Sender muxes live on sender shards; receiver-side record
+  // accounting (cursor/marks) is touched only on the receiver's shard.
+  std::vector<std::unique_ptr<stream::StreamMux>> stream_muxes_;
+  std::unique_ptr<stream::StreamMux> stream_rcv_;
+  std::vector<stream::Stream*> stream_senders_;  ///< one per sender, owned by mux
+  std::unordered_map<net::NodeId, std::size_t> stream_src_index_;
+  struct RecordMark {
+    sim::SimTime at;         ///< workload arrival time
+    std::int64_t bytes = 0;  ///< record size
+    std::uint64_t cum = 0;   ///< stream byte offset at which it is delivered
+  };
+  std::vector<std::vector<RecordMark>> record_marks_;  ///< per sender, in order
+  std::vector<std::size_t> record_cursor_;
+  std::vector<std::size_t> writes_left_;  ///< records not yet written (sender shard)
+
   std::unique_ptr<stats::ThroughputMeter> meter_;
   stats::FctRecorder fct_;  ///< merged view, rebuilt by fct() when stale
   workload::ArrivalSchedule schedule_;
@@ -254,6 +286,16 @@ class ScenarioBuilder {
   /// completions land in Scenario::fct().
   ScenarioBuilder& workload(workload::ArrivalSchedule sched) {
     schedule_ = std::move(sched);
+    return *this;
+  }
+  /// Send every workload arrival as one record on a per-sender mtp::stream
+  /// (ordered + FEC per `cfg`) instead of as an independent message.
+  /// Requires TransportKind::kMtp and a receiver topology. fct() records
+  /// per-record delivery latency; each stream finish()es after its last
+  /// scheduled record, so run() quiesces once all streams complete.
+  ScenarioBuilder& stream_workload(stream::StreamConfig cfg = {}) {
+    stream_on_ = true;
+    stream_cfg_ = cfg;
     return *this;
   }
   /// One long transfer from sender 0 (bytes < 0 = endless for TCP, a 1 GB
@@ -315,6 +357,8 @@ class ScenarioBuilder {
   transport::TcpConfig tcp_cfg_;
   proto::PortNum dst_port_ = 80;
   std::vector<proto::TrafficClassId> sender_tcs_;
+  bool stream_on_ = false;
+  stream::StreamConfig stream_cfg_;
   workload::ArrivalSchedule schedule_;
   std::int64_t bulk_bytes_ = 0;
   BulkMode bulk_mode_ = BulkMode::kPacket;

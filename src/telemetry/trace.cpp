@@ -11,10 +11,11 @@ namespace mtp::telemetry {
 
 namespace {
 
-constexpr std::array<const char*, 14> kTypeNames = {
+constexpr std::array<const char*, 16> kTypeNames = {
     "enqueue",   "dequeue",          "drop",      "ecn_mark", "tx",
     "rx",        "ack",              "nack",      "rto",      "pathlet_feedback",
-    "link_flap", "corrupt",          "checksum_drop", "crash",
+    "link_flap", "corrupt",          "checksum_drop", "crash", "fec_repair",
+    "stream_retx",
 };
 
 }  // namespace

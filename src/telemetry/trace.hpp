@@ -36,6 +36,8 @@ enum class TraceEventType : std::uint8_t {
   kCorrupt,          ///< fault injection damaged a packet's payload
   kChecksumDrop,     ///< receiver dropped a packet on checksum mismatch
   kCrash,            ///< device crashed (value=0) or restarted (value=1)
+  kFecRepair,        ///< mtp::stream reconstructed a lost segment from parity
+  kStreamRetx,       ///< mtp::stream fell back to a stream-level retransmit
 };
 
 const char* to_string(TraceEventType t);

@@ -14,6 +14,7 @@
 #include "innetwork/l7_lb.hpp"
 #include "mtp/endpoint.hpp"
 #include "mtp/rpc.hpp"
+#include "mtp/stream/stream.hpp"
 #include "net/topologies.hpp"
 #include "telemetry/trace.hpp"
 #include "transport/tcp.hpp"
@@ -263,6 +264,75 @@ TEST(RecoveryEdge, MtpMessageSpansMidTransferFlap) {
   EXPECT_EQ(got, 500'000);
   EXPECT_EQ(b.corrupted_delivered(), 0u);
   EXPECT_EQ(t.sim().pending_events(), 0u);  // everything quiesced
+}
+
+TEST(RecoveryEdge, StreamSpansMidTransferFlapCompletesExactlyOnce) {
+  // An mtp::stream (FEC on) straddling a 1 ms outage: MTP re-drives the
+  // segment messages, the stream layer dedups, and every byte arrives
+  // exactly once and in order.
+  HostPair t(Bandwidth::gbps(1));
+  MtpEndpoint a(*t.a, {});
+  MtpEndpoint b(*t.b, {});
+  stream::StreamConfig cfg;
+  cfg.fec_k = 4;
+  cfg.fec_r = 1;
+  stream::StreamMux tx(a, 80, cfg);
+  stream::StreamMux rx(b, 80, cfg);
+  stream::Stream& s = tx.open(t.b->id(), 80);
+  int completions = 0;
+  s.on_complete = [&] { ++completions; };
+  s.on_error = [&](stream::StreamError) { FAIL() << "stream error"; };
+  std::vector<std::uint32_t> seqs;
+  rx.on_segment = [&](net::NodeId, std::uint32_t, std::uint32_t seq, std::uint32_t,
+                      const std::string&, bool) { seqs.push_back(seq); };
+  int rx_completions = 0;
+  rx.on_stream_complete = [&](net::NodeId, std::uint32_t) { ++rx_completions; };
+
+  for (int rec = 0; rec < 100; ++rec) s.write(5'000);  // ~4 ms at 1 Gb/s
+  s.finish();
+  FaultInjector inj(t.sim(), 9);
+  inj.flap_link(*t.sw_to_b, 1_ms, 1_ms);  // mid-transfer outage
+  t.sim().run(2'000_ms);
+
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(rx_completions, 1);
+  ASSERT_EQ(seqs.size(), 500u);  // 100 records x 5 segments, exactly once
+  for (std::size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i);
+  EXPECT_EQ(rx.stats().bytes_delivered, 500'000u);
+  EXPECT_EQ(rx.stats().streams_failed, 0u);
+  EXPECT_EQ(t.sim().pending_events(), 0u);  // everything quiesced
+}
+
+TEST(RecoveryEdge, StreamReceiverCrashSurfacesPeerResetExactlyOnce) {
+  // The receiving mux crashes (state wipe) after the stream has acked
+  // progress. On restart the rebuilt rx state reports a newer epoch with a
+  // regressed cumulative ack — the sender must surface one clean
+  // kPeerReset, never a hang and never a silent partial re-delivery.
+  HostPair t(Bandwidth::gbps(1));
+  MtpEndpoint a(*t.a, {});
+  MtpEndpoint b(*t.b, {});
+  stream::StreamMux tx(a, 80, {});
+  stream::StreamMux rx(b, 80, {});
+  stream::Stream& s = tx.open(t.b->id(), 80);
+  std::vector<stream::StreamError> errors;
+  s.on_error = [&](stream::StreamError e) { errors.push_back(e); };
+  s.on_complete = [&] { FAIL() << "stream completed across a state wipe"; };
+
+  for (int rec = 0; rec < 200; ++rec) s.write(5'000);  // ~8 ms at 1 Gb/s
+  s.finish();
+  FaultInjector inj(t.sim(), 17);
+  inj.crash_device(
+      "stream-rx", 2_ms, 10_ms, [&] { rx.crash(); }, [&] { rx.restart(); });
+  t.sim().run(5'000_ms);
+
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0], stream::StreamError::kPeerReset);
+  EXPECT_TRUE(s.failed());
+  EXPECT_EQ(tx.stats().streams_failed, 1u);
+  EXPECT_EQ(rx.stats().streams_completed, 0u);
+  EXPECT_EQ(inj.crashes(), 1u);
+  EXPECT_EQ(inj.restarts(), 1u);
+  EXPECT_EQ(t.sim().pending_events(), 0u);  // failure is clean: no timers leak
 }
 
 TEST(RecoveryEdge, RepeatedTimeoutsExcludePathletAndRerouteAroundBlackhole) {

@@ -55,7 +55,8 @@ TEST(MtpHeader, EmptyListsRoundTrip) {
   h.pkt_len = 10;
   std::vector<std::uint8_t> buf;
   h.serialize(buf);
-  EXPECT_EQ(buf.size(), MtpHeader::kFixedSize + 10);  // five u16 counts
+  // Five u16 list counts + the stream presence byte.
+  EXPECT_EQ(buf.size(), MtpHeader::kFixedSize + 11);
   const auto parsed = MtpHeader::parse(buf);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(*parsed, h);
