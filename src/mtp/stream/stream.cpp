@@ -76,6 +76,13 @@ void Stream::submit(std::uint32_t seq) {
   ++segments_sent_;
   bytes_submitted_ += std::max<std::uint32_t>(1, s.len);
   if (!(s.flags & kFin) && r_active_ > 0) {
+    // Adaptive feedback can zero r_active_ mid-group and raise it again
+    // before the flush timer fires; segments submitted while r == 0 were
+    // never appended, so this group would go non-contiguous. The parity
+    // header advertises base..base+k-1 — encoding any other seqs would make
+    // the receiver rebuild a lost segment from the wrong data. Flush the
+    // stale group and start fresh instead.
+    if (!group_lens_.empty() && seq != group_base_ + group_lens_.size()) flush_group();
     if (group_lens_.empty()) {
       group_base_ = seq;
       flush_timer_ = mux_.sim_.timers().arm(mux_.sim_.now() + cfg_.group_flush_delay,
@@ -207,6 +214,14 @@ void Stream::cancel_timers() {
   mux_.sim_.timers().cancel(flush_timer_);
 }
 
+void Stream::quarantine() {
+  cancel_timers();
+  failed_ = true;
+  segs_.clear();
+  group_lens_.clear();
+  group_contents_.clear();
+}
+
 void Stream::fail(StreamError e) {
   cancel_timers();
   failed_ = true;
@@ -276,14 +291,17 @@ Stream* StreamMux::stream(std::uint32_t id) {
 
 void StreamMux::crash() {
   offline_ = true;
-  for (auto& [k, st] : rx_) sim_.timers().cancel(st.fb_timer);
+  for (auto& [k, st] : rx_) {
+    sim_.timers().cancel(st.fb_timer);
+    gaps_retired_ += st.gaps;
+  }
   rx_.clear();
   done_.clear();
   done_fifo_.clear();
-  // Local senders die with the device; their app restarts from scratch, so
-  // no on_error is surfaced into the wiped state.
-  for (auto& [id, s] : streams_) s->cancel_timers();
-  streams_.clear();
+  // Local senders die with the device. The Stream objects stay alive in a
+  // failed state — callers hold raw Stream* — but no on_error is surfaced
+  // into the wiped state: the app restarts from scratch.
+  for (auto& [id, s] : streams_) s->quarantine();
 }
 
 void StreamMux::on_message(const core::ReceivedMessage& m) {
@@ -489,6 +507,7 @@ void StreamMux::complete_rx(RxKey key, RxState& st) {
   send_feedback(key, st);  // final: cum = fin + 1, sender completes
   sim_.timers().cancel(st.fb_timer);
   ++streams_completed_;
+  gaps_retired_ += st.gaps;  // gap_events is a counter: keep it monotone
   Tombstone t;
   t.next_seq = st.cum;
   t.epoch = st.epoch;
@@ -658,6 +677,7 @@ StreamMux::Stats StreamMux::stats() const {
   s.feedback_sent = feedback_sent_;
   s.streams_completed = streams_completed_;
   s.streams_failed = streams_failed_;
+  s.gap_events = gaps_retired_;
   for (const auto& [k, st] : rx_) s.gap_events += st.gaps;
   return s;
 }

@@ -137,6 +137,7 @@ class Stream {
   void rto_fire();
   void arm_rto();
   void cancel_timers();
+  void quarantine();  ///< dead with the device: failed, silent, object kept
   void fail(StreamError e);
 
   StreamMux& mux_;
@@ -194,9 +195,12 @@ class StreamMux {
   std::function<void(net::NodeId src, std::uint32_t stream_id)> on_stream_complete;
 
   /// Device-crash semantics (fault::FaultInjector::crash_device): wipe all
-  /// stream state and go deaf until restart(). Senders talking to a crashed
-  /// mux surface StreamError::kPeerReset (their progress regressed) or
-  /// kTimedOut once stream-level retransmissions exhaust.
+  /// receiver state and go deaf until restart(). Local sender streams are
+  /// quarantined — kept alive in a failed state (raw Stream* held by callers
+  /// stays valid; writes become no-ops) with no on_error, since the app died
+  /// with the device. Remote senders talking to a crashed mux surface
+  /// StreamError::kPeerReset (their progress regressed) or kTimedOut once
+  /// stream-level retransmissions exhaust.
   void crash();
   void restart() { offline_ = false; }
   bool offline() const { return offline_; }
@@ -311,6 +315,7 @@ class StreamMux {
   std::uint64_t fec_repairs_ = 0, arq_recovered_ = 0;
   std::uint64_t dup_segments_ = 0, reorder_drops_ = 0;
   std::uint64_t feedback_sent_ = 0;
+  std::uint64_t gaps_retired_ = 0;  ///< gaps of completed/crashed rx states
   std::uint64_t streams_completed_ = 0, streams_failed_ = 0;
   telemetry::Registration metrics_;
 };

@@ -335,6 +335,37 @@ TEST(RecoveryEdge, StreamReceiverCrashSurfacesPeerResetExactlyOnce) {
   EXPECT_EQ(t.sim().pending_events(), 0u);  // failure is clean: no timers leak
 }
 
+TEST(RecoveryEdge, SenderMuxCrashQuarantinesStreamsKeepingPointersValid) {
+  // The *sending* device crashes mid-stream. Callers (scenario replay, app
+  // fault handlers) hold raw Stream* across the wipe, so crash() must
+  // quarantine sender streams — alive, failed, writes safe no-ops — rather
+  // than destroy them (use-after-free on the next write).
+  HostPair t(Bandwidth::gbps(1));
+  MtpEndpoint a(*t.a, {});
+  MtpEndpoint b(*t.b, {});
+  stream::StreamMux tx(a, 80, {});
+  stream::StreamMux rx(b, 80, {});
+  stream::Stream& s = tx.open(t.b->id(), 80);
+  int errors = 0;
+  s.on_error = [&](stream::StreamError) { ++errors; };
+  s.on_complete = [&] { FAIL() << "quarantined stream completed"; };
+
+  for (int rec = 0; rec < 50; ++rec) s.write(5'000);  // ~2 ms at 1 Gb/s
+  t.sim().run(1_ms);
+  tx.crash();
+  // Post-crash writes through the retained pointer: no-ops, not UAF.
+  s.write(5'000);
+  s.finish();
+  EXPECT_TRUE(s.failed());
+  EXPECT_EQ(errors, 0);  // the app died with the device: nothing to surface
+  tx.restart();
+  t.sim().run(5'000_ms);
+
+  EXPECT_EQ(tx.stats().streams_failed, 0u);
+  EXPECT_EQ(rx.stats().streams_completed, 0u);
+  EXPECT_EQ(t.sim().pending_events(), 0u);  // quarantine cancelled all timers
+}
+
 TEST(RecoveryEdge, RepeatedTimeoutsExcludePathletAndRerouteAroundBlackhole) {
   // Leaf-spine with two spines. The spine0->leaf1 downlink fails — invisible
   // to leaf0's forwarding policy, which keeps seeing a healthy uplink. Only
