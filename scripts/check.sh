@@ -7,6 +7,7 @@
 #   check.sh bench-smoke   perf gate: bench_micro_core --smoke vs BENCH_core.json
 #   check.sh scale-smoke   scale gate: bench_scale --smoke vs BENCH_scale.json
 #   check.sh stream-smoke  stream gate: bench_stream_loss --smoke vs BENCH_scale.json
+#   check.sh overload-smoke  overload gate: bench_overload --smoke vs BENCH_scale.json
 #   check.sh all           every gate in sequence
 set -euo pipefail
 
@@ -35,12 +36,16 @@ run_tsan() {
   # threads; the `hybrid` ctest label selects exactly those cases.
   # stream_test's `stream` label covers the mtp::stream reassembly/FEC suite;
   # its StreamSharded chaos case also runs sharded muxes on worker threads.
+  # overload_test's `overload` label covers mtp::overload (admission,
+  # shedding, budgets); its OverloadChaosSharded cases run the metastable-
+  # failure harness on worker shards and also match the -R filter.
   cmake --preset tsan -S "$repo"
-  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test scale_test scenario_test sharded_test flow_test stream_test
+  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test scale_test scenario_test sharded_test flow_test stream_test overload_test
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
     -R 'ParallelSweep|ScenarioSweep|ScenarioBuilder|Sharded'
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L hybrid
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L stream
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L overload
 }
 
 run_chaos() {
@@ -294,6 +299,59 @@ run_stream_smoke() {
   }'
 }
 
+run_overload_smoke() {
+  # mtp::overload metastable-failure gate vs the overload_baseline in
+  # BENCH_scale.json: with the defenses disabled the crash-recovery retry
+  # storm must actually collapse goodput (below its ceiling — otherwise the
+  # bench isn't demonstrating anything), with them enabled goodput must
+  # recover above its floor AND the admitted high-priority prober's p99 must
+  # stay within ratio_max of an uncongested baseline. Any 1/2/4-shard digest
+  # mismatch on the defended run is a hard fail.
+  cmake --preset release -S "$repo"
+  cmake --build --preset release -j "$jobs" --target bench_overload
+  local out
+  out="$("$repo/build/bench/bench_overload" --smoke)"
+  echo "$out"
+  local dis ena ratio dmatch
+  local dis_max ena_min ratio_max
+  dis="$(echo "$out" | sed -n 's/^overload_goodput_disabled_pct=//p')"
+  ena="$(echo "$out" | sed -n 's/^overload_goodput_enabled_pct=//p')"
+  ratio="$(echo "$out" | sed -n 's/^overload_p99_ratio=//p')"
+  dmatch="$(echo "$out" | sed -n 's/^overload_digest_match=//p')"
+  dis_max="$(sed -n 's/.*"overload_goodput_disabled_pct_max": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  ena_min="$(sed -n 's/.*"overload_goodput_enabled_pct_min": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  ratio_max="$(sed -n 's/.*"overload_p99_ratio_max": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  if [ -z "$dis" ] || [ -z "$ena" ] || [ -z "$ratio" ] || [ -z "$dis_max" ] || [ -z "$ena_min" ] || [ -z "$ratio_max" ]; then
+    echo "overload-smoke: failed to parse bench output or overload_baseline" >&2
+    exit 1
+  fi
+  if [ "$dmatch" != "1" ]; then
+    echo "overload-smoke: FAIL overload digest mismatch across 1/2/4 shards" >&2
+    exit 1
+  fi
+  awk -v got="$dis" -v max="$dis_max" 'BEGIN {
+    if (got + 0 > max + 0) {
+      printf "overload-smoke: FAIL overload_goodput_disabled_pct %.2f > %.1f (no collapse: bench is not demonstrating metastability)\n", got, max;
+      exit 1;
+    }
+    printf "overload-smoke: OK overload_goodput_disabled_pct %.2f%% <= %.1f%%\n", got, max;
+  }'
+  awk -v got="$ena" -v min="$ena_min" 'BEGIN {
+    if (got + 0 < min + 0) {
+      printf "overload-smoke: FAIL overload_goodput_enabled_pct %.2f < %.1f\n", got, min;
+      exit 1;
+    }
+    printf "overload-smoke: OK overload_goodput_enabled_pct %.2f%% >= %.1f%%\n", got, min;
+  }'
+  awk -v got="$ratio" -v max="$ratio_max" 'BEGIN {
+    if (got + 0 > max + 0) {
+      printf "overload-smoke: FAIL overload_p99_ratio %.2f > %.1f\n", got, max;
+      exit 1;
+    }
+    printf "overload-smoke: OK overload_p99_ratio %.2fx <= %.1fx\n", got, max;
+  }'
+}
+
 case "$mode" in
   asan) run_asan ;;
   tsan) run_tsan ;;
@@ -301,6 +359,7 @@ case "$mode" in
   bench-smoke) run_bench_smoke ;;
   scale-smoke) run_scale_smoke ;;
   stream-smoke) run_stream_smoke ;;
+  overload-smoke) run_overload_smoke ;;
   all)
     run_asan
     run_tsan
@@ -308,9 +367,10 @@ case "$mode" in
     run_bench_smoke
     run_scale_smoke
     run_stream_smoke
+    run_overload_smoke
     ;;
   *)
-    echo "usage: check.sh [asan|tsan|chaos|bench-smoke|scale-smoke|stream-smoke|all]" >&2
+    echo "usage: check.sh [asan|tsan|chaos|bench-smoke|scale-smoke|stream-smoke|overload-smoke|all]" >&2
     exit 2
     ;;
 esac

@@ -19,8 +19,10 @@
 #include <unordered_map>
 
 #include "innetwork/device_endpoint.hpp"
+#include "mtp/overload/shed_guard.hpp"
 #include "net/switch.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace mtp::innetwork {
 
@@ -32,12 +34,30 @@ class AggregationOffload final : public net::IngressProcessor {
     std::uint32_t fan_in = 0;  ///< workers per round (required)
     /// Flush a partial aggregate if stragglers keep a round open this long.
     sim::SimTime straggler_timeout = sim::SimTime::milliseconds(2);
+    /// Overload shedding: bounded work queue + busy-rejects (off by default).
+    overload::ShedConfig shed;
     DeviceReceiver::Config receiver;
     DeviceSender::Config sender;
   };
 
   AggregationOffload(net::Switch& sw, Config cfg)
-      : sw_(sw), cfg_(cfg), rx_(sw, cfg.receiver), tx_(sw, cfg.sender) {}
+      : sw_(sw), cfg_(cfg), rx_(sw, cfg.receiver), tx_(sw, cfg.sender),
+        guard_(cfg.shed) {
+    metrics_ = telemetry::MetricRegistry::global().add(
+        "aggregation", sw_.name(),
+        [this](std::vector<telemetry::MetricSample>& out) {
+          using telemetry::MetricKind;
+          out.push_back({"rounds_completed", MetricKind::kCounter,
+                         static_cast<double>(rounds_completed_)});
+          out.push_back({"rounds_flushed_partial", MetricKind::kCounter,
+                         static_cast<double>(rounds_flushed_partial_)});
+          out.push_back({"rounds_open", MetricKind::kGauge,
+                         static_cast<double>(rounds_.size())});
+          out.push_back({"crashes", MetricKind::kCounter,
+                         static_cast<double>(crashes_)});
+          guard_.append_metrics(out);
+        });
+  }
 
   std::uint64_t rounds_completed() const { return rounds_completed_; }
   std::uint64_t rounds_flushed_partial() const { return rounds_flushed_partial_; }
@@ -46,6 +66,7 @@ class AggregationOffload final : public net::IngressProcessor {
   std::size_t rounds_open() const { return rounds_.size(); }
   std::uint64_t crashes() const { return crashes_; }
   bool online() const { return online_; }
+  const overload::ShedGuard& shed_guard() const { return guard_; }
 
   /// Crash with state wipe: open rounds (and their straggler timers) are
   /// dropped and gradients stop being intercepted — workers' messages flow
@@ -71,7 +92,23 @@ class AggregationOffload final : public net::IngressProcessor {
     }
     if (pkt.dst != cfg_.server || hdr.dst_port != cfg_.service_port) return false;
     if (pkt.src == sw_.id()) return false;  // our own aggregate
+    // Retransmission of a shed gradient: re-reject, never silently drop.
+    if (rx_.rejected(pkt.src, hdr.msg_id)) {
+      rx_.busy_reject(pkt, proto::kOverloadBusy);
+      return true;
+    }
     if (!rx_.tracking(pkt.src, hdr.msg_id)) {
+      // Overload shed at adoption: open rounds + reassembly + pending
+      // aggregates are the bounded work queue; past the watermark fresh
+      // low-priority contributions are busy-rejected so workers stop
+      // retransmitting into an overloaded aggregator.
+      const std::uint8_t shed = guard_.decide(
+          rounds_.size() + rx_.partials() + tx_.outstanding(), hdr.priority,
+          hdr.deadline_ns(), sw_.simulator().now());
+      if (shed != 0) {
+        rx_.busy_reject(pkt, shed);
+        return true;
+      }
       // Adoption happens on packet 0, where the AppData key rides; later
       // packets of adopted messages keep flowing into the receiver above.
       if (hdr.pkt_num != 0) return false;
@@ -136,6 +173,8 @@ class AggregationOffload final : public net::IngressProcessor {
   Config cfg_;
   DeviceReceiver rx_;
   DeviceSender tx_;
+  overload::ShedGuard guard_;
+  telemetry::Registration metrics_;
   std::unordered_map<std::uint64_t, Round> rounds_;
   std::uint64_t rounds_completed_ = 0;
   std::uint64_t rounds_flushed_partial_ = 0;

@@ -25,6 +25,7 @@
 
 #include "net/switch.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/trace.hpp"
 
 namespace mtp::innetwork {
 
@@ -125,6 +126,67 @@ class DeviceReceiver {
   std::uint64_t checksum_drops() const { return checksum_drops_; }
   /// Corrupted payloads that passed verification — must stay 0.
   std::uint64_t corrupted_delivered() const { return corrupted_delivered_; }
+  /// Messages currently under reassembly (overload shedding's work measure).
+  std::size_t partials() const { return partial_.size(); }
+
+  /// True if this device busy-rejected the message (overload shed). Devices
+  /// check before adopting so every retransmission is re-rejected — a shed
+  /// message must never be partially reassembled later.
+  bool rejected(net::NodeId src, proto::MsgId id) const {
+    return !rejected_.empty() && rejected_.contains(Key{src, id});
+  }
+
+  /// Busy-reject a message: explicit NACK-style refusal in the MTP header
+  /// overload block (never a silent drop). The sender aborts the message and
+  /// surfaces the reject to its RPC layer. Remembered like a completion so
+  /// retransmissions are quenched, bounded by the same cache budget.
+  void busy_reject(const net::Packet& data, std::uint8_t flags) {
+    const auto& dh = data.mtp();
+    const Key key{data.src, dh.msg_id};
+    if (rejected_.insert(key).second) {
+      rejected_fifo_.push_back(key);
+      while (rejected_fifo_.size() > cfg_.completed_cache) {
+        rejected_.erase(rejected_fifo_.front());
+        rejected_fifo_.pop_front();
+      }
+    }
+    ++busy_rejects_;
+    net::Packet p;
+    p.src = sw_.id();
+    p.dst = data.src;
+    p.header_bytes = 64;
+    p.tc = data.tc;
+    p.priority = data.priority;
+    p.uid = sw_.simulator().next_packet_uid();
+    proto::MtpHeader hdr;
+    hdr.src_port = dh.dst_port;
+    hdr.dst_port = dh.src_port;
+    hdr.type = proto::MtpPacketType::kAck;
+    hdr.msg_id = dh.msg_id;
+    hdr.tc = dh.tc;
+    hdr.msg_len_bytes = dh.msg_len_bytes;
+    hdr.msg_len_pkts = dh.msg_len_pkts;
+    hdr.pkt_num = dh.pkt_num;
+    hdr.overload.ensure().flags = flags;
+    p.header = std::move(hdr);
+    if (telemetry::TraceSink::enabled()) {
+      telemetry::TraceEvent ev;
+      ev.t = sw_.simulator().now();
+      ev.type = telemetry::TraceEventType::kBusy;
+      ev.component = sw_.name();
+      ev.src = sw_.id();
+      ev.dst = data.src;
+      ev.msg_id = dh.msg_id;
+      ev.pkt_num = dh.pkt_num;
+      ev.bytes = data.size_bytes();
+      ev.tc = data.tc;
+      ev.value = flags;
+      telemetry::trace().record(ev);
+    }
+    sw_.inject(std::move(p));
+  }
+
+  std::uint64_t busy_rejects() const { return busy_rejects_; }
 
   /// Emit an ACK (or NACK) for a data packet, as an MTP receiver would.
   void ack(const net::Packet& data, bool nack) {
@@ -178,8 +240,11 @@ class DeviceReceiver {
   std::unordered_map<Key, Partial, KeyHash> partial_;
   std::unordered_set<Key, KeyHash> completed_;
   std::deque<Key> completed_fifo_;
+  std::unordered_set<Key, KeyHash> rejected_;
+  std::deque<Key> rejected_fifo_;
   std::uint64_t checksum_drops_ = 0;
   std::uint64_t corrupted_delivered_ = 0;
+  std::uint64_t busy_rejects_ = 0;
 };
 
 // Helper: DeviceMessage carries bytes; packet count comes from headers.

@@ -65,6 +65,10 @@ class FairSharePolicer final : public net::IngressProcessor {
       tc.phase -= 1.0;
       if (over >= cfg_.drop_ratio || pkt.ecn == net::Ecn::kNotEct) {
         ++dropped_;
+        // Attribute the loss to the policed egress queue's split counters —
+        // the packet never reaches it, but its drop must not be invisible
+        // to queue-level accounting.
+        cfg_.egress->queue().note_policer_drop(pkt);
         return true;  // consume = drop
       }
       pkt.ecn = net::Ecn::kCe;

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "innetwork/device_endpoint.hpp"
+#include "mtp/overload/shed_guard.hpp"
 #include "net/switch.hpp"
 
 namespace mtp::innetwork {
@@ -31,12 +32,15 @@ class KvsCache final : public net::IngressProcessor {
     std::size_t capacity_entries = 1024;
     /// Learn keys from responses flowing back through the switch.
     bool learn_from_responses = true;
+    /// Overload shedding: bounded work queue + busy-rejects (off by default).
+    overload::ShedConfig shed;
     DeviceSender::Config sender;
     DeviceReceiver::Config receiver;
   };
 
   KvsCache(net::Switch& sw, Config cfg)
-      : sw_(sw), cfg_(cfg), rx_(sw, cfg.receiver), tx_(sw, cfg.sender) {
+      : sw_(sw), cfg_(cfg), rx_(sw, cfg.receiver), tx_(sw, cfg.sender),
+        guard_(cfg.shed) {
     metrics_ = telemetry::MetricRegistry::global().add(
         "kvs_cache", sw_.name(), [this](std::vector<telemetry::MetricSample>& out) {
           using telemetry::MetricKind;
@@ -44,6 +48,7 @@ class KvsCache final : public net::IngressProcessor {
           out.push_back({"misses", MetricKind::kCounter, static_cast<double>(misses_)});
           out.push_back({"entries", MetricKind::kGauge, static_cast<double>(map_.size())});
           out.push_back({"crashes", MetricKind::kCounter, static_cast<double>(crashes_)});
+          guard_.append_metrics(out);
         });
   }
 
@@ -65,6 +70,7 @@ class KvsCache final : public net::IngressProcessor {
   bool online() const { return online_; }
   std::uint64_t crashes() const { return crashes_; }
   const DeviceReceiver& receiver() const { return rx_; }
+  const overload::ShedGuard& shed_guard() const { return guard_; }
 
   /// Preload a key (value modelled by size; contents by the string).
   void put(const std::string& key, std::string value, std::int64_t value_bytes) {
@@ -102,7 +108,23 @@ class KvsCache final : public net::IngressProcessor {
     // (where the AppData key rides); later packets of adopted requests keep
     // flowing into the reassembly below.
     if (pkt.dst != cfg_.backend || hdr.dst_port != cfg_.service_port) return false;
+    // Retransmission of a shed request: re-reject (never silently drop, never
+    // adopt — a rejected message must not also be delivered).
+    if (rx_.rejected(pkt.src, hdr.msg_id)) {
+      rx_.busy_reject(pkt, proto::kOverloadBusy);
+      return true;
+    }
     if (!rx_.tracking(pkt.src, hdr.msg_id)) {
+      // Overload shed before any service: expired requests are refused even
+      // if they would miss through (serving them downstream is wasted work),
+      // and past the watermark low-priority fresh requests are busy-rejected.
+      const std::uint8_t shed =
+          guard_.decide(rx_.partials() + tx_.outstanding(), hdr.priority,
+                        hdr.deadline_ns(), sw_.simulator().now());
+      if (shed != 0) {
+        rx_.busy_reject(pkt, shed);
+        return true;
+      }
       if (hdr.pkt_num != 0) return false;
       if (!pkt.app || pkt.app->key.empty()) return false;
       if (!rx_.admissible(hdr)) return false;  // oversized request: not ours
@@ -166,6 +188,7 @@ class KvsCache final : public net::IngressProcessor {
   Config cfg_;
   DeviceReceiver rx_;
   DeviceSender tx_;
+  overload::ShedGuard guard_;
   std::unordered_map<std::string, Slot> map_;
   std::list<std::string> lru_;
   std::uint64_t hits_ = 0;

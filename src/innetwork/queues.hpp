@@ -30,9 +30,8 @@ class WfqQueue final : public net::Queue {
   bool enqueue(net::Packet&& pkt) override {
     auto& q = queues_[pkt.tc];
     if (q.pkts.size() >= cfg_.per_tc_capacity_pkts) {
-      ++stats_.dropped;
+      note_tail_drop(pkt);
       ++q.dropped;
-      stats_.bytes_dropped += pkt.size_bytes();
       return false;
     }
     if (cfg_.ecn_threshold_pkts != 0 && q.pkts.size() >= cfg_.ecn_threshold_pkts &&
@@ -129,8 +128,7 @@ class StrictPriorityQueue final : public net::Queue {
   bool enqueue(net::Packet&& pkt) override {
     auto& q = levels_[pkt.priority];
     if (q.size() >= cfg_.per_level_capacity_pkts) {
-      ++stats_.dropped;
-      stats_.bytes_dropped += pkt.size_bytes();
+      note_tail_drop(pkt);
       return false;
     }
     if (cfg_.ecn_threshold_pkts != 0 && q.size() >= cfg_.ecn_threshold_pkts &&
@@ -188,7 +186,7 @@ class TrimmingQueue final : public net::Queue {
     const bool is_control = pkt.payload_bytes == 0;
     if (is_control) {
       if (control_.size() >= cfg_.control_capacity_pkts) {
-        ++stats_.dropped;
+        note_tail_drop(pkt);
         return false;
       }
       bytes_ += pkt.size_bytes();
@@ -202,7 +200,7 @@ class TrimmingQueue final : public net::Queue {
         pkt.payload_bytes = 0;
         ++trimmed_;
         if (control_.size() >= cfg_.control_capacity_pkts) {
-          ++stats_.dropped;
+          note_tail_drop(pkt);
           return false;
         }
         bytes_ += pkt.size_bytes();
@@ -210,8 +208,7 @@ class TrimmingQueue final : public net::Queue {
         ++stats_.enqueued;
         return true;
       }
-      ++stats_.dropped;
-      stats_.bytes_dropped += pkt.size_bytes();
+      note_tail_drop(pkt);
       return false;
     }
     if (cfg_.ecn_threshold_pkts != 0 && data_.size() >= cfg_.ecn_threshold_pkts &&

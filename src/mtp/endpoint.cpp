@@ -53,6 +53,26 @@ MtpEndpoint::MtpEndpoint(net::Host& host, MtpConfig cfg)
         out.push_back({"excluded_pathlets", MetricKind::kGauge,
                        static_cast<double>(excluded_until_.size())});
       });
+  if (cfg_.overload.enabled) {
+    admission_ = overload::Admission(cfg_.overload.admission);
+    overload_metrics_ = telemetry::MetricRegistry::global().add(
+        "overload", host_.name(),
+        [this](std::vector<telemetry::MetricSample>& out) {
+          using telemetry::MetricKind;
+          out.push_back({"grants_issued", MetricKind::kCounter,
+                         static_cast<double>(grants_issued_)});
+          out.push_back({"busy_rejects_sent", MetricKind::kCounter,
+                         static_cast<double>(busy_rejects_sent_)});
+          out.push_back({"msgs_rejected", MetricKind::kCounter,
+                         static_cast<double>(msgs_rejected_)});
+          out.push_back({"deadline_expiries", MetricKind::kCounter,
+                         static_cast<double>(deadline_expiries_)});
+          out.push_back({"service_rate_gbps", MetricKind::kGauge,
+                         admission_.rate_gbps()});
+          out.push_back({"active_senders", MetricKind::kGauge,
+                         static_cast<double>(admission_.active_senders())});
+        });
+  }
 }
 
 MtpEndpoint::~MtpEndpoint() = default;
@@ -306,7 +326,9 @@ bool MtpEndpoint::try_send_pkt(OutgoingMessage& msg, std::uint32_t pkt, bool is_
   const PathIndex path = path_it->second;
   const std::int64_t bytes = msg.pkt_len(pkt, cfg_.mss);
   if (!admit(path, msg.opts.tc, bytes)) return false;
+  if (!grant_admit(msg.dst, bytes)) return false;
   charge(path, msg.opts.tc, bytes);
+  grant_charge(msg.dst, bytes);
   msg.pkts[pkt].charged_path = path;
   msg.set_state(pkt, PktState::kInflight);
   msg.pkts[pkt].sent_at = sim_.now();
@@ -346,6 +368,10 @@ void MtpEndpoint::send_data_pkt(OutgoingMessage& msg, std::uint32_t pkt, PathInd
   hdr.path_exclude() = active_exclusions();
   if (pkt == 0 && msg.opts.app) p.app = *msg.opts.app;
   if (pkt == 0 && msg.opts.stream) hdr.stream = *msg.opts.stream;
+  if (pkt == 0 && msg.opts.deadline.ns() > 0) {
+    hdr.overload.ensure().deadline_ns =
+        static_cast<std::uint64_t>(msg.opts.deadline.ns());
+  }
   p.header_bytes =
       cfg_.base_header_bytes + static_cast<std::uint32_t>(hdr.path_exclude().size() * 5);
   p.header = std::move(hdr);
@@ -417,6 +443,7 @@ void MtpEndpoint::on_retx_timer(proto::MsgId id) {
     msg.set_state(pkt, PktState::kLost);
     const std::int64_t bytes = msg.pkt_len(pkt, cfg_.mss);
     uncharge(msg.pkts[pkt].charged_path, msg.opts.tc, bytes);
+    grant_uncharge(msg.dst, bytes);
     msg.retx_queue.push_back(pkt);
     enqueue_send(msg, /*urgent=*/true);
     any_lost = true;
@@ -569,6 +596,13 @@ void MtpEndpoint::emit_ack(const net::Packet& data, std::vector<proto::SackEntry
   hdr.ack_path_feedback() = dh.path_feedback();
   hdr.sack() = std::move(sacks);
   hdr.nack() = std::move(nacks);
+  if (cfg_.overload.enabled) {
+    // Receiver-driven admission: stamp this endpoint's per-sender credit so
+    // the sender paces new in-flight bytes to the receiver's service rate.
+    hdr.overload.ensure().grant_bytes =
+        static_cast<std::uint64_t>(admission_.grant_bytes(sim_.now()));
+    ++grants_issued_;
+  }
   p.header_bytes = cfg_.base_header_bytes +
                    static_cast<std::uint32_t>(hdr.ack_path_feedback().size() * 14 +
                                               (hdr.sack().size() + hdr.nack().size()) * 12);
@@ -605,6 +639,14 @@ void MtpEndpoint::on_data(net::Packet&& pkt) {
   const auto& hdr = pkt.mtp();
   const MsgKey key{pkt.src, hdr.msg_id};
 
+  // Packet of a message this endpoint busy-rejected: re-reject to quench the
+  // sender (mirrors the completed_ re-ACK). A rejected message must never be
+  // partially reassembled, let alone delivered.
+  if (!rejected_.empty() && rejected_.contains(key)) {
+    send_busy_reject(pkt, proto::kOverloadBusy);
+    return;
+  }
+
   // NDP-style trimmed packet: header survived, payload didn't. NACK so the
   // sender retransmits immediately instead of waiting for a timeout.
   const bool trimmed = pkt.payload_bytes == 0 && hdr.pkt_len > 0;
@@ -621,6 +663,28 @@ void MtpEndpoint::on_data(net::Packet&& pkt) {
 
   if (hdr.msg_len_pkts == 0 || hdr.pkt_num >= hdr.msg_len_pkts) return;  // malformed
 
+  // Overload shedding — only for messages not yet under reassembly (an
+  // admitted message is a commitment: it completes). Deadline-expired work
+  // is shed first (serving it would be wasted — the metastable-failure
+  // fuel), then the watermark sheds low-priority fresh messages while the
+  // reassembly table is saturated. Both paths send an explicit kBusy reject,
+  // never a silent drop.
+  const auto& ov = cfg_.overload;
+  if (ov.enabled && !incoming_.contains(key)) {
+    const std::uint64_t dl = hdr.deadline_ns();
+    if (ov.shed_expired && dl != 0 &&
+        static_cast<std::uint64_t>(sim_.now().ns()) > dl) {
+      ++deadline_expiries_;
+      reject_message(key, pkt, proto::kOverloadBusy | proto::kOverloadExpired);
+      return;
+    }
+    if (ov.max_incoming_msgs != 0 && incoming_.size() >= ov.max_incoming_msgs &&
+        hdr.priority < ov.shed_below_priority) {
+      reject_message(key, pkt, proto::kOverloadBusy);
+      return;
+    }
+  }
+
   auto [it, fresh] = incoming_.try_emplace(key);
   IncomingMessage& msg = it->second;
   if (fresh) {
@@ -635,10 +699,14 @@ void MtpEndpoint::on_data(net::Packet&& pkt) {
   }
   if (pkt.app) msg.app = *pkt.app;
   if (hdr.has_stream()) msg.stream = *hdr.stream;
+  if (hdr.deadline_ns() != 0) msg.deadline_ns = hdr.deadline_ns();
   if (!msg.have[hdr.pkt_num]) {
     msg.have[hdr.pkt_num] = true;
     ++msg.received;
     if (on_payload) on_payload(pkt.payload_bytes);
+    if (cfg_.overload.enabled) {
+      admission_.on_delivered(pkt.src, pkt.payload_bytes, sim_.now());
+    }
   }
 
   // Gap NACKs: packets more than nack_gap_threshold behind this arrival that
@@ -670,6 +738,8 @@ void MtpEndpoint::on_data(net::Packet&& pkt) {
     done.dst_port = msg.dst_port;
     done.app = std::move(msg.app);
     done.stream = std::move(msg.stream);
+    done.deadline =
+        sim::SimTime::nanoseconds(static_cast<std::int64_t>(msg.deadline_ns));
     done.first_pkt_at = msg.first_pkt_at;
     done.completed_at = sim_.now();
     incoming_.erase(it);
@@ -691,6 +761,24 @@ void MtpEndpoint::on_data(net::Packet&& pkt) {
 
 void MtpEndpoint::on_ack(const net::Packet& pkt) {
   const auto& hdr = pkt.mtp();
+
+  if (hdr.has_overload()) {
+    const auto& ov = *hdr.overload;
+    if (cfg_.overload.enabled && ov.grant_bytes > 0) {
+      auto [git, fresh_grant] = grants_.try_emplace(
+          pkt.src, DstGrant{cfg_.overload.unsolicited_grant_bytes, 0});
+      git->second.grant = static_cast<std::int64_t>(ov.grant_bytes);
+      (void)fresh_grant;
+    }
+    if (ov.busy()) {
+      // Explicit busy-reject (receiver or in-network device): the message
+      // will never be accepted there — abort it instead of retransmitting
+      // into the overload. Busy ACKs carry no SACK/feedback payload.
+      abort_outgoing(hdr.msg_id, ov.expired());
+      pump();
+      return;
+    }
+  }
 
   if (telemetry::TraceSink::enabled()) {
     for (const auto& pf : hdr.ack_path_feedback()) {
@@ -730,6 +818,7 @@ void MtpEndpoint::on_ack(const net::Packet& pkt) {
         if (msg.state(e.pkt_num) == PktState::kInflight) {
           msg.set_state(e.pkt_num, PktState::kLost);
           uncharge(msg.pkts[e.pkt_num].charged_path, msg.opts.tc, bytes);
+          grant_uncharge(msg.dst, bytes);
           msg.retx_queue.push_back(e.pkt_num);
           enqueue_send(msg, /*urgent=*/true);
           for (const proto::PathletId p : paths_[msg.pkts[e.pkt_num].charged_path]) {
@@ -743,6 +832,7 @@ void MtpEndpoint::on_ack(const net::Packet& pkt) {
       if (prev == PktState::kSacked) continue;
       if (prev == PktState::kInflight) {
         uncharge(msg.pkts[e.pkt_num].charged_path, msg.opts.tc, bytes);
+        grant_uncharge(msg.dst, bytes);
       }
       msg.set_state(e.pkt_num, PktState::kSacked);
       ++msg.sacked;
@@ -782,6 +872,112 @@ void MtpEndpoint::on_ack(const net::Packet& pkt) {
   handle_entries(hdr.sack(), /*is_nack=*/false);
   handle_entries(hdr.nack(), /*is_nack=*/true);
   pump();
+}
+
+// ------------------------------------------------------------ mtp::overload
+
+bool MtpEndpoint::grant_admit(net::NodeId dst, std::int64_t bytes) {
+  if (!cfg_.overload.enabled) return true;
+  auto [it, fresh] = grants_.try_emplace(
+      dst, DstGrant{cfg_.overload.unsolicited_grant_bytes, 0});
+  (void)fresh;
+  const DstGrant& g = it->second;
+  // inflight == 0 always admits: a stale or tiny grant can slow a sender to
+  // one packet per RTT, but can never wedge it entirely.
+  return g.inflight == 0 || g.inflight + bytes <= g.grant;
+}
+
+void MtpEndpoint::grant_charge(net::NodeId dst, std::int64_t bytes) {
+  if (!cfg_.overload.enabled) return;
+  grants_[dst].inflight += bytes;
+}
+
+void MtpEndpoint::grant_uncharge(net::NodeId dst, std::int64_t bytes) {
+  if (!cfg_.overload.enabled) return;
+  auto it = grants_.find(dst);
+  if (it != grants_.end()) {
+    it->second.inflight = std::max<std::int64_t>(0, it->second.inflight - bytes);
+  }
+}
+
+/// Busy-reject received for an outgoing message: stop sending it. In-flight
+/// packets are uncharged from their pathlets (they will never be SACKed) and
+/// the DoneFn is dropped unfired — on_rejected is the completion signal.
+void MtpEndpoint::abort_outgoing(proto::MsgId id, bool expired) {
+  auto it = outgoing_.find(id);
+  if (it == outgoing_.end()) return;  // duplicate reject, already aborted
+  OutgoingMessage& msg = it->second;
+  for (std::uint32_t k = 0; k < msg.total_pkts; ++k) {
+    if (msg.state(k) == PktState::kInflight) {
+      const std::int64_t bytes = msg.pkt_len(k, cfg_.mss);
+      uncharge(msg.pkts[k].charged_path, msg.opts.tc, bytes);
+      grant_uncharge(msg.dst, bytes);
+    }
+  }
+  sim_.timers().cancel(msg.retx_timer);
+  const net::NodeId dst = msg.dst;
+  ++msgs_rejected_;
+  outgoing_.erase(it);  // msg is dangling beyond this point
+  if (on_rejected) on_rejected(id, dst, expired);
+}
+
+/// Receiver-side shed: remember the reject (so retransmissions are quenched,
+/// and the message can never later be accepted) and tell the sender.
+void MtpEndpoint::reject_message(const MsgKey& key, const net::Packet& data,
+                                 std::uint8_t flags) {
+  if (rejected_.insert(key).second) {
+    rejected_fifo_.push_back(key);
+    while (rejected_fifo_.size() > cfg_.completed_cache) {
+      rejected_.erase(rejected_fifo_.front());
+      rejected_fifo_.pop_front();
+    }
+  }
+  ++busy_rejects_sent_;
+  send_busy_reject(data, flags);
+}
+
+void MtpEndpoint::send_busy_reject(const net::Packet& data, std::uint8_t flags) {
+  const auto& dh = data.mtp();
+  net::Packet p;
+  p.src = host_.id();
+  p.dst = data.src;
+  p.payload_bytes = 0;
+  p.ecn = net::Ecn::kNotEct;
+  p.tc = data.tc;
+  p.priority = data.priority;
+  p.flow_hash = mtp_flow_hash(p.src, dh.dst_port, data.src, dh.src_port);
+  p.uid = sim_.next_packet_uid();
+
+  proto::MtpHeader hdr;
+  hdr.src_port = dh.dst_port;
+  hdr.dst_port = dh.src_port;
+  hdr.type = proto::MtpPacketType::kAck;
+  hdr.msg_id = dh.msg_id;
+  hdr.tc = dh.tc;
+  hdr.priority = dh.priority;
+  hdr.msg_len_bytes = dh.msg_len_bytes;
+  hdr.msg_len_pkts = dh.msg_len_pkts;
+  hdr.pkt_num = dh.pkt_num;
+  hdr.overload.ensure().flags = flags;
+  p.header_bytes = cfg_.base_header_bytes;
+  p.header = std::move(hdr);
+  ++acks_sent_;
+  if (telemetry::TraceSink::enabled()) {
+    telemetry::TraceEvent ev;
+    ev.t = sim_.now();
+    ev.type = telemetry::TraceEventType::kBusy;
+    ev.component = host_.name();
+    ev.src = p.src;
+    ev.dst = p.dst;
+    ev.msg_id = dh.msg_id;
+    ev.pkt_num = dh.pkt_num;
+    ev.bytes = data.size_bytes();
+    ev.tc = data.tc;
+    ev.flow = p.flow_hash;
+    ev.value = flags;
+    telemetry::trace().record(ev);
+  }
+  host_.send(std::move(p));
 }
 
 }  // namespace mtp::core

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "mtp/cc_algorithm.hpp"
+#include "mtp/overload/admission.hpp"
 #include "net/host.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer_wheel.hpp"
@@ -80,6 +81,25 @@ struct MtpConfig {
   /// completion, on any NACK, and on a short timer so senders never stall.
   std::uint32_t ack_coalesce = 1;
   sim::SimTime ack_flush_timeout = sim::SimTime::microseconds(20);
+
+  /// mtp::overload — receiver-driven admission + busy-reject shedding.
+  /// Disabled by default: existing runs are byte-identical with the
+  /// subsystem compiled in (no grants stamped, no pacing, no sheds).
+  struct OverloadControl {
+    bool enabled = false;
+    /// Receiver service-rate EWMA and grant sizing (see overload/admission).
+    overload::AdmissionConfig admission;
+    /// Blind-start credit per destination before the first grant arrives.
+    std::int64_t unsolicited_grant_bytes = 16000;
+    /// Receiver watermark: above this many messages under reassembly, fresh
+    /// messages with priority < shed_below_priority are busy-rejected
+    /// (0 disables watermark shedding; grants still pace senders).
+    std::size_t max_incoming_msgs = 0;
+    std::uint8_t shed_below_priority = 1;
+    /// Busy-reject deadline-expired fresh messages instead of serving them.
+    bool shed_expired = true;
+  };
+  OverloadControl overload;
 };
 
 struct MessageOptions {
@@ -89,6 +109,9 @@ struct MessageOptions {
   proto::PortNum dst_port = 0;
   std::optional<net::AppData> app;  ///< rides on packet 0 (request key, ...)
   std::optional<proto::StreamHeader> stream;  ///< rides on packet 0 (mtp::stream)
+  /// Absolute deadline carried in the header overload block on packet 0
+  /// (zero = none). Devices and receivers shed the message once expired.
+  sim::SimTime deadline;
 };
 
 /// A completed incoming message handed to the application.
@@ -102,6 +125,7 @@ struct ReceivedMessage {
   proto::PortNum dst_port = 0;
   std::optional<net::AppData> app;
   std::optional<proto::StreamHeader> stream;
+  sim::SimTime deadline;  ///< absolute deadline the sender stamped (0 = none)
   sim::SimTime first_pkt_at;
   sim::SimTime completed_at;
 };
@@ -130,6 +154,13 @@ class MtpEndpoint {
   /// rather than waiting for whole messages.
   std::function<void(std::int64_t bytes)> on_payload;
 
+  /// Fires when an outgoing message is busy-rejected by the receiver or an
+  /// in-network device (explicit kBusy NACK, never a silent drop). `expired`
+  /// means the rejecter shed it because its deadline had passed. The message
+  /// is aborted — its DoneFn will never fire — so RPC layers can fail fast
+  /// or consult their retry budget instead of burning the full timeout.
+  std::function<void(proto::MsgId, net::NodeId dst, bool expired)> on_rejected;
+
   /// Ask the network to avoid `pathlet` for `duration` (Path Exclude list).
   void exclude_pathlet(proto::PathletId pathlet, sim::SimTime duration);
 
@@ -153,6 +184,16 @@ class MtpEndpoint {
   std::uint64_t corrupted_delivered() const { return corrupted_delivered_; }
   /// Current RTO backoff multiplier (1.0 = no consecutive timeouts).
   double rto_backoff() const { return rto_backoff_; }
+  // --- mtp::overload counters (all zero while overload control is off).
+  /// Outgoing messages aborted by a busy-reject.
+  std::uint64_t msgs_rejected() const { return msgs_rejected_; }
+  /// Busy-rejects this endpoint emitted as a receiver.
+  std::uint64_t busy_rejects_sent() const { return busy_rejects_sent_; }
+  /// ACKs stamped with an admission grant.
+  std::uint64_t grants_issued() const { return grants_issued_; }
+  /// Fresh messages shed because their deadline had already passed.
+  std::uint64_t deadline_expiries() const { return deadline_expiries_; }
+  const overload::Admission& admission() const { return admission_; }
   sim::SimTime srtt() const { return srtt_; }
   const MtpConfig& config() const { return cfg_; }
   net::Host& host() { return host_; }
@@ -260,6 +301,7 @@ class MtpEndpoint {
     proto::PortNum dst_port = 0;
     std::optional<net::AppData> app;
     std::optional<proto::StreamHeader> stream;
+    std::uint64_t deadline_ns = 0;  ///< from the packet-0 overload block
     sim::SimTime first_pkt_at;
   };
 
@@ -306,6 +348,16 @@ class MtpEndpoint {
   void charge(PathIndex path, proto::TrafficClassId tc, std::int64_t bytes);
   void uncharge(PathIndex path, proto::TrafficClassId tc, std::int64_t bytes);
   std::vector<proto::PathRef> active_exclusions();
+
+  // --- mtp::overload: receiver grants pace the sender per destination, and
+  // busy-rejects abort outgoing messages instead of letting them time out.
+  bool grant_admit(net::NodeId dst, std::int64_t bytes);
+  void grant_charge(net::NodeId dst, std::int64_t bytes);
+  void grant_uncharge(net::NodeId dst, std::int64_t bytes);
+  void abort_outgoing(proto::MsgId id, bool expired);
+  void reject_message(const MsgKey& key, const net::Packet& data,
+                      std::uint8_t flags);
+  void send_busy_reject(const net::Packet& data, std::uint8_t flags);
 
   net::Host& host_;
   MtpConfig cfg_;
@@ -372,6 +424,16 @@ class MtpEndpoint {
   std::uint64_t checksum_drops_ = 0;
   std::uint64_t corrupted_delivered_ = 0;
 
+  /// Per-destination admission credit (sender side of mtp::overload). The
+  /// receiver's grant caps new in-flight bytes; inflight == 0 always admits
+  /// one packet so a zero/stale grant can never wedge a sender.
+  struct DstGrant {
+    std::int64_t grant = 0;
+    std::int64_t inflight = 0;
+  };
+  std::unordered_map<net::NodeId, DstGrant> grants_;
+  std::uint64_t msgs_rejected_ = 0;
+
   // --- Receiver.
   std::unordered_map<MsgKey, IncomingMessage, MsgKeyHash> incoming_;
   std::unordered_set<MsgKey, MsgKeyHash> completed_;
@@ -390,7 +452,20 @@ class MtpEndpoint {
   std::unordered_map<net::NodeId, PendingAck> pending_acks_;
   std::unique_ptr<sim::PeriodicTask> ack_flush_task_;
   std::uint64_t acks_sent_ = 0;
+
+  /// Receiver side of mtp::overload: service-rate EWMA feeding grants, plus
+  /// the busy-rejected tombstones that quench retransmissions of messages
+  /// this endpoint refused (a message must never be both rejected and
+  /// delivered, so rejects are remembered exactly like completions).
+  overload::Admission admission_;
+  std::unordered_set<MsgKey, MsgKeyHash> rejected_;
+  std::deque<MsgKey> rejected_fifo_;
+  std::uint64_t busy_rejects_sent_ = 0;
+  std::uint64_t grants_issued_ = 0;
+  std::uint64_t deadline_expiries_ = 0;
+
   telemetry::Registration metrics_;
+  telemetry::Registration overload_metrics_;
 
  public:
   std::uint64_t acks_sent() const { return acks_sent_; }

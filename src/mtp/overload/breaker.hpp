@@ -1,0 +1,118 @@
+// mtp::overload — per-device circuit breaker.
+//
+// A device that sheds work at a sustained rate is overloaded (or broken);
+// continuing to offer it traffic wastes upstream work and feeds the retry
+// storm. The breaker watches shed events and trips through the classic
+// three states:
+//
+//   kClosed   — healthy; sheds within a sliding window are counted, and
+//               crossing the threshold trips the breaker.
+//   kOpen     — ejected; allow() refuses everything until open_duration
+//               elapses, then the breaker half-opens by itself.
+//   kHalfOpen — probing; traffic is allowed through again. Enough
+//               consecutive successes close the breaker; a single shed
+//               while probing re-opens it.
+//
+// State is a pure function of the (event, timestamp) sequence — timestamps
+// come from the simulator, not wall clock — so breaker transitions are
+// deterministic and the transition counters are monotone by construction
+// (the chaos harness asserts both).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mtp::overload {
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  struct Config {
+    /// Sheds within `window` that trip the breaker open.
+    std::uint32_t open_after_sheds = 16;
+    sim::SimTime window = sim::SimTime::microseconds(200);
+    /// How long to stay open before half-opening probes.
+    sim::SimTime open_duration = sim::SimTime::microseconds(500);
+    /// Consecutive half-open successes required to close again.
+    std::uint32_t half_open_successes = 4;
+  };
+
+  explicit CircuitBreaker(Config cfg) : cfg_(cfg) {}
+  CircuitBreaker() : CircuitBreaker(Config{}) {}
+
+  /// The guarded resource shed a request at `now`.
+  void on_shed(sim::SimTime now) {
+    tick(now);
+    if (state_ == State::kHalfOpen) {  // probe failed: straight back open
+      trip(now);
+      return;
+    }
+    if (state_ != State::kClosed) return;
+    if (now - window_start_ >= cfg_.window) {
+      window_start_ = now;
+      sheds_in_window_ = 0;
+    }
+    if (++sheds_in_window_ >= cfg_.open_after_sheds) trip(now);
+  }
+
+  /// The guarded resource served a request cleanly at `now`.
+  void on_success(sim::SimTime now) {
+    tick(now);
+    if (state_ == State::kHalfOpen && ++half_open_ok_ >= cfg_.half_open_successes) {
+      state_ = State::kClosed;
+      ++closes_;
+      window_start_ = now;
+      sheds_in_window_ = 0;
+    }
+  }
+
+  /// May new work be offered at `now`? Open => no; half-open lets probes
+  /// through (their outcome decides the next transition).
+  bool allow(sim::SimTime now) {
+    tick(now);
+    return state_ != State::kOpen;
+  }
+
+  State state(sim::SimTime now) {
+    tick(now);
+    return state_;
+  }
+
+  // Monotone transition counters (telemetry + chaos invariants).
+  std::uint64_t opens() const { return opens_; }
+  std::uint64_t half_opens() const { return half_opens_; }
+  std::uint64_t closes() const { return closes_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  /// Time-driven transition: an open breaker half-opens after open_duration.
+  void tick(sim::SimTime now) {
+    if (state_ == State::kOpen && now >= reopen_at_) {
+      state_ = State::kHalfOpen;
+      ++half_opens_;
+      half_open_ok_ = 0;
+    }
+  }
+
+  void trip(sim::SimTime now) {
+    state_ = State::kOpen;
+    ++opens_;
+    reopen_at_ = now + cfg_.open_duration;
+    sheds_in_window_ = 0;
+    half_open_ok_ = 0;
+  }
+
+  Config cfg_;
+  State state_ = State::kClosed;
+  sim::SimTime window_start_;
+  sim::SimTime reopen_at_;
+  std::uint32_t sheds_in_window_ = 0;
+  std::uint32_t half_open_ok_ = 0;
+  std::uint64_t opens_ = 0;
+  std::uint64_t half_opens_ = 0;
+  std::uint64_t closes_ = 0;
+};
+
+}  // namespace mtp::overload

@@ -21,12 +21,19 @@ struct MetricSample;
 namespace mtp::net {
 
 /// Counters every queue maintains; exposed for tests and experiment probes.
+/// `dropped` is the total; every drop must also be attributed to exactly one
+/// of the split counters (tail / policer / overload shed) so bench tables
+/// can tell loss causes apart — the overload tests assert the sum matches,
+/// i.e. no queue ever discards a packet silently.
 struct QueueStats {
   std::uint64_t enqueued = 0;
   std::uint64_t dequeued = 0;
   std::uint64_t dropped = 0;
   std::uint64_t ecn_marked = 0;
   std::uint64_t bytes_dropped = 0;
+  std::uint64_t tail_dropped = 0;     ///< queue full at enqueue
+  std::uint64_t policer_dropped = 0;  ///< fair-share policer verdict at ingress
+  std::uint64_t overload_shed = 0;    ///< explicit overload shed charged here
 };
 
 /// Abstract egress queue. enqueue() may mutate the packet (ECN marking,
@@ -63,7 +70,30 @@ class Queue {
   /// queue implementation — does not pull in the telemetry headers.
   virtual void append_metrics(std::vector<telemetry::MetricSample>& out) const;
 
+  /// Attribute a drop decided *outside* the queue (ingress policer verdict,
+  /// device overload shed) to this egress queue's loss accounting. The
+  /// packet never entered the queue; these exist so every discarded packet
+  /// shows up in exactly one split counter somewhere.
+  void note_policer_drop(const Packet& pkt) {
+    ++stats_.dropped;
+    ++stats_.policer_dropped;
+    stats_.bytes_dropped += pkt.size_bytes();
+  }
+  void note_overload_shed(const Packet& pkt) {
+    ++stats_.dropped;
+    ++stats_.overload_shed;
+    stats_.bytes_dropped += pkt.size_bytes();
+  }
+
  protected:
+  /// Queue-full drop at enqueue; subclasses must use this (not bare
+  /// ++stats_.dropped) so the tail split counter stays in step.
+  void note_tail_drop(const Packet& pkt) {
+    ++stats_.dropped;
+    ++stats_.tail_dropped;
+    stats_.bytes_dropped += pkt.size_bytes();
+  }
+
   QueueStats stats_;
 };
 
@@ -82,8 +112,7 @@ class DropTailQueue : public Queue {
 
   bool enqueue(Packet&& pkt) override {
     if (q_.size() >= cfg_.capacity_pkts) {
-      ++stats_.dropped;
-      stats_.bytes_dropped += pkt.size_bytes();
+      note_tail_drop(pkt);
       return false;
     }
     if (cfg_.ecn_threshold_pkts != 0 && q_.size() >= cfg_.ecn_threshold_pkts &&

@@ -97,6 +97,9 @@ bool get_sack(WireReader& r, Ensure ensure) {
 // fec_group + fec_k + fec_r + fec_index + fec_repaired + gap_events.
 constexpr std::size_t kStreamFixedSize = 4 + 1 + 1 + 4 + 8 + 4 + 1 + 1 + 1 + 8 + 4;
 
+// OverloadInfo fields: flags + grant_bytes + deadline_ns.
+constexpr std::size_t kOverloadSize = 1 + 8 + 8;
+
 void put_u32_list(WireWriter& w, const std::vector<std::uint32_t>& v) {
   w.put<std::uint16_t>(static_cast<std::uint16_t>(v.size()));
   for (const auto e : v) w.put<std::uint32_t>(e);
@@ -114,6 +117,23 @@ bool get_u32_list(WireReader& r, std::vector<std::uint32_t>& v) {
   return true;
 }
 
+/// Overload block (trailing): presence byte, then flags + grant + deadline.
+std::optional<MtpHeader> parse_overload(WireReader& r, MtpHeader& h) {
+  const auto op = r.get<std::uint8_t>();
+  if (!op.has_value() || *op > 1) return std::nullopt;
+  if (*op == 0) return std::move(h);
+  const auto flags = r.get<std::uint8_t>();
+  const auto grant = r.get<std::uint64_t>();
+  const auto deadline = r.get<std::uint64_t>();
+  if (!flags.has_value() || !grant || !deadline) return std::nullopt;
+  if (*flags > (kOverloadBusy | kOverloadExpired)) return std::nullopt;
+  auto& o = h.overload.ensure();
+  o.flags = *flags;
+  o.grant_bytes = *grant;
+  o.deadline_ns = *deadline;
+  return std::move(h);
+}
+
 }  // namespace
 
 std::size_t MtpHeader::wire_size() const {
@@ -125,6 +145,8 @@ std::size_t MtpHeader::wire_size() const {
   if (stream) {
     n += kStreamFixedSize + 2 * 2 + (stream->seg_lens.size() + stream->sack.size()) * 4;
   }
+  n += 1;  // overload presence flag
+  if (overload) n += kOverloadSize;
   return n;
 }
 
@@ -163,6 +185,12 @@ void MtpHeader::serialize(std::vector<std::uint8_t>& out) const {
     w.put<std::uint32_t>(s.gap_events);
     put_u32_list(w, s.seg_lens);
     put_u32_list(w, s.sack);
+  }
+  w.put<std::uint8_t>(overload ? 1 : 0);
+  if (overload) {
+    w.put<std::uint8_t>(overload->flags);
+    w.put<std::uint64_t>(overload->grant_bytes);
+    w.put<std::uint64_t>(overload->deadline_ns);
   }
 }
 
@@ -204,7 +232,7 @@ std::optional<MtpHeader> MtpHeader::parse(std::span<const std::uint8_t> in) {
   // Stream block: presence byte, then the fixed fields + two u32 lists.
   const auto sp = r.get<std::uint8_t>();
   if (!sp.has_value() || *sp > 1) return std::nullopt;
-  if (*sp == 0) return h;
+  if (*sp == 0) return parse_overload(r, h);
   auto& s = h.stream.ensure();
   const auto sid = r.get<std::uint32_t>();
   const auto kind = r.get<std::uint8_t>();
@@ -235,7 +263,7 @@ std::optional<MtpHeader> MtpHeader::parse(std::span<const std::uint8_t> in) {
   s.gap_events = *gaps;
   if (!get_u32_list(r, s.seg_lens)) return std::nullopt;
   if (!get_u32_list(r, s.sack)) return std::nullopt;
-  return h;
+  return parse_overload(r, h);
 }
 
 }  // namespace mtp::proto

@@ -103,6 +103,25 @@ struct StreamHeader {
   bool operator==(const StreamHeader&) const = default;
 };
 
+inline constexpr std::uint8_t kOverloadBusy = 1;     ///< receiver/device rejected the message
+inline constexpr std::uint8_t kOverloadExpired = 2;  ///< shed because its deadline had passed
+
+/// mtp::overload metadata. Rides ACKs (receiver-driven admission grants,
+/// busy rejects) and packet 0 of deadline-carrying data messages; boxed on
+/// MtpHeader because most traffic carries none of it.
+struct OverloadInfo {
+  std::uint8_t flags = 0;          ///< kOverloadBusy / kOverloadExpired
+  /// ACKs: the receiver's per-sender new-message credit (admission window).
+  std::uint64_t grant_bytes = 0;
+  /// Data packet 0: absolute deadline in sim ns (0 = none). Devices shed
+  /// expired messages before service; servers propagate it to children.
+  std::uint64_t deadline_ns = 0;
+
+  bool busy() const { return flags & kOverloadBusy; }
+  bool expired() const { return flags & kOverloadExpired; }
+  bool operator==(const OverloadInfo&) const = default;
+};
+
 struct MtpHeader {
   PortNum src_port = 0;
   PortNum dst_port = 0;
@@ -153,6 +172,13 @@ struct MtpHeader {
   // carrying message). Same boxing rationale as the lists above.
   Boxed<StreamHeader> stream;
   bool has_stream() const { return stream.has_value(); }
+
+  // mtp::overload metadata (grants, busy rejects, deadlines); absent on
+  // traffic that never touches the overload subsystem.
+  Boxed<OverloadInfo> overload;
+  bool has_overload() const { return overload.has_value(); }
+  /// Absolute deadline carried by this packet, 0 if none.
+  std::uint64_t deadline_ns() const { return overload ? overload->deadline_ns : 0; }
 
   bool is_ack() const { return type == MtpPacketType::kAck; }
   bool is_last_pkt() const { return msg_len_pkts != 0 && pkt_num + 1 == msg_len_pkts; }

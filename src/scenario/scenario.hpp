@@ -274,6 +274,12 @@ class ScenarioBuilder {
   }
   ScenarioBuilder& transport(TransportKind k) { transport_ = k; return *this; }
   ScenarioBuilder& mtp_config(core::MtpConfig cfg) { mtp_cfg_ = std::move(cfg); return *this; }
+  /// Overload-control knobs alone, leaving the rest of the MTP config as
+  /// configured (receiver-driven admission, watermark shedding, deadlines).
+  ScenarioBuilder& mtp_overload(core::MtpConfig::OverloadControl ov) {
+    mtp_cfg_.overload = std::move(ov);
+    return *this;
+  }
   ScenarioBuilder& tcp_config(transport::TcpConfig cfg) { tcp_cfg_ = std::move(cfg); return *this; }
   ScenarioBuilder& dst_port(proto::PortNum p) { dst_port_ = p; return *this; }
   /// Per-sender traffic class (MessageOptions.tc for MTP, TcpConfig.tc for

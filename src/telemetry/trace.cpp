@@ -11,11 +11,11 @@ namespace mtp::telemetry {
 
 namespace {
 
-constexpr std::array<const char*, 16> kTypeNames = {
+constexpr std::array<const char*, 19> kTypeNames = {
     "enqueue",   "dequeue",          "drop",      "ecn_mark", "tx",
     "rx",        "ack",              "nack",      "rto",      "pathlet_feedback",
     "link_flap", "corrupt",          "checksum_drop", "crash", "fec_repair",
-    "stream_retx",
+    "stream_retx", "busy",           "shed",      "hedge",
 };
 
 }  // namespace

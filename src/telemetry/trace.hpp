@@ -38,6 +38,9 @@ enum class TraceEventType : std::uint8_t {
   kCrash,            ///< device crashed (value=0) or restarted (value=1)
   kFecRepair,        ///< mtp::stream reconstructed a lost segment from parity
   kStreamRetx,       ///< mtp::stream fell back to a stream-level retransmit
+  kBusy,             ///< overload: explicit busy-reject emitted for a message
+  kShed,             ///< overload: queued work discarded before service
+  kHedge,            ///< overload: RPC issued a budget-guarded hedged attempt
 };
 
 const char* to_string(TraceEventType t);

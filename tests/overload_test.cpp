@@ -1,0 +1,893 @@
+// mtp::overload suite: admission grants, deadline/watermark shedding,
+// device busy-rejects + circuit breakers, retry budgets, hedging, and a
+// seeded metastable-failure chaos harness whose digests must be identical
+// at 1, 2 and 4 space shards.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "helpers.hpp"
+#include "innetwork/kvs_cache.hpp"
+#include "innetwork/l7_lb.hpp"
+#include "mtp/endpoint.hpp"
+#include "mtp/overload/admission.hpp"
+#include "mtp/overload/breaker.hpp"
+#include "mtp/overload/retry_budget.hpp"
+#include "mtp/overload/shed_guard.hpp"
+#include "mtp/rpc.hpp"
+#include "net/topologies.hpp"
+#include "sim/random.hpp"
+
+namespace mtp {
+namespace {
+
+using namespace mtp::sim::literals;
+using core::MessageOptions;
+using core::MtpConfig;
+using core::MtpEndpoint;
+using core::ReceivedMessage;
+using core::RpcClient;
+using core::RpcReply;
+using core::RpcServer;
+using mtp::testing::Dumbbell;
+using mtp::testing::HostPair;
+using sim::Bandwidth;
+using sim::SimTime;
+
+MtpConfig cfg_default() { return MtpConfig{}; }
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// --- Unit: retry budget token bucket.
+
+TEST(RetryBudget, AccruesPerSuccessAndSpendsPerRetry) {
+  overload::RetryBudget b({.ratio = 0.5, .burst = 2.0});
+  EXPECT_DOUBLE_EQ(b.tokens(), 2.0);
+  EXPECT_TRUE(b.try_spend());
+  EXPECT_TRUE(b.try_spend());
+  EXPECT_FALSE(b.try_spend());  // burst gone, nothing earned yet
+  EXPECT_EQ(b.spent(), 2u);
+  EXPECT_EQ(b.exhausted(), 1u);
+  b.on_success();
+  b.on_success();  // 2 successes x 0.5 = one retry token
+  EXPECT_TRUE(b.try_spend());
+  EXPECT_FALSE(b.try_spend());
+}
+
+TEST(RetryBudget, TokensCapAtBurst) {
+  overload::RetryBudget b({.ratio = 1.0, .burst = 3.0});
+  for (int i = 0; i < 100; ++i) b.on_success();
+  EXPECT_DOUBLE_EQ(b.tokens(), 3.0);
+}
+
+// --- Unit: circuit breaker state machine.
+
+TEST(CircuitBreaker, TripsHalfOpensAndCloses) {
+  overload::CircuitBreaker br({.open_after_sheds = 3,
+                               .window = 100_us,
+                               .open_duration = 200_us,
+                               .half_open_successes = 2});
+  using State = overload::CircuitBreaker::State;
+  SimTime t;
+  EXPECT_TRUE(br.allow(t));
+  br.on_shed(t);
+  br.on_shed(t);
+  EXPECT_EQ(br.state(t), State::kClosed);
+  br.on_shed(t);  // third shed inside the window trips it
+  EXPECT_EQ(br.state(t), State::kOpen);
+  EXPECT_FALSE(br.allow(t));
+  EXPECT_EQ(br.opens(), 1u);
+  // Time alone half-opens it; probes are allowed through.
+  t = t + 250_us;
+  EXPECT_TRUE(br.allow(t));
+  EXPECT_EQ(br.state(t), State::kHalfOpen);
+  EXPECT_EQ(br.half_opens(), 1u);
+  br.on_success(t);
+  EXPECT_EQ(br.state(t), State::kHalfOpen);
+  br.on_success(t);  // second consecutive success closes
+  EXPECT_EQ(br.state(t), State::kClosed);
+  EXPECT_EQ(br.closes(), 1u);
+}
+
+TEST(CircuitBreaker, ShedWhileProbingReopens) {
+  overload::CircuitBreaker br({.open_after_sheds = 1,
+                               .window = 100_us,
+                               .open_duration = 100_us,
+                               .half_open_successes = 2});
+  using State = overload::CircuitBreaker::State;
+  SimTime t;
+  br.on_shed(t);
+  EXPECT_EQ(br.state(t), State::kOpen);
+  t = t + 150_us;
+  EXPECT_EQ(br.state(t), State::kHalfOpen);
+  br.on_shed(t);  // failed probe: straight back open
+  EXPECT_EQ(br.state(t), State::kOpen);
+  EXPECT_EQ(br.opens(), 2u);
+}
+
+// --- Unit: receiver admission rate estimate and grant sizing.
+
+TEST(Admission, GrantTracksServiceRateSplitAcrossSenders) {
+  overload::Admission adm({.rate_window = 20_us,
+                           .ewma_alpha = 0.3,
+                           .grant_horizon = 50_us,
+                           .min_grant_bytes = 1000,
+                           .max_grant_bytes = 1 << 20,
+                           .sender_idle_timeout = 500_us});
+  // Two senders deliver 1000 B every microsecond for 100 us: 1 B/ns total.
+  SimTime t;
+  for (int i = 0; i < 100; ++i) {
+    adm.on_delivered(i % 2 == 0 ? 10 : 11, 1000, t);
+    t = t + 1_us;
+  }
+  EXPECT_EQ(adm.active_senders(), 2u);
+  EXPECT_NEAR(adm.rate_gbps(), 8.0, 1.0);  // 1 B/ns = 8 Gbps
+  // grant = rate * horizon / senders = 1 * 50000 / 2 = 25 KB.
+  const std::int64_t g = adm.grant_bytes(t);
+  EXPECT_GT(g, 20'000);
+  EXPECT_LT(g, 30'000);
+  // A long silent gap decays the rate estimate and prunes idle senders; the
+  // next grant is sized from the decayed rate split over the floor-of-one
+  // remaining sender.
+  const double rate_before = adm.rate_gbps();
+  const std::int64_t after_idle = adm.grant_bytes(t + 10_ms);
+  EXPECT_LT(adm.rate_gbps(), rate_before);
+  EXPECT_EQ(adm.active_senders(), 1u);
+  EXPECT_NEAR(static_cast<double>(after_idle),
+              adm.rate_gbps() / 8.0 * 50'000.0, 1.0);
+}
+
+// --- Unit: shed guard priority and deadline rules.
+
+TEST(ShedGuard, WatermarkPriorityAndDeadlineRules) {
+  overload::ShedGuard g({.enabled = true,
+                         .high_watermark = 2,
+                         .hard_limit = 4,
+                         .protect_priority = 1,
+                         .shed_expired = true});
+  const SimTime now = 10_us;
+  EXPECT_EQ(g.decide(1, 0, 0, now), 0);  // under watermark: accept
+  EXPECT_EQ(g.decide(3, 0, 0, now), proto::kOverloadBusy);  // low pri over mark
+  EXPECT_EQ(g.decide(3, 1, 0, now), 0);  // protected priority survives
+  EXPECT_EQ(g.decide(5, 1, 0, now), proto::kOverloadBusy);  // hard limit: all
+  // Expired work is shed regardless of load (deadline 1 us < now 10 us).
+  EXPECT_EQ(g.decide(0, 1, 1'000, now),
+            proto::kOverloadBusy | proto::kOverloadExpired);
+  EXPECT_EQ(g.sheds(), 3u);
+  EXPECT_EQ(g.expired_sheds(), 1u);
+  EXPECT_EQ(g.sheds_at_priority(0), 1u);
+  EXPECT_EQ(g.sheds_at_priority(1), 2u);
+}
+
+// --- Unit: queue drop-split accounting never loses a drop.
+
+TEST(QueueDropSplit, CausesSumToTotalDropped) {
+  net::DropTailQueue q({.capacity_pkts = 2});
+  auto mk = [] {
+    net::Packet p;
+    p.payload_bytes = 1000;
+    return p;
+  };
+  EXPECT_TRUE(q.enqueue(mk()));
+  EXPECT_TRUE(q.enqueue(mk()));
+  EXPECT_FALSE(q.enqueue(mk()));  // tail drop
+  q.note_policer_drop(mk());
+  q.note_overload_shed(mk());
+  const net::QueueStats& s = q.stats();
+  EXPECT_EQ(s.tail_dropped, 1u);
+  EXPECT_EQ(s.policer_dropped, 1u);
+  EXPECT_EQ(s.overload_shed, 1u);
+  EXPECT_EQ(s.dropped, s.tail_dropped + s.policer_dropped + s.overload_shed);
+}
+
+// --- Transport: receiver-driven grants pace an 8:1 incast.
+
+struct IncastOutcome {
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t tail_drops = 0;
+};
+
+IncastOutcome run_incast(bool overload_on) {
+  Dumbbell t(8, Bandwidth::gbps(10), 1_us, {.capacity_pkts = 64});
+  MtpConfig cfg;
+  cfg.overload.enabled = overload_on;
+  cfg.overload.admission.grant_horizon = 10_us;
+  std::vector<std::unique_ptr<MtpEndpoint>> eps;
+  for (net::Host* h : t.senders) eps.push_back(std::make_unique<MtpEndpoint>(*h, cfg));
+  MtpEndpoint rx(*t.receiver, cfg);
+  IncastOutcome out;
+  std::set<std::pair<net::NodeId, proto::MsgId>> seen;
+  rx.listen_any([&](const ReceivedMessage& m) {
+    ++out.delivered;
+    if (!seen.emplace(m.src, m.msg_id).second) ++out.duplicates;
+  });
+  for (auto& ep : eps) {
+    ep->send_message(t.receiver->id(), 200'000, {.dst_port = 80},
+                     [&out](proto::MsgId, SimTime) { ++out.completions; });
+  }
+  t.sim().run(500_ms);
+  out.grants = rx.grants_issued();
+  out.tail_drops = t.bottleneck->queue().stats().tail_dropped;
+  // Drop-split invariant on the bottleneck: nothing discarded untagged.
+  const net::QueueStats& qs = t.bottleneck->queue().stats();
+  EXPECT_EQ(qs.dropped, qs.tail_dropped + qs.policer_dropped + qs.overload_shed);
+  EXPECT_EQ(t.sim().pending_events(), 0u);
+  return out;
+}
+
+TEST(OverloadTransport, GrantPacingDeliversIncastWithFewerDrops) {
+  const IncastOutcome off = run_incast(false);
+  const IncastOutcome on = run_incast(true);
+  for (const IncastOutcome* o : {&off, &on}) {
+    EXPECT_EQ(o->delivered, 8u);
+    EXPECT_EQ(o->completions, 8u);
+    EXPECT_EQ(o->duplicates, 0u);
+  }
+  EXPECT_EQ(off.grants, 0u);
+  EXPECT_GT(on.grants, 0u);
+  // Grant pacing must not make the last-hop queue worse.
+  EXPECT_LE(on.tail_drops, off.tail_drops);
+}
+
+// --- Transport: deadline-expired work is rejected before service,
+// exactly once, and the sender aborts instead of retransmitting.
+
+TEST(OverloadTransport, DeadlineExpiredRejectedNeverDelivered) {
+  HostPair t(Bandwidth::gbps(10));
+  MtpConfig cfg;
+  cfg.overload.enabled = true;
+  MtpEndpoint a(*t.a, cfg);
+  MtpEndpoint b(*t.b, cfg);
+  std::uint64_t delivered = 0;
+  b.listen_any([&](const ReceivedMessage&) { ++delivered; });
+  std::uint64_t rejected = 0;
+  bool reject_expired = false;
+  a.on_rejected = [&](proto::MsgId, net::NodeId, bool expired) {
+    ++rejected;
+    reject_expired = expired;
+  };
+  std::uint64_t completions = 0;
+  // Deadline 100 ns, one-way delay 2 us: expired on arrival.
+  a.send_message(t.b->id(), 10'000,
+                 {.dst_port = 80, .deadline = SimTime::nanoseconds(100)},
+                 [&](proto::MsgId, SimTime) { ++completions; });
+  t.sim().run(500_ms);
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(completions, 0u);  // an aborted message never "completes"
+  EXPECT_EQ(rejected, 1u);
+  EXPECT_TRUE(reject_expired);
+  EXPECT_EQ(a.msgs_rejected(), 1u);
+  EXPECT_EQ(b.deadline_expiries(), 1u);
+  EXPECT_GE(b.busy_rejects_sent(), 1u);
+  EXPECT_EQ(t.sim().pending_events(), 0u);
+}
+
+// --- Transport: receiver watermark sheds low priority, protects high.
+
+TEST(OverloadTransport, WatermarkShedsLowPriorityProtectsHigh) {
+  Dumbbell t(4, Bandwidth::gbps(1), 5_us);
+  MtpConfig cfg;
+  cfg.overload.enabled = true;
+  MtpConfig rx_cfg = cfg;
+  rx_cfg.overload.max_incoming_msgs = 1;
+  rx_cfg.overload.shed_below_priority = 1;
+  std::vector<std::unique_ptr<MtpEndpoint>> eps;
+  for (net::Host* h : t.senders) eps.push_back(std::make_unique<MtpEndpoint>(*h, cfg));
+  MtpEndpoint rx(*t.receiver, rx_cfg);
+
+  std::set<std::pair<net::NodeId, proto::MsgId>> delivered;
+  std::uint64_t delivered_high = 0;
+  rx.listen_any([&](const ReceivedMessage& m) {
+    EXPECT_TRUE(delivered.emplace(m.src, m.msg_id).second) << "duplicate delivery";
+    if (m.priority > 0) ++delivered_high;
+  });
+  std::set<std::pair<net::NodeId, proto::MsgId>> rejected;
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    eps[i]->on_rejected = [&rejected, src = t.senders[i]->id()](
+                              proto::MsgId id, net::NodeId, bool) {
+      rejected.emplace(src, id);
+    };
+  }
+  // Senders 0-1 are low priority, 2-3 high; two 30 KB messages each.
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    const std::uint8_t pri = i < 2 ? 0 : 1;
+    for (int m = 0; m < 2; ++m) {
+      eps[i]->send_message(t.receiver->id(), 30'000,
+                           {.priority = pri, .dst_port = 80});
+    }
+  }
+  t.sim().run(500_ms);
+  EXPECT_EQ(delivered_high, 4u) << "protected priority must not be shed";
+  EXPECT_GE(rejected.size(), 1u) << "watermark never fired";
+  EXPECT_EQ(delivered.size() + rejected.size(), 8u);
+  for (const auto& key : rejected) {
+    EXPECT_FALSE(delivered.contains(key)) << "message both rejected and delivered";
+  }
+  EXPECT_EQ(t.sim().pending_events(), 0u);
+}
+
+// --- Devices: kvs cache sheds with explicit busy-rejects; its breaker's
+// transition counters are sampled over time and must be monotone.
+
+TEST(OverloadDevices, KvsCacheShedsAndBreakerCountersMonotone) {
+  HostPair t(Bandwidth::gbps(10));
+  innetwork::KvsCache::Config kc;
+  kc.backend = t.b->id();
+  kc.service_port = 80;
+  kc.shed = {.enabled = true,
+             .high_watermark = 0,  // everything below protect_priority sheds
+             .hard_limit = 1000,
+             .protect_priority = 1,
+             .shed_expired = true,
+             .breaker = {.open_after_sheds = 4,
+                         .window = 1_ms,
+                         .open_duration = 200_us,
+                         .half_open_successes = 2}};
+  auto cache = std::make_shared<innetwork::KvsCache>(*t.sw, kc);
+  cache->put("hot", "v", 2'000);
+  t.sw->add_ingress(cache);
+
+  MtpConfig cfg;
+  cfg.overload.enabled = true;
+  MtpEndpoint client(*t.a, cfg);
+  MtpEndpoint backend(*t.b, cfg);
+  std::uint64_t replies = 0;
+  client.listen_any([&](const ReceivedMessage&) { ++replies; });
+  std::uint64_t rejected = 0;
+  client.on_rejected = [&](proto::MsgId, net::NodeId, bool) { ++rejected; };
+
+  // 12 low-priority GETs, 10 us apart: all shed, breaker trips on the 4th.
+  for (int i = 0; i < 12; ++i) {
+    t.sim().schedule_at(SimTime::microseconds(10 * i), [&] {
+      client.send_message(t.b->id(), 2'000,
+                          {.priority = 0,
+                           .src_port = 9001,
+                           .dst_port = 80,
+                           .app = net::AppData{"hot", ""}});
+    });
+  }
+  // 5 protected-priority GETs after the open_duration: they pass the guard,
+  // hit the cache, and their successes close the half-open breaker.
+  for (int i = 0; i < 5; ++i) {
+    t.sim().schedule_at(SimTime::microseconds(400 + 10 * i), [&] {
+      client.send_message(t.b->id(), 2'000,
+                          {.priority = 1,
+                           .src_port = 9001,
+                           .dst_port = 80,
+                           .app = net::AppData{"hot", ""}});
+    });
+  }
+  // Sample breaker counters every 25 us: monotone by construction.
+  struct Sample {
+    std::uint64_t opens, half_opens, closes;
+  };
+  std::vector<Sample> samples;
+  for (int i = 0; i < 24; ++i) {
+    t.sim().schedule_at(SimTime::microseconds(25 * i), [&] {
+      const auto& br = cache->shed_guard().breaker();
+      samples.push_back({br.opens(), br.half_opens(), br.closes()});
+    });
+  }
+  t.sim().run(500_ms);
+
+  EXPECT_EQ(rejected, 12u);
+  EXPECT_EQ(client.msgs_rejected(), 12u);
+  EXPECT_EQ(cache->shed_guard().sheds(), 12u);
+  EXPECT_EQ(replies, 5u) << "protected GETs must be served from the cache";
+  EXPECT_EQ(cache->hits(), 5u);
+  const auto& br = cache->shed_guard().breaker();
+  EXPECT_GE(br.opens(), 1u);
+  EXPECT_GE(br.closes(), 1u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].opens, samples[i - 1].opens);
+    EXPECT_GE(samples[i].half_opens, samples[i - 1].half_opens);
+    EXPECT_GE(samples[i].closes, samples[i - 1].closes);
+  }
+  EXPECT_EQ(t.sim().pending_events(), 0u);
+}
+
+// --- Devices: the L7 balancer observes busy-reject ACKs flowing back and
+// ejects the shedding replica until its breaker closes again.
+
+TEST(OverloadDevices, L7BalancerEjectsBusyReplicaAndRestoresIt) {
+  Dumbbell t(2, Bandwidth::gbps(10), 1_us);
+  innetwork::L7LoadBalancer::Config lc;
+  lc.virtual_service = t.receiver->id();
+  lc.replicas = {t.senders[0]->id(), t.senders[1]->id()};
+  lc.breaker_enabled = true;
+  lc.breaker = {.open_after_sheds = 3,
+                .window = 500_us,
+                .open_duration = 300_us,
+                .half_open_successes = 2};
+  innetwork::L7LoadBalancer lb(lc);
+
+  auto busy_ack_from = [&](net::NodeId replica) {
+    net::Packet pkt;
+    pkt.src = replica;
+    pkt.dst = 999;  // toward some client; the lb only observes
+    proto::MtpHeader h;
+    h.type = proto::MtpPacketType::kAck;
+    h.msg_id = 7;
+    h.overload.ensure().flags = proto::kOverloadBusy;
+    pkt.header = h;
+    return pkt;
+  };
+  auto request = [&] {
+    net::Packet pkt;
+    pkt.src = 999;
+    pkt.dst = lc.virtual_service;
+    proto::MtpHeader h;
+    h.type = proto::MtpPacketType::kData;
+    h.msg_id = 42;
+    h.msg_len_bytes = 1'000;
+    h.msg_len_pkts = 1;
+    h.pkt_len = 1'000;
+    pkt.header = h;
+    return pkt;
+  };
+
+  EXPECT_EQ(lb.healthy_replicas(t.sim().now()), 2u);
+  for (int i = 0; i < 3; ++i) {
+    net::Packet ack = busy_ack_from(lc.replicas[0]);
+    EXPECT_FALSE(lb.process(ack, *t.sw));  // never consumed: must reach client
+  }
+  EXPECT_GE(lb.breaker(0).opens(), 1u);
+  EXPECT_EQ(lb.healthy_replicas(t.sim().now()), 1u);
+  // New requests avoid the ejected replica entirely.
+  for (int i = 0; i < 4; ++i) {
+    net::Packet req = request();
+    req.mtp().msg_id = 100 + i;
+    lb.process(req, *t.sw);
+    EXPECT_EQ(req.dst, lc.replicas[1]);
+  }
+  // After the cooldown the breaker half-opens; clean SACK ACKs close it.
+  const SimTime later = t.sim().now() + 400_us;
+  EXPECT_TRUE(lb.breaker(0).allow(later));  // half-open: probes flow
+  lb.breaker(0).on_success(later);
+  lb.breaker(0).on_success(later);
+  EXPECT_EQ(lb.healthy_replicas(later), 2u);
+  EXPECT_GE(lb.breaker(0).closes(), 1u);
+}
+
+// --- RPC: propagated deadlines shed expired work at the server before
+// service; the context-aware handler sees the deadline.
+
+TEST(OverloadRpc, ServerShedsExpiredQueuedWork) {
+  HostPair t(Bandwidth::gbps(10));
+  MtpConfig cfg;
+  cfg.overload.enabled = true;
+  cfg.overload.shed_expired = false;  // let the *server queue* do the shedding
+  MtpEndpoint client_ep(*t.a, cfg);
+  MtpEndpoint server_ep(*t.b, cfg);
+  RpcClient client(client_ep, {.reply_port = 9000,
+                               .timeout = 5_ms,
+                               .max_retries = 0,
+                               .deadline = 250_us});
+  RpcServer server(server_ep, 80);
+  server.set_service_model({.service_time = 100_us, .queue_limit = 16,
+                            .shed_expired = true});
+  std::uint64_t saw_deadline = 0;
+  server.handle_ex("work", [&](const RpcServer::RequestContext& ctx) {
+    if (ctx.deadline.ns() > 0) ++saw_deadline;
+    return RpcServer::Response{1'000, "ok"};
+  });
+  const int kCalls = 5;
+  std::vector<int> cb(kCalls, 0);
+  std::uint64_t ok = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    client.call(t.b->id(), 80, "work", 1'000, [&, i](const RpcReply& r) {
+      ++cb[i];
+      if (r.ok) ++ok;
+    });
+  }
+  t.sim().run(500_ms);
+  for (int i = 0; i < kCalls; ++i) EXPECT_EQ(cb[i], 1) << "call " << i;
+  // 100 us service against a 250 us deadline: three fit, two expire queued.
+  EXPECT_EQ(server.requests_served(), 3u);
+  EXPECT_EQ(server.shed_expired(), 2u);
+  EXPECT_EQ(ok, 3u);
+  EXPECT_EQ(client.completed(), 3u);
+  EXPECT_EQ(client.timed_out(), 2u);
+  EXPECT_EQ(saw_deadline, 3u) << "deadline must propagate into the handler";
+  EXPECT_EQ(t.sim().pending_events(), 0u);
+}
+
+// --- RPC: the retry budget converts a retry storm into fail-fast.
+
+TEST(OverloadRpc, RetryBudgetCapsStormAgainstDeadServer) {
+  HostPair t(Bandwidth::gbps(10));
+  MtpEndpoint client_ep(*t.a, cfg_default());
+  MtpEndpoint server_ep(*t.b, cfg_default());
+  RpcServer server(server_ep, 80);
+  server.handle("", [](const std::string&, std::int64_t, net::NodeId) {
+    return RpcServer::Response{1'000, "ok"};
+  });
+  server.crash();  // transport still ACKs; the app never answers
+
+  RpcClient unbudgeted(client_ep, {.reply_port = 9000,
+                                   .timeout = 100_us,
+                                   .max_retries = 3,
+                                   .retry_seed = 7});
+  RpcClient budgeted(client_ep, {.reply_port = 9001,
+                                 .timeout = 100_us,
+                                 .max_retries = 3,
+                                 .retry_seed = 7,
+                                 .retry_budget_ratio = 0.1,
+                                 .retry_budget_burst = 2.0});
+  const int kCalls = 5;
+  std::vector<int> cb_a(kCalls, 0), cb_b(kCalls, 0);
+  for (int i = 0; i < kCalls; ++i) {
+    unbudgeted.call(t.b->id(), 80, "m", 1'000,
+                    [&cb_a, i](const RpcReply&) { ++cb_a[i]; });
+    budgeted.call(t.b->id(), 80, "m", 1'000,
+                  [&cb_b, i](const RpcReply&) { ++cb_b[i]; });
+  }
+  t.sim().run(500_ms);
+  for (int i = 0; i < kCalls; ++i) {
+    EXPECT_EQ(cb_a[i], 1);
+    EXPECT_EQ(cb_b[i], 1);
+  }
+  EXPECT_EQ(unbudgeted.retries(), 15u);  // 5 calls x 3 retries: the storm
+  EXPECT_LE(budgeted.retries(), 2u);     // the whole burst allowance, no more
+  ASSERT_NE(budgeted.retry_budget(), nullptr);
+  EXPECT_GE(budgeted.retry_budget()->exhausted(), 1u);
+  EXPECT_EQ(budgeted.timed_out(), static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(t.sim().pending_events(), 0u);
+}
+
+// --- RPC: hedged requests are budget-guarded and complete exactly once.
+
+TEST(OverloadRpc, HedgesAreBudgetGuardedAndExactlyOnce) {
+  HostPair t(Bandwidth::gbps(10));
+  MtpEndpoint client_ep(*t.a, cfg_default());
+  MtpEndpoint server_ep(*t.b, cfg_default());
+  RpcServer server(server_ep, 80);
+  server.set_service_model({.service_time = 50_us, .queue_limit = 32});
+  server.handle("", [](const std::string&, std::int64_t, net::NodeId) {
+    return RpcServer::Response{1'000, "ok"};
+  });
+  RpcClient hedger(client_ep, {.reply_port = 9000,
+                               .timeout = 10_ms,
+                               .retry_budget_ratio = 1.0,
+                               .retry_budget_burst = 10.0,
+                               .hedge_after = 20_us});
+  RpcClient starved(client_ep, {.reply_port = 9001,
+                                .timeout = 10_ms,
+                                .retry_budget_ratio = 0.01,
+                                .retry_budget_burst = 0.5,  // < 1: never a hedge
+                                .hedge_after = 20_us});
+  const int kCalls = 3;
+  std::vector<int> cb_h(kCalls, 0), cb_s(kCalls, 0);
+  for (int i = 0; i < kCalls; ++i) {
+    t.sim().schedule_at(SimTime::microseconds(200 * i), [&, i] {
+      hedger.call(t.b->id(), 80, "m", 1'000,
+                  [&cb_h, i](const RpcReply& r) {
+                    ++cb_h[i];
+                    EXPECT_TRUE(r.ok);
+                  });
+      starved.call(t.b->id(), 80, "m", 1'000,
+                   [&cb_s, i](const RpcReply& r) {
+                     ++cb_s[i];
+                     EXPECT_TRUE(r.ok);
+                   });
+    });
+  }
+  t.sim().run(500_ms);
+  for (int i = 0; i < kCalls; ++i) {
+    EXPECT_EQ(cb_h[i], 1) << "hedged call must complete exactly once";
+    EXPECT_EQ(cb_s[i], 1);
+  }
+  EXPECT_EQ(hedger.hedges(), static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(starved.hedges(), 0u) << "an exhausted budget must veto hedging";
+  ASSERT_NE(starved.retry_budget(), nullptr);
+  EXPECT_GE(starved.retry_budget()->exhausted(), 1u);
+  EXPECT_EQ(t.sim().pending_events(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded overload chaos harness on a sharded leaf-spine: RPC retry storms
+// around a server crash, raw traffic under receiver watermarks, and a shed-
+// guarded kvs cache — with all folds shard-local so the digest is a pure
+// function of the seed, independent of the shard count.
+// ---------------------------------------------------------------------------
+
+struct OvChaosResult {
+  std::uint64_t digest = 0;
+  std::uint64_t rpc_ok = 0;
+  std::uint64_t rpc_timeout = 0;
+  std::uint64_t rpc_rejected = 0;
+  std::uint64_t served = 0;
+  std::uint64_t server_shed = 0;
+  std::uint64_t cache_sheds = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t msgs_rejected = 0;
+  std::size_t leaked_events = 0;
+  bool callbacks_exactly_once = true;
+  bool msgs_exactly_once = true;
+  bool reject_and_deliver = false;
+  bool breaker_monotone = true;
+};
+
+OvChaosResult run_overload_chaos(std::uint64_t seed, unsigned shards) {
+  net::Network net(seed, shards);
+  net::LeafSpine ls(net, {.leaves = 4, .spines = 2, .hosts_per_leaf = 1,
+                          .link_delay = 5_us});
+  const std::size_t kHosts = 4;
+  net::Host* server_host = ls.hosts()[3];
+
+  MtpConfig client_cfg;
+  client_cfg.overload.enabled = true;
+  client_cfg.overload.max_incoming_msgs = 3;  // raw traffic hits the watermark
+  MtpConfig server_cfg;
+  server_cfg.overload.enabled = true;
+  server_cfg.overload.max_incoming_msgs = 6;
+
+  // Per-host slots: every runtime fold lives on the shard owning the host.
+  struct alignas(64) HostSlot {
+    std::uint64_t cell = 0;
+  };
+  std::vector<HostSlot> slot(kHosts);
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    slot[h].cell = mix64(0x0ddba11ULL ^ h);
+  }
+
+  // Raw (non-RPC) messages: index -> outcome flags. `delivered` is written
+  // by the receiving host's shard, `completed`/`rejected` by the sender's —
+  // distinct fields, so the parallel run stays race-free.
+  struct alignas(64) MsgSlot {
+    std::uint64_t delivered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+  };
+  const int kRaw = 18;   // client <-> client messages
+  const int kGets = 18;  // GETs fronted by the shed-guarded cache
+  std::vector<MsgSlot> msg_slot(kRaw + kGets);
+
+  std::vector<std::unique_ptr<MtpEndpoint>> eps;
+  // Per-sender map from transport msg id -> raw-message index, touched only
+  // on that sender's shard (send + reject hooks both run there).
+  std::vector<std::unordered_map<proto::MsgId, int>> msg_index(kHosts);
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    auto ep = std::make_unique<MtpEndpoint>(
+        *ls.hosts()[h], h == 3 ? server_cfg : client_cfg);
+    ep->listen_any([s = &slot[h], &msg_slot](const ReceivedMessage& m) {
+      if (!m.app) return;
+      const std::string& key = m.app->key;
+      int idx = -1;
+      if (key.rfind("raw:", 0) == 0) idx = std::stoi(key.substr(4));
+      if (key.rfind("get:", 0) == 0) idx = std::stoi(key.substr(4));
+      if (idx < 0) return;
+      ++msg_slot[idx].delivered;
+      s->cell = mix64(s->cell ^ mix64(m.src) ^ mix64(m.msg_id) ^
+                      mix64(static_cast<std::uint64_t>(m.bytes)));
+    });
+    ep->on_rejected = [s = &slot[h], &msg_slot, mi = &msg_index[h]](
+                          proto::MsgId id, net::NodeId, bool expired) {
+      auto it = mi->find(id);
+      if (it != mi->end()) {
+        ++msg_slot[it->second].rejected;
+        s->cell = mix64(s->cell ^ mix64(id) ^ (expired ? 0x5eedULL : 0));
+      }
+    };
+    eps.push_back(std::move(ep));
+  }
+
+  // Shed-guarded kvs cache on the server's leaf, fronting server port 81.
+  innetwork::KvsCache::Config kc;
+  kc.backend = server_host->id();
+  kc.service_port = 81;
+  kc.shed = {.enabled = true,
+             .high_watermark = 0,
+             .hard_limit = 1000,
+             .protect_priority = 1,
+             .shed_expired = true,
+             .breaker = {.open_after_sheds = 3,
+                         .window = 500_us,
+                         .open_duration = 300_us,
+                         .half_open_successes = 2}};
+  auto cache = std::make_shared<innetwork::KvsCache>(*ls.leaf(3), kc);
+  for (int k = 0; k < 4; ++k) cache->put("k" + std::to_string(k), "v", 3'000);
+  ls.leaf(3)->add_ingress(cache);
+
+  // RPC: three clients against one server that crashes mid-run. Requests
+  // are still ACKed by the transport while the app is down — the classic
+  // retry-storm trigger the budgets must contain.
+  RpcServer server(*eps[3], 80);
+  server.set_service_model({.service_time = 15_us, .queue_limit = 8,
+                            .shed_expired = true});
+  server.handle("", [](const std::string&, std::int64_t, net::NodeId) {
+    return RpcServer::Response{2'000, "ok"};
+  });
+  sim::Simulator& server_sim = net.simulator(net.shard_of(*server_host));
+  server_sim.schedule_at(1_ms, [&server] { server.crash(); });
+  server_sim.schedule_at(SimTime::microseconds(1'800), [&server] { server.restart(); });
+
+  std::vector<std::unique_ptr<RpcClient>> clients;
+  const int kCalls = 30;
+  std::vector<int> cb(kCalls, 0);
+  for (std::size_t h = 0; h < 3; ++h) {
+    clients.push_back(std::make_unique<RpcClient>(
+        *eps[h], RpcClient::Config{.reply_port = 9000,
+                                   .timeout = 150_us,
+                                   .max_retries = 3,
+                                   .retry_seed = seed * 31 + h,
+                                   .retry_budget_ratio = 0.2,
+                                   .retry_budget_burst = 4.0,
+                                   .deadline = 600_us}));
+  }
+
+  // Everything below derives from `seed` alone; sends fire on the shard
+  // owning the sending host.
+  sim::Rng rng(mix64(seed ^ 0xabcdefULL));
+  for (int i = 0; i < kCalls; ++i) {
+    const auto c = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const std::int64_t bytes = rng.uniform_int(1, 20'000);
+    const std::uint8_t pri = rng.bernoulli(0.5) ? 1 : 0;
+    const SimTime at = SimTime::nanoseconds(rng.uniform_int(0, 3'000'000));
+    RpcClient* cl = clients[c].get();
+    HostSlot* s = &slot[c];
+    net.simulator(net.shard_of(*ls.hosts()[c]))
+        .schedule_at(at, [cl, s, &cb, i, bytes, pri, server_host] {
+          cl->call(server_host->id(), 80, "m", bytes,
+                   [s, &cb, i](const RpcReply& r) {
+                     ++cb[i];
+                     s->cell = mix64(s->cell ^ (r.ok ? 0x600dULL : 0xbadULL) ^
+                                     (r.rejected ? 0x7e7ec7ULL : 0) ^
+                                     static_cast<std::uint64_t>(r.latency.ns()));
+                   });
+        });
+  }
+  for (int i = 0; i < kRaw; ++i) {
+    const auto src = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    std::size_t dst = static_cast<std::size_t>(rng.uniform_int(0, 1));
+    if (dst >= src) ++dst;  // uniform over the other two clients
+    const std::int64_t bytes = rng.uniform_int(1, 40'000);
+    const std::uint8_t pri = rng.bernoulli(0.4) ? 1 : 0;
+    const SimTime at = SimTime::nanoseconds(rng.uniform_int(0, 3'000'000));
+    MtpEndpoint* ep = eps[src].get();
+    net::Host* to = ls.hosts()[dst];
+    auto* mi = &msg_index[src];
+    auto* ms = &msg_slot[i];
+    net.simulator(net.shard_of(*ls.hosts()[src]))
+        .schedule_at(at, [ep, to, bytes, pri, i, mi, ms] {
+          MessageOptions opts;
+          opts.priority = pri;
+          opts.dst_port = 7;
+          opts.app = net::AppData{"raw:" + std::to_string(i), ""};
+          const proto::MsgId mid = ep->send_message(
+              to->id(), bytes, std::move(opts),
+              [ms](proto::MsgId, SimTime) { ++ms->completed; });
+          mi->emplace(mid, i);
+        });
+  }
+  for (int g = 0; g < kGets; ++g) {
+    const int i = kRaw + g;
+    const auto src = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const std::uint8_t pri = g % 2 == 0 ? 0 : 1;  // pri0 guaranteed: sheds fire
+    const std::string key = "k" + std::to_string(rng.uniform_int(0, 3));
+    const SimTime at = SimTime::nanoseconds(rng.uniform_int(0, 3'000'000));
+    MtpEndpoint* ep = eps[src].get();
+    auto* mi = &msg_index[src];
+    auto* ms = &msg_slot[i];
+    net.simulator(net.shard_of(*ls.hosts()[src]))
+        .schedule_at(at, [ep, key, pri, i, mi, ms, server_host] {
+          MessageOptions opts;
+          opts.priority = pri;
+          opts.src_port = 9002;
+          opts.dst_port = 81;
+          opts.app = net::AppData{key, "get:" + std::to_string(i)};
+          const proto::MsgId mid = ep->send_message(
+              server_host->id(), 3'000, std::move(opts),
+              [ms](proto::MsgId, SimTime) { ++ms->completed; });
+          mi->emplace(mid, i);
+        });
+  }
+
+  // Breaker monotonicity, sampled on the cache's own shard.
+  struct BreakerSample {
+    std::uint64_t opens, half_opens, closes;
+  };
+  std::vector<BreakerSample> br_samples;
+  sim::Simulator& cache_sim = net.simulator(net.shard_of(*ls.leaf(3)));
+  for (int i = 0; i < 12; ++i) {
+    cache_sim.schedule_at(SimTime::microseconds(300 * i), [&br_samples, &cache] {
+      const auto& br = cache->shed_guard().breaker();
+      br_samples.push_back({br.opens(), br.half_opens(), br.closes()});
+    });
+  }
+
+  net.run(500_ms);
+
+  OvChaosResult res;
+  for (int i = 0; i < kCalls; ++i) {
+    if (cb[i] != 1) res.callbacks_exactly_once = false;
+  }
+  for (const MsgSlot& m : msg_slot) {
+    if (m.delivered > 1 || m.completed + m.rejected != 1) {
+      res.msgs_exactly_once = false;
+    }
+    if (m.delivered > 0 && m.rejected > 0) res.reject_and_deliver = true;
+  }
+  for (std::size_t i = 1; i < br_samples.size(); ++i) {
+    if (br_samples[i].opens < br_samples[i - 1].opens ||
+        br_samples[i].half_opens < br_samples[i - 1].half_opens ||
+        br_samples[i].closes < br_samples[i - 1].closes) {
+      res.breaker_monotone = false;
+    }
+  }
+  for (const auto& cl : clients) {
+    res.rpc_ok += cl->completed();
+    res.rpc_timeout += cl->timed_out();
+    res.rpc_rejected += cl->rejected();
+  }
+  res.served = server.requests_served();
+  res.server_shed = server.shed_expired();
+  res.cache_sheds = cache->shed_guard().sheds();
+  res.breaker_opens = cache->shed_guard().breaker().opens();
+  for (const auto& ep : eps) res.msgs_rejected += ep->msgs_rejected();
+  for (unsigned sh = 0; sh < net.shards(); ++sh) {
+    res.leaked_events += net.simulator(sh).pending_events();
+  }
+  for (const HostSlot& s : slot) res.digest ^= s.cell;
+  res.digest = mix64(res.digest ^ mix64(res.rpc_ok) ^ mix64(res.rpc_timeout) ^
+                     mix64(res.rpc_rejected) ^ mix64(res.served) ^
+                     mix64(res.server_shed) ^ mix64(res.cache_sheds) ^
+                     mix64(res.breaker_opens) ^ mix64(res.msgs_rejected) ^
+                     mix64(eps[3]->busy_rejects_sent()) ^
+                     mix64(eps[3]->grants_issued()));
+  return res;
+}
+
+// Named to match the tsan lane's -R 'Sharded' filter: shard workers fold
+// into adjacent slots and exchange packets while TSan watches.
+TEST(OverloadChaosSharded, TwelveSeedsSatisfyAllInvariants) {
+  std::uint64_t total_cache_sheds = 0;
+  std::uint64_t total_rejected = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const OvChaosResult r = run_overload_chaos(seed, /*shards=*/2);
+    EXPECT_TRUE(r.callbacks_exactly_once) << "seed " << seed;
+    EXPECT_TRUE(r.msgs_exactly_once) << "seed " << seed;
+    EXPECT_FALSE(r.reject_and_deliver)
+        << "seed " << seed << ": message both rejected and delivered";
+    EXPECT_TRUE(r.breaker_monotone) << "seed " << seed;
+    EXPECT_EQ(r.rpc_ok + r.rpc_timeout + r.rpc_rejected, 30u) << "seed " << seed;
+    EXPECT_EQ(r.leaked_events, 0u) << "seed " << seed;
+    total_cache_sheds += r.cache_sheds;
+    total_rejected += r.msgs_rejected;
+  }
+  // The harness must actually exercise the overload paths it guards.
+  EXPECT_GT(total_cache_sheds, 0u);
+  EXPECT_GT(total_rejected, 0u);
+}
+
+TEST(OverloadChaosSharded, DigestsIdenticalAcrossShardCounts) {
+  for (const std::uint64_t seed : {1ull, 7ull, 11ull}) {
+    const OvChaosResult one = run_overload_chaos(seed, 1);
+    for (const unsigned shards : {2u, 4u}) {
+      const OvChaosResult r = run_overload_chaos(seed, shards);
+      EXPECT_EQ(r.digest, one.digest) << "seed " << seed << " x" << shards;
+      EXPECT_EQ(r.rpc_ok, one.rpc_ok) << "seed " << seed << " x" << shards;
+      EXPECT_EQ(r.served, one.served) << "seed " << seed << " x" << shards;
+      EXPECT_EQ(r.cache_sheds, one.cache_sheds) << "seed " << seed << " x" << shards;
+      EXPECT_EQ(r.msgs_rejected, one.msgs_rejected)
+          << "seed " << seed << " x" << shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mtp

@@ -55,8 +55,8 @@ TEST(MtpHeader, EmptyListsRoundTrip) {
   h.pkt_len = 10;
   std::vector<std::uint8_t> buf;
   h.serialize(buf);
-  // Five u16 list counts + the stream presence byte.
-  EXPECT_EQ(buf.size(), MtpHeader::kFixedSize + 11);
+  // Five u16 list counts + the stream and overload presence bytes.
+  EXPECT_EQ(buf.size(), MtpHeader::kFixedSize + 12);
   const auto parsed = MtpHeader::parse(buf);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(*parsed, h);
@@ -90,6 +90,34 @@ TEST(MtpHeader, RejectsBadFeedbackType) {
   // (4) + tc (1).
   const std::size_t pos = MtpHeader::kFixedSize + 2 + h.path_exclude().size() * 5 + 2 + 4 + 1;
   buf[pos] = 0x99;
+  EXPECT_FALSE(MtpHeader::parse(buf).has_value());
+}
+
+TEST(MtpHeader, OverloadBlockRoundTrips) {
+  MtpHeader h = sample_header();
+  auto& ov = h.overload.ensure();
+  ov.flags = kOverloadBusy | kOverloadExpired;
+  ov.grant_bytes = 123'456;
+  ov.deadline_ns = 987'654'321;
+  std::vector<std::uint8_t> buf;
+  h.serialize(buf);
+  EXPECT_EQ(buf.size(), h.wire_size());
+  const auto parsed = MtpHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, h);
+  EXPECT_TRUE(parsed->has_overload());
+  EXPECT_TRUE(parsed->overload->busy());
+  EXPECT_TRUE(parsed->overload->expired());
+  EXPECT_EQ(parsed->deadline_ns(), 987'654'321u);
+}
+
+TEST(MtpHeader, RejectsBadOverloadFlags) {
+  MtpHeader h;
+  h.msg_len_pkts = 1;
+  h.overload.ensure().flags = kOverloadBusy;
+  std::vector<std::uint8_t> buf;
+  h.serialize(buf);
+  buf[buf.size() - 17] = 0xf0;  // flags byte: reserved bits must be zero
   EXPECT_FALSE(MtpHeader::parse(buf).has_value());
 }
 
