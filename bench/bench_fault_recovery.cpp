@@ -1,4 +1,5 @@
-// Fault recovery: MTP vs TCP across a link flap on a multipath fabric.
+// Fault recovery: the transport zoo across a link flap on a multipath
+// fabric — MTP vs TCP, with Homa-style and MPTCP baselines riding along.
 //
 // Scenario (bench::run_fault_recovery): snd -- sw1 ==(two 25 Gb/s two-hop
 // paths via swA / swB)== sw2 -- rcv; the sw1->swA uplink goes down at 2 ms
@@ -33,6 +34,8 @@ int main() {
 
   const FaultRecoveryResult mtp = run_fault_recovery("mtp");
   const FaultRecoveryResult tcp = run_fault_recovery("tcp");
+  const FaultRecoveryResult homa = run_fault_recovery("homa");
+  const FaultRecoveryResult mptcp = run_fault_recovery("mptcp");
 
   stats::Table table({"transport", "pre-fault (Gb/s)", "during fault (Gb/s)",
                       "recovery (us)"});
@@ -43,10 +46,14 @@ int main() {
   };
   row("MTP (message-aware LB)", mtp);
   row("TCP (ECMP hash-pinned)", tcp);
+  row("Homa (sprayed, grant-paced)", homa);
+  row("MPTCP (ECMP'd subflows)", mptcp);
   table.print();
 
   std::printf("\nMTP recovers %.0f us after onset vs TCP's %.0f us "
-              "(outage alone is %.0f us).\n\n",
+              "(outage alone is %.0f us).\n"
+              "Homa keeps losing every packet sprayed at the dead uplink; MPTCP\n"
+              "rides its surviving subflows but couples their windows down.\n\n",
               mtp.recovery_us, tcp.recovery_us, kFaultFlapFor.us());
 
   telemetry::RunReport report("fault_recovery");
@@ -55,10 +62,13 @@ int main() {
     sec.add_scalar("pre_fault_gbps", r.pre_fault_gbps);
     sec.add_scalar("during_fault_gbps", r.during_fault_gbps);
     sec.add_scalar("recovery_us", r.recovery_us);
+    add_transport_metrics(sec, name, r.metrics);
     sec.add_throughput("goodput", r.meter);
   };
   fill("mtp", mtp);
   fill("tcp", tcp);
+  fill("homa", homa);
+  fill("mptcp", mptcp);
   report.section("mtp").add_scalar(
       "recovery_speedup",
       mtp.recovery_us > 0 ? tcp.recovery_us / mtp.recovery_us : 0);

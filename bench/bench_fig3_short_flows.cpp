@@ -9,6 +9,17 @@
 // messages grow (amortizing the handshake), and records per-message flow
 // completion times via the client's done-callback.
 //
+// The second half runs the same closed-loop one-message-at-a-time workload
+// through the transport zoo (transport::TransportRegistry): MTP and the
+// Homa-style receiver-driven transport complete short messages without a
+// handshake, while DCTCP-per-message and MPTCP pay connection setup — the
+// paper's argument, now as a four-way comparison behind one API.
+//
+// `--smoke` runs a trimmed deterministic subset and prints key=value lines
+// for scripts/check.sh transport-smoke: per-transport 16 KB closed-loop
+// p99s, the MPTCP flap-recovery time, and a per-transport shard-invariance
+// digest check (exits non-zero on any digest mismatch).
+//
 // Scenarios are independent simulations, so they run on a sim::ParallelSweep
 // by default; `--serial` runs them inline on one thread. Results are
 // bit-identical either way (the determinism contract in docs/perf.md), which
@@ -19,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "net/network.hpp"
@@ -147,13 +159,162 @@ Result run_scenario(const FlowCase& sc, sim::SimTime duration) {
   return r;
 }
 
+// ------------------------------------------------------- transport zoo
+
+struct ZooCase {
+  std::string transport;
+  std::int64_t msg_bytes = 0;
+};
+
+struct ZooResult {
+  std::string transport;
+  std::int64_t msg_bytes = 0;
+  double avg_gbps = 0;
+  std::size_t completed = 0;
+  double fct_p50_us = 0;
+  double fct_p99_us = 0;
+  transport::TransportMetrics metrics;
+  telemetry::RegistrySnapshot registry;
+};
+
+/// The paper's one-message-at-a-time pattern through the registry API:
+/// incast(4), each sender keeps exactly one message outstanding and issues
+/// the next from the done callback. Same workload for every transport — the
+/// only variable is what a "message" costs the transport.
+ZooResult run_zoo(const ZooCase& zc, sim::SimTime duration) {
+  auto s = ScenarioBuilder()
+               .seed(13)
+               .topology(topo::incast(4))
+               .transport(zc.transport)
+               .goodput_window(32_us)
+               .build();
+  stats::FctRecorder fcts;
+  std::vector<std::function<void()>> next;
+  for (std::size_t i = 0; i < s->num_senders(); ++i) {
+    next.push_back([&s = *s, &next, &fcts, bytes = zc.msg_bytes, i]() {
+      s.sender(i).send_message(
+          bytes, [&next, &fcts, i](sim::SimTime fct, std::int64_t done_bytes) {
+            fcts.record(fct, done_bytes);
+            next[i]();
+          });
+    });
+  }
+  auto& sim = s->simulator();
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    sim.schedule_keyed_at(1_us, 0xF163C0DEULL + i, [&next, i] { next[i](); });
+  }
+  s->run(duration);
+
+  ZooResult r;
+  r.transport = zc.transport;
+  r.msg_bytes = zc.msg_bytes;
+  r.completed = fcts.count();
+  if (r.completed > 0) {
+    r.fct_p50_us = fcts.p50_us();
+    r.fct_p99_us = fcts.p99_us();
+  }
+  r.avg_gbps =
+      static_cast<double>(s->goodput()->total_bytes()) * 8.0 / duration.sec() / 1e9;
+  r.metrics = s->transport_metrics();
+  r.registry = telemetry::MetricRegistry::global().snapshot();
+  return r;
+}
+
+// ------------------------------------------------------------- smoke mode
+
+/// incast(4) with sender i placed on shard i mod shards; creation order is
+/// identical for every shard count (the sharded engine's determinism
+/// contract). Mirrors tests/transport_conformance_test.cpp.
+TopologyFn sharded_incast(int senders) {
+  return [=](net::Network& net) {
+    const net::DropTailQueue::Config q{.capacity_pkts = 128, .ecn_threshold_pkts = 20};
+    Topology t;
+    net::Switch* sw = net.add_switch("sw");
+    net::Host* rcv = net.add_host("recv");
+    for (int i = 0; i < senders; ++i) {
+      net.set_build_shard(static_cast<unsigned>(i) % net.shards());
+      net::Host* h = net.add_host("h" + std::to_string(i));
+      t.senders.push_back(h);
+      net.connect(*h, *sw, sim::Bandwidth::gbps(100), 1_us, q);
+      sw->add_route(h->id(), static_cast<net::PortIndex>(i));
+    }
+    net.set_build_shard(0);
+    auto down = net.connect(*sw, *rcv, sim::Bandwidth::gbps(100), 1_us, q);
+    sw->add_route(rcv->id(), static_cast<net::PortIndex>(senders));
+    t.receiver = rcv;
+    t.lb_switches = {sw};
+    t.paths = {down.forward};
+    return t;
+  };
+}
+
+std::tuple<std::uint64_t, std::size_t> digest_run(const std::string& transport,
+                                                  unsigned shards) {
+  workload::ArrivalSchedule sched;
+  sim::SimTime t = 1_us;
+  for (int m = 0; m < 4; ++m) {
+    for (int s = 0; s < 4; ++s) {
+      sched.add(t, static_cast<std::uint32_t>(s), 12'000);
+      t += 3_us;
+    }
+  }
+  auto s = ScenarioBuilder()
+               .seed(21)
+               .shards(shards)
+               .topology(sharded_incast(4))
+               .transport(transport)
+               .workload(std::move(sched))
+               .build();
+  s->run();
+  return {s->fct_digest(), s->fct().count()};
+}
+
+/// key=value lines for the scripts/check.sh transport-smoke gate. Returns
+/// non-zero if any transport's completion digest differs across shard
+/// counts — that is a correctness bug, not a performance regression, so it
+/// hard-fails here rather than being compared against a baseline.
+int run_smoke() {
+  const std::vector<std::string> zoo = {"mtp", "dctcp", "homa", "mptcp"};
+  const sim::SimTime duration = 2_ms;
+
+  sim::ParallelSweep pool(0u);
+  const std::vector<ZooResult> results = pool.map(zoo.size(), [&](std::size_t i) {
+    return run_zoo({.transport = zoo[i], .msg_bytes = 16'384}, duration);
+  });
+  for (const ZooResult& r : results) {
+    std::printf("%s_p99_us_16k=%.3f\n", r.transport.c_str(), r.fct_p99_us);
+    std::printf("%s_completed_16k=%zu\n", r.transport.c_str(), r.completed);
+  }
+
+  const FaultRecoveryResult mptcp_flap = run_fault_recovery("mptcp");
+  std::printf("mptcp_flap_recovery_us=%.3f\n", mptcp_flap.recovery_us);
+
+  int rc = 0;
+  for (const char* t : {"mtp", "tcp", "dctcp", "homa", "mptcp"}) {
+    const auto one = digest_run(t, 1);
+    bool match = std::get<1>(one) == 16u;
+    for (unsigned shards : {2u, 4u}) {
+      match = match && digest_run(t, shards) == one;
+    }
+    std::printf("%s_digest_match=%d\n", t, match ? 1 : 0);
+    if (!match) {
+      std::fprintf(stderr, "FAIL: %s completion digest differs across shard counts\n", t);
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool serial = false;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serial") == 0) serial = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
+  if (smoke) return run_smoke();
 
   const sim::SimTime duration = 4_ms;
   const std::vector<FlowCase> scenarios = {
@@ -201,6 +362,34 @@ int main(int argc, char** argv) {
   }
   series.print();
 
+  // The same closed-loop pattern through the transport zoo: message-native
+  // transports (MTP, Homa) pay no handshake, so "one message per flow" is
+  // simply how they always run.
+  std::vector<ZooCase> zoo_cases;
+  for (const char* tr : {"mtp", "dctcp", "homa", "mptcp"}) {
+    for (std::int64_t bytes : {std::int64_t{4'096}, std::int64_t{16'384},
+                               std::int64_t{65'536}}) {
+      zoo_cases.push_back({.transport = tr, .msg_bytes = bytes});
+    }
+  }
+  const std::vector<ZooResult> zoo = pool.map(
+      zoo_cases.size(), [&](std::size_t i) { return run_zoo(zoo_cases[i], duration); });
+
+  std::printf("\n=== transport zoo, same closed-loop incast(4) ===\n");
+  stats::Table zt({"transport", "msg size", "goodput (Gb/s)", "msgs done",
+                   "FCT p50 (us)", "FCT p99 (us)", "retx"});
+  for (const ZooResult& r : zoo) {
+    zt.add_row({r.transport, stats::format("%lld KB", static_cast<long long>(r.msg_bytes / 1024)),
+                stats::format("%.1f", r.avg_gbps), stats::format("%zu", r.completed),
+                stats::format("%.1f", r.fct_p50_us), stats::format("%.1f", r.fct_p99_us),
+                stats::format("%llu", static_cast<unsigned long long>(r.metrics.retransmits))});
+  }
+  zt.print();
+  std::printf(
+      "\nzoo shape: MTP and Homa carry short messages with no handshake tax, so\n"
+      "their p99 stays near the wire floor; DCTCP-per-message and MPTCP pay the\n"
+      "3-way handshake (MPTCP once per subflow) before the first byte moves.\n");
+
   telemetry::RunReport report("fig3_short_flows");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const FlowCase& sc = scenarios[i];
@@ -217,6 +406,15 @@ int main(int argc, char** argv) {
       sec.add_scalar("fct_p50_us", r.fct_p50_us);
       sec.add_scalar("fct_p99_us", r.fct_p99_us);
     }
+    sec.set_registry(r.registry);
+  }
+  for (const ZooResult& r : zoo) {
+    auto& sec =
+        report.section("zoo_" + r.transport + "_" + std::to_string(r.msg_bytes));
+    sec.add_scalar("avg_gbps", r.avg_gbps);
+    sec.add_scalar("fct_p50_us", r.fct_p50_us);
+    sec.add_scalar("fct_p99_us", r.fct_p99_us);
+    add_transport_metrics(sec, r.transport, r.metrics);
     sec.set_registry(r.registry);
   }
   report.write();

@@ -8,7 +8,11 @@
 // Paper result: MTP converges faster after each flip and achieves ~33%
 // higher average goodput than DCTCP, because it keeps a remembered
 // congestion window per pathlet while DCTCP drags one mis-sized window
-// across both paths.
+// across both paths. Two more baselines from the transport zoo ride along:
+// Homa's receiver-driven grants re-clock to the slow path within one
+// rtt_bytes window (no handshake, but also no per-path memory), and MPTCP
+// couples all subflows over whichever path the flip offers — both sit
+// between DCTCP and MTP.
 #include <cstdio>
 
 #include "scenario/paper_figs.hpp"
@@ -27,15 +31,20 @@ int main() {
 
   const Fig5Result dctcp = run_fig5_dctcp(duration, flip);
   const Fig5Result mtp = run_fig5_mtp(duration, flip);
+  const Fig5Result homa = run_fig5("homa", duration, flip);
+  const Fig5Result mptcp = run_fig5("mptcp", duration, flip);
 
   stats::Table summary({"protocol", "avg goodput (Gb/s)", "fast-phase (Gb/s)",
                         "slow-phase (Gb/s)"});
-  summary.add_row({"DCTCP", stats::format("%.2f", dctcp.avg_gbps),
-                   stats::format("%.2f", dctcp.fast_phase_gbps),
-                   stats::format("%.2f", dctcp.slow_phase_gbps)});
-  summary.add_row({"MTP", stats::format("%.2f", mtp.avg_gbps),
-                   stats::format("%.2f", mtp.fast_phase_gbps),
-                   stats::format("%.2f", mtp.slow_phase_gbps)});
+  auto srow = [&](const char* name, const Fig5Result& r) {
+    summary.add_row({name, stats::format("%.2f", r.avg_gbps),
+                     stats::format("%.2f", r.fast_phase_gbps),
+                     stats::format("%.2f", r.slow_phase_gbps)});
+  };
+  srow("DCTCP", dctcp);
+  srow("MPTCP", mptcp);
+  srow("Homa", homa);
+  srow("MTP", mtp);
   summary.print();
 
   const double gain = (mtp.avg_gbps / dctcp.avg_gbps - 1.0) * 100.0;
@@ -63,9 +72,12 @@ int main() {
     sec.add_scalar("avg_gbps", r.avg_gbps);
     sec.add_scalar("fast_phase_gbps", r.fast_phase_gbps);
     sec.add_scalar("slow_phase_gbps", r.slow_phase_gbps);
+    add_transport_metrics(sec, r.transport, r.metrics);
     sec.set_registry(r.registry);
   };
   fill("dctcp", dctcp);
+  fill("mptcp", mptcp);
+  fill("homa", homa);
   fill("mtp", mtp);
   report.section("mtp").add_scalar("goodput_gain_pct", gain);
   report.write();

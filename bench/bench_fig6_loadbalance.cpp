@@ -46,23 +46,27 @@ int main(int argc, char** argv) {
       "short)\n\n",
       messages);
 
-  const std::vector<std::string> schemes = {"ecmp", "spray", "mtp-lb"};
+  const std::vector<std::string> schemes = {"ecmp", "spray", "mtp-lb", "homa",
+                                            "mptcp"};
   sim::ParallelSweep pool(serial ? 1u : 0u);
   const std::vector<Fig6Result> results = pool.map(schemes.size(), [&](std::size_t i) {
     return run_fig6(schemes[i], messages, /*seed=*/7, cap);
   });
 
   stats::Table t({"scheme", "p50 FCT (us)", "p99 FCT (us)", "mean (us)",
-                  "bytes on path A", "completed"});
+                  "bytes on path A", "completed", "retx", "grants"});
   telemetry::RunReport report("fig6_loadbalance");
   for (const Fig6Result& r : results) {
     t.add_row({r.scheme, stats::format("%.0f", r.p50_us), stats::format("%.0f", r.p99_us),
                stats::format("%.0f", r.mean_us),
                stats::format("%.0f%%", r.path_a_bytes_frac * 100.0),
-               stats::format("%zu", r.messages)});
+               stats::format("%zu", r.messages),
+               stats::format("%llu", static_cast<unsigned long long>(r.metrics.retransmits)),
+               stats::format("%llu", static_cast<unsigned long long>(r.metrics.grants_issued))});
     auto& sec = report.section(r.scheme);
     sec.add_scalar("completed", static_cast<double>(r.messages));
     sec.add_scalar("path_a_bytes_frac", r.path_a_bytes_frac);
+    add_transport_metrics(sec, r.transport, r.metrics);
     // Split at 1 MB: "short" messages vs the heavy tail.
     sec.add_fct("fct", r.fct, /*split_bytes=*/1 << 20);
     sec.set_registry(r.registry);
@@ -70,7 +74,11 @@ int main(int argc, char** argv) {
   t.print();
   report.write();
   std::printf(
-      "\npaper shape: mtp-lb has the lowest tail FCT; ecmp suffers hash imbalance\n"
-      "(bytes far from 50/50 + collisions); spraying balances bytes but reorders.\n");
+      "\npaper shape: mtp-lb beats every TCP-derived scheme on the tail; ecmp\n"
+      "suffers hash imbalance (bytes far from 50/50 + collisions); spraying\n"
+      "balances bytes but reorders. Zoo baselines: homa sprays under\n"
+      "receiver-driven SRPT — reordering is free for it, so it rivals mtp-lb\n"
+      "on this skewed-short mix; mptcp couples ECMP'd subflows, inheriting\n"
+      "ecmp's imbalance with some multi-path relief.\n");
   return 0;
 }

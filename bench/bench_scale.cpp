@@ -151,7 +151,7 @@ ScaleResult run_fat_tree_burst(int k, int msgs_per_host,
                .shards(shards)
                .topology(scenario::topo::fat_tree({.k = k}))
                .forwarding(fwd)
-               .transport(scenario::TransportKind::kMtp)
+               .transport("mtp")
                .workload(std::move(sched))
                .build();
 
@@ -242,7 +242,7 @@ std::uint64_t sweep_digest(unsigned workers) {
                      .seed(100 + job)
                      .topology(scenario::topo::fat_tree({.k = 4}))
                      .forwarding(scenario::Forwarding::kMessageAware)
-                     .transport(scenario::TransportKind::kMtp)
+                     .transport("mtp")
                      .build();
         const int hosts = static_cast<int>(s->num_senders());
         std::uint64_t digest = 14695981039346656037ull;

@@ -55,19 +55,19 @@ const LossLevel kLossLevels[] = {
 
 struct Mode {
   const char* name;
-  TransportKind transport;
+  const char* transport;  ///< TransportRegistry name
   stream::StreamConfig cfg;  // ignored for TCP
   bool is_stream;
 };
 
 const Mode kModes[] = {
-    {"mtp-stream-fec", TransportKind::kMtp, {.fec_k = 4, .fec_r = 1}, true},
+    {"mtp-stream-fec", "mtp", {.fec_k = 4, .fec_r = 1}, true},
     {"mtp-stream-adaptive",
-     TransportKind::kMtp,
+     "mtp",
      {.fec_k = 4, .fec_r = 0, .adaptive_fec = true, .fec_r_max = 2},
      true},
-    {"mtp-stream-arq", TransportKind::kMtp, {.fec_k = 4, .fec_r = 0}, true},
-    {"tcp", TransportKind::kTcp, {}, false},
+    {"mtp-stream-arq", "mtp", {.fec_k = 4, .fec_r = 0}, true},
+    {"tcp", "tcp", {}, false},
 };
 
 workload::ArrivalSchedule make_schedule() {

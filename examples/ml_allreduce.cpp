@@ -40,7 +40,7 @@ Result run(bool with_offload, int n_workers, int n_rounds, std::int64_t grad_byt
   auto s = scenario::ScenarioBuilder()
                .seed(3)
                .topology(scenario::topo::incast(n_workers))
-               .transport(scenario::TransportKind::kMtp)
+               .transport("mtp")
                .dst_port(90)
                .build();
   net::Switch* tor = s->topo().lb_switches[0];

@@ -11,8 +11,8 @@
 // listener, sender_tcs() tags each tenant's traffic class, and the example
 // layers the pathlet, the policer and the closed-loop streams on top through
 // the Topology accessors. Streams submit through the transport-agnostic
-// MessageSender, so switching this walkthrough to DCTCP is a one-line
-// .transport() change.
+// transport::Transport endpoints, so switching this walkthrough to DCTCP is
+// a one-line .transport("dctcp") change.
 //
 //   $ ./examples/tenant_isolation
 #include <array>
@@ -33,7 +33,7 @@ void run(bool with_policer) {
   auto s = scenario::ScenarioBuilder()
                .seed(7)
                .topology(scenario::topo::shared_bottleneck())
-               .transport(scenario::TransportKind::kMtp)
+               .transport("mtp")
                .sender_tcs({1, 2})  // tenant 0 -> TC 1 (polite), tenant 1 -> TC 2 (greedy)
                .build();
   net::Link* shared = s->topo().paths[0];

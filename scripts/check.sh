@@ -8,6 +8,7 @@
 #   check.sh scale-smoke   scale gate: bench_scale --smoke vs BENCH_scale.json
 #   check.sh stream-smoke  stream gate: bench_stream_loss --smoke vs BENCH_scale.json
 #   check.sh overload-smoke  overload gate: bench_overload --smoke vs BENCH_scale.json
+#   check.sh transport-smoke transport-zoo gate: bench_fig3_short_flows --smoke vs BENCH_scale.json
 #   check.sh all           every gate in sequence
 set -euo pipefail
 
@@ -40,12 +41,16 @@ run_tsan() {
   # shedding, budgets); its OverloadChaosSharded cases run the metastable-
   # failure harness on worker shards and also match the -R filter.
   cmake --preset tsan -S "$repo"
-  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test scale_test scenario_test sharded_test flow_test stream_test overload_test
+  # transport_conformance_test's `transport` label runs the registry zoo
+  # (MTP/TCP/DCTCP/Homa/MPTCP) including the 1/2/4-shard digest cases, so
+  # every transport's fleet also gets exercised on worker shards under TSan.
+  cmake --build --preset tsan -j "$jobs" --target parallel_test chaos_test scale_test scenario_test sharded_test flow_test stream_test overload_test transport_conformance_test
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
     -R 'ParallelSweep|ScenarioSweep|ScenarioBuilder|Sharded'
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L hybrid
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L stream
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L overload
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L transport
 }
 
 run_chaos() {
@@ -352,6 +357,78 @@ run_overload_smoke() {
   }'
 }
 
+run_transport_smoke() {
+  # Transport-zoo gate vs the transport_baseline in BENCH_scale.json: the
+  # same closed-loop 16 KB incast through every registry transport. MTP's
+  # p99 under its ceiling, Homa within ratio_max of MTP (both handshake-free
+  # — Homa drifting toward DCTCP's handshake tax is a model bug), MPTCP's
+  # flap recovery positive and under its ceiling, per-transport completion
+  # floors, and a hard fail on any 1/2/4-shard completion-digest mismatch
+  # (the bench exits non-zero on mismatch on its own). All simulated-time
+  # metrics, deterministic per seed.
+  cmake --preset release -S "$repo"
+  cmake --build --preset release -j "$jobs" --target bench_fig3_short_flows
+  local out
+  out="$("$repo/build/bench/bench_fig3_short_flows" --smoke)"
+  echo "$out"
+  local mtp_p99 homa_p99 flap mtp_p99_max ratio_max flap_max done_min
+  mtp_p99="$(echo "$out" | sed -n 's/^mtp_p99_us_16k=//p')"
+  homa_p99="$(echo "$out" | sed -n 's/^homa_p99_us_16k=//p')"
+  flap="$(echo "$out" | sed -n 's/^mptcp_flap_recovery_us=//p')"
+  mtp_p99_max="$(sed -n 's/.*"transport_mtp_p99_us_16k_max": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  ratio_max="$(sed -n 's/.*"transport_homa_vs_mtp_p99_ratio_max": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  flap_max="$(sed -n 's/.*"transport_mptcp_flap_recovery_us_max": \([0-9.]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  done_min="$(sed -n 's/.*"transport_min_completed_16k": \([0-9]*\).*/\1/p' "$repo/BENCH_scale.json" | head -1)"
+  if [ -z "$mtp_p99" ] || [ -z "$homa_p99" ] || [ -z "$flap" ] || [ -z "$mtp_p99_max" ] || [ -z "$ratio_max" ] || [ -z "$flap_max" ] || [ -z "$done_min" ]; then
+    echo "transport-smoke: failed to parse bench output or transport_baseline" >&2
+    exit 1
+  fi
+  local t dm dc
+  for t in mtp tcp dctcp homa mptcp; do
+    dm="$(echo "$out" | sed -n "s/^${t}_digest_match=//p")"
+    if [ "$dm" != "1" ]; then
+      echo "transport-smoke: FAIL $t completion digest differs across 1/2/4 shards" >&2
+      exit 1
+    fi
+  done
+  for t in mtp dctcp homa mptcp; do
+    dc="$(echo "$out" | sed -n "s/^${t}_completed_16k=//p")"
+    awk -v got="$dc" -v min="$done_min" -v t="$t" 'BEGIN {
+      if (got + 0 < min + 0) {
+        printf "transport-smoke: FAIL %s completed %d < %d 16KB messages\n", t, got, min;
+        exit 1;
+      }
+      printf "transport-smoke: OK %s completed %d >= %d\n", t, got, min;
+    }'
+  done
+  awk -v got="$mtp_p99" -v max="$mtp_p99_max" 'BEGIN {
+    if (got + 0 > max + 0) {
+      printf "transport-smoke: FAIL mtp_p99_us_16k %.2f > %.1f\n", got, max;
+      exit 1;
+    }
+    printf "transport-smoke: OK mtp_p99_us_16k %.2f <= %.1f\n", got, max;
+  }'
+  awk -v homa="$homa_p99" -v mtp="$mtp_p99" -v max="$ratio_max" 'BEGIN {
+    ratio = homa / mtp;
+    if (ratio > max + 0) {
+      printf "transport-smoke: FAIL homa p99 %.2f us is %.2fx MTP%s %.2f us (max %.1fx)\n", homa, ratio, "\x27s", mtp, max;
+      exit 1;
+    }
+    printf "transport-smoke: OK homa/mtp p99 ratio %.2f <= %.1f\n", ratio, max;
+  }'
+  awk -v got="$flap" -v max="$flap_max" 'BEGIN {
+    if (got + 0 <= 0) {
+      printf "transport-smoke: FAIL mptcp never recovered from the link flap\n";
+      exit 1;
+    }
+    if (got + 0 > max + 0) {
+      printf "transport-smoke: FAIL mptcp_flap_recovery_us %.0f > %.0f\n", got, max;
+      exit 1;
+    }
+    printf "transport-smoke: OK mptcp_flap_recovery_us %.0f <= %.0f\n", got, max;
+  }'
+}
+
 case "$mode" in
   asan) run_asan ;;
   tsan) run_tsan ;;
@@ -360,6 +437,7 @@ case "$mode" in
   scale-smoke) run_scale_smoke ;;
   stream-smoke) run_stream_smoke ;;
   overload-smoke) run_overload_smoke ;;
+  transport-smoke) run_transport_smoke ;;
   all)
     run_asan
     run_tsan
@@ -368,9 +446,10 @@ case "$mode" in
     run_scale_smoke
     run_stream_smoke
     run_overload_smoke
+    run_transport_smoke
     ;;
   *)
-    echo "usage: check.sh [asan|tsan|chaos|bench-smoke|scale-smoke|stream-smoke|overload-smoke|all]" >&2
+    echo "usage: check.sh [asan|tsan|chaos|bench-smoke|scale-smoke|stream-smoke|overload-smoke|transport-smoke|all]" >&2
     exit 2
     ;;
 esac

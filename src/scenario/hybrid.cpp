@@ -109,7 +109,7 @@ FidelityResult fig3_fidelity(std::uint64_t seed) {
     ScenarioBuilder b;
     b.seed(seed)
         .topology(topo::incast(8))
-        .transport(TransportKind::kMtp)
+        .transport("mtp")
         .workload(sched);
     return b;
   };
@@ -137,7 +137,7 @@ FidelityResult fig7_fidelity(std::uint64_t seed) {
     ScenarioBuilder b;
     b.seed(seed)
         .topology(topo::shared_bottleneck())
-        .transport(TransportKind::kMtp)
+        .transport("mtp")
         .workload(sched);
     return b;
   };
@@ -174,7 +174,7 @@ TenantIsolationResult tenant_isolation(int k, unsigned shards, int msgs_per_host
                .shards(shards)
                .topology(topo::fat_tree({.k = k}))
                .forwarding(Forwarding::kEcmp)
-               .transport(TransportKind::kMtp)
+               .transport("mtp")
                .workload(std::move(sched))
                .bulk_transfers(bulk)
                .bulk_mode(BulkMode::kFlowLevel)

@@ -7,6 +7,17 @@
 
 namespace mtp::scenario {
 
+void add_transport_metrics(telemetry::RunReport::Section& sec,
+                           const std::string& name,
+                           const transport::TransportMetrics& m) {
+  sec.add_text("transport", name);
+  sec.add_scalar("msgs_completed", static_cast<double>(m.msgs_completed));
+  sec.add_scalar("pkts_sent", static_cast<double>(m.pkts_sent));
+  sec.add_scalar("retransmits", static_cast<double>(m.retransmits));
+  sec.add_scalar("timeouts", static_cast<double>(m.timeouts));
+  sec.add_scalar("grants_issued", static_cast<double>(m.grants_issued));
+}
+
 namespace {
 
 Fig5Result summarize_fig5(const stats::ThroughputMeter& meter, sim::SimTime flip_period,
@@ -35,19 +46,26 @@ Fig5Result summarize_fig5(const stats::ThroughputMeter& meter, sim::SimTime flip
 
 }  // namespace
 
-Fig5Result run_fig5_dctcp(sim::SimTime duration, sim::SimTime flip_period,
-                          sim::SimTime sample) {
+Fig5Result run_fig5(const std::string& transport, sim::SimTime duration,
+                    sim::SimTime flip_period, sim::SimTime sample) {
   auto s = ScenarioBuilder()
                .topology(topo::two_path_flip())
                .forwarding(Forwarding::kAlternating, flip_period)
-               .transport(TransportKind::kDctcp)
+               .transport(transport)
                .bulk()
                .goodput_window(sample)
                .build();
   s->run(duration);
   Fig5Result r = summarize_fig5(*s->goodput(), flip_period, duration);
+  r.transport = s->transport_name();
+  r.metrics = s->transport_metrics();
   r.registry = s->snapshot();
   return r;
+}
+
+Fig5Result run_fig5_dctcp(sim::SimTime duration, sim::SimTime flip_period,
+                          sim::SimTime sample) {
+  return run_fig5("dctcp", duration, flip_period, sample);
 }
 
 Fig5Result run_fig5_mtp(sim::SimTime duration, sim::SimTime flip_period,
@@ -56,7 +74,7 @@ Fig5Result run_fig5_mtp(sim::SimTime duration, sim::SimTime flip_period,
   auto s = ScenarioBuilder()
                .topology(topo::two_path_flip())
                .forwarding(Forwarding::kAlternating, flip_period)
-               .transport(TransportKind::kMtp)
+               .transport("mtp")
                .bulk()
                .goodput_window(sample)
                .build();
@@ -65,6 +83,8 @@ Fig5Result run_fig5_mtp(sim::SimTime duration, sim::SimTime flip_period,
       {.id = pathlets_per_path ? 2u : 1u, .feedback = feedback, .rcp_rtt = 10_us});
   s->run(duration);
   Fig5Result r = summarize_fig5(*s->goodput(), flip_period, duration);
+  r.transport = s->transport_name();
+  r.metrics = s->transport_metrics();
   r.registry = s->snapshot();
   return r;
 }
@@ -89,20 +109,30 @@ Fig6Result run_fig6(const std::string& scheme, int messages, std::uint64_t seed,
     }
   }
 
-  const bool mtp = scheme == "mtp-lb";
+  // scheme -> (transport, fabric policy). Homa assumes a spraying fabric
+  // (its receiver reassembles out-of-order packets); MPTCP relies on
+  // per-flow ECMP to land its subflows on distinct paths.
+  const std::string transport = scheme == "mtp-lb"  ? "mtp"
+                                : scheme == "homa"  ? "homa"
+                                : scheme == "mptcp" ? "mptcp"
+                                                    : "dctcp";
+  const Forwarding fwd = scheme == "spray" || scheme == "homa"
+                             ? Forwarding::kSpray
+                         : scheme == "mtp-lb" ? Forwarding::kMessageAware
+                                              : Forwarding::kEcmp;
   auto s = ScenarioBuilder()
                .seed(seed)
                .topology(topo::dual_path(/*senders=*/2))
-               .forwarding(scheme == "ecmp"    ? Forwarding::kEcmp
-                           : scheme == "spray" ? Forwarding::kSpray
-                                               : Forwarding::kMessageAware)
-               .transport(mtp ? TransportKind::kMtp : TransportKind::kDctcp)
+               .forwarding(fwd)
+               .transport(transport)
                .workload(std::move(sched))
                .build();
   s->run();
 
   Fig6Result result;
   result.scheme = scheme;
+  result.transport = s->transport_name();
+  result.metrics = s->transport_metrics();
   result.registry = s->snapshot();
   const stats::FctRecorder& fct = s->fct();
   result.messages = fct.count();
@@ -132,7 +162,7 @@ Fig7Result run_fig7(const std::string& system, sim::SimTime duration) {
   auto s = ScenarioBuilder()
                .seed(42)
                .topology(topo::shared_bottleneck(std::move(queue)))
-               .transport(mtp ? TransportKind::kMtp : TransportKind::kDctcp)
+               .transport(mtp ? "mtp" : "dctcp")
                .sender_tcs({1, 2})
                .build();
 
@@ -244,21 +274,31 @@ void finish_fault_run(FaultRecoveryResult& r) {
 
 FaultRecoveryResult run_fault_recovery(const std::string& transport) {
   const bool mtp = transport == "mtp";
+  const bool homa = transport == "homa";
+  const bool mptcp = transport == "mptcp";
   const sim::SimTime horizon = 16_ms;
   ScenarioBuilder b;
   b.seed(42)
       .topology(topo::dual_hop_fabric())
-      // The MTP run gets message-aware switches; the TCP run keeps the
-      // default static first-candidate policy, which pins the flow to the
-      // swA path the way an ECMP hash would.
-      .forwarding(mtp ? Forwarding::kMessageAware : Forwarding::kStatic)
+      // MTP gets message-aware switches. Homa runs under its native
+      // spraying fabric, MPTCP under per-flow ECMP so its subflows spread.
+      // The TCP run keeps the default static first-candidate policy, which
+      // pins the flow to the swA path the way an ECMP hash would.
+      .forwarding(mtp     ? Forwarding::kMessageAware
+                  : homa  ? Forwarding::kSpray
+                  : mptcp ? Forwarding::kEcmp
+                          : Forwarding::kStatic)
       .goodput_window(kFaultWindow)
       .flap(/*link=*/0, kFaultFlapAt, kFaultFlapFor);
-  if (mtp) {
-    core::MtpConfig cfg;
-    cfg.auto_exclude_after_losses = 2;
-    cfg.exclude_duration = 2_ms;
-    b.transport(TransportKind::kMtp).mtp_config(cfg);
+  if (mtp || homa) {
+    if (mtp) {
+      core::MtpConfig cfg;
+      cfg.auto_exclude_after_losses = 2;
+      cfg.exclude_duration = 2_ms;
+      b.transport("mtp").mtp_config(cfg);
+    } else {
+      b.transport("homa");
+    }
     // Offered load: one 32 KB message every 12.8 us = 20 Gb/s, under either
     // path's solo capacity so the surviving path can carry everything.
     workload::ArrivalSchedule sched;
@@ -268,12 +308,13 @@ FaultRecoveryResult run_fault_recovery(const std::string& transport) {
     }
     b.workload(std::move(sched));
   } else {
-    b.transport(TransportKind::kDctcp).bulk(40'000'000);
+    b.transport(mptcp ? "mptcp" : "dctcp").bulk(40'000'000);
   }
   auto s = b.build();
   s->run(horizon);
   FaultRecoveryResult res;
   res.meter = *s->goodput();
+  res.metrics = s->transport_metrics();
   finish_fault_run(res);
   return res;
 }

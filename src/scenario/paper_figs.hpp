@@ -7,23 +7,39 @@
 #include <vector>
 
 #include "scenario/scenario.hpp"
+#include "telemetry/report.hpp"
 
 namespace mtp::scenario {
+
+/// Stamp the uniform per-transport RunReport columns — transport name,
+/// completions, packets, retransmits, timeouts, grants — into a section, so
+/// every multi-way figure reports the zoo the same way.
+void add_transport_metrics(telemetry::RunReport::Section& sec,
+                           const std::string& name,
+                           const transport::TransportMetrics& m);
 
 // ---------------------------------------------------------------- Fig 5
 
 struct Fig5Result {
+  std::string transport;
   std::vector<stats::ThroughputMeter::Sample> series;  ///< goodput per 32us
   double avg_gbps = 0;
   double fast_phase_gbps = 0;  ///< mean goodput while routed via the fast path
   double slow_phase_gbps = 0;
+  transport::TransportMetrics metrics;  ///< RunReport per-transport columns
   /// Registry state at end of run (captured while the rig is still alive).
   telemetry::RegistrySnapshot registry;
 };
 
-/// Fig 5 scenario: a first-hop switch alternates all traffic between a fast
-/// (100G) and a slow (10G) path every `flip_period`; DCTCP drives one
-/// long-lived flow. Goodput sampled every `sample` at the receiver.
+/// Fig 5 scenario for any registered transport ("dctcp", "tcp", "homa",
+/// "mptcp", ...): a first-hop switch alternates one long-lived flow between
+/// a fast (100G) and a slow (10G) path every `flip_period`. Goodput sampled
+/// every `sample` at the receiver. For MTP use run_fig5_mtp, which also
+/// tags the paths with pathlets.
+Fig5Result run_fig5(const std::string& transport, sim::SimTime duration,
+                    sim::SimTime flip_period, sim::SimTime sample = 32_us);
+
+/// run_fig5("dctcp", ...), the paper's baseline.
 Fig5Result run_fig5_dctcp(sim::SimTime duration, sim::SimTime flip_period,
                           sim::SimTime sample = 32_us);
 
@@ -39,18 +55,25 @@ Fig5Result run_fig5_mtp(sim::SimTime duration, sim::SimTime flip_period,
 
 struct Fig6Result {
   std::string scheme;
+  std::string transport;
   std::size_t messages = 0;
   double p50_us = 0;
   double p99_us = 0;
   double mean_us = 0;
   double path_a_bytes_frac = 0;  ///< fraction of bytes on the first path
+  transport::TransportMetrics metrics;  ///< RunReport per-transport columns
   stats::FctRecorder fct;        ///< full FCT sample set (size-bucket slicing)
   telemetry::RegistrySnapshot registry;
 };
 
 /// Fig 6: two 100G paths, one with +1us extra delay; skewed message sizes.
-/// scheme: "ecmp" | "spray" (per-message DCTCP connections) or "mtp-lb"
-/// (MTP + message-aware LB).
+/// scheme:
+///   ecmp   — per-message DCTCP connections, flow-hash placement
+///   spray  — per-message DCTCP connections, per-packet spraying
+///   mtp-lb — MTP + message-aware LB (the paper's scheme)
+///   homa   — receiver-driven SRPT under per-packet spraying (Homa's
+///            native fabric assumption; its receiver tolerates reordering)
+///   mptcp  — coupled subflows, each ECMP-hashed onto its own path
 Fig6Result run_fig6(const std::string& scheme, int messages, std::uint64_t seed,
                     std::int64_t max_msg_bytes = 16 << 20);
 
@@ -83,10 +106,16 @@ struct FaultRecoveryResult {
   /// Time from flap onset to the first goodput sample at >= 80% of the
   /// pre-fault mean; -1 if it never recovered inside the horizon.
   double recovery_us = -1;
+  transport::TransportMetrics metrics;  ///< RunReport per-transport columns
 };
 
-/// `transport` is "mtp" (message-aware LB, per-message placement) or "tcp"
-/// (DCTCP hash-pinned to the failing path — the ECMP model).
+/// `transport`:
+///   "mtp"   — message-aware LB + pathlet auto-exclusion (the paper's story)
+///   "tcp"   — DCTCP hash-pinned to the failing path (the ECMP model)
+///   "homa"  — receiver-driven SRPT under per-packet spraying: half the
+///             sprayed packets die while the link is down
+///   "mptcp" — coupled subflows ECMP-spread over both paths: survivors
+///             carry the load, dead subflows wait out their RTO penalty
 FaultRecoveryResult run_fault_recovery(const std::string& transport);
 
 }  // namespace mtp::scenario

@@ -269,71 +269,39 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() {
     s->meter_ = std::make_unique<stats::ThroughputMeter>(goodput_window_);
   }
 
-  const auto tc_of = [this](std::size_t i) {
-    return i < sender_tcs_.size() ? sender_tcs_[i] : proto::TrafficClassId{0};
-  };
   net::Host* rcv = s->topo_.receiver;
 
-  if (transport_ == TransportKind::kMtp) {
-    for (net::Host* h : s->topo_.senders) {
-      s->mtp_eps_.push_back(std::make_unique<core::MtpEndpoint>(*h, mtp_cfg_));
-      // Peer-to-peer topologies: every endpoint also accepts messages.
-      if (!rcv) s->mtp_eps_.back()->listen(dst_port_, [](const core::ReceivedMessage&) {});
+  // Resolve the transport by name. The fleet builds every sender-side
+  // endpoint/stack (in sender order — creation order is part of the recorded
+  // experiment) plus the receiver-side sink and wires the goodput meter.
+  transport::TransportBuildContext tctx;
+  tctx.net = s->net_.get();
+  tctx.senders = s->topo_.senders;
+  tctx.receiver = rcv;
+  tctx.dst_port = dst_port_;
+  tctx.sender_tcs = sender_tcs_;
+  tctx.meter = s->meter_.get();
+  s->fleet_ = transport::TransportRegistry::global().build(transport_, tctx, tcfg_);
+
+  if (stream_on_) {
+    if (!rcv) {
+      throw std::logic_error("Scenario: stream_workload needs a receiver topology");
     }
-    if (rcv) {
-      s->mtp_rcv_ = std::make_unique<core::MtpEndpoint>(*rcv, core::MtpConfig{});
-      s->mtp_rcv_->listen(dst_port_, [](const core::ReceivedMessage&) {});
-      if (s->meter_) {
-        auto* meter = s->meter_.get();
-        // The receiver's shard clock: payload deliveries (and so the meter)
-        // run on that shard's worker thread only.
-        auto* sim = &s->net_->simulator(s->net_->shard_of(*rcv));
-        s->mtp_rcv_->on_payload = [meter, sim](std::int64_t bytes) {
-          meter->record(sim->now(), bytes);
-        };
-      }
-      for (std::size_t i = 0; i < s->mtp_eps_.size(); ++i) {
-        s->senders_.push_back(std::make_unique<transport::MtpMessageSender>(
-            *s->mtp_eps_[i], rcv->id(), dst_port_, tc_of(i)));
-      }
+    auto* mf = dynamic_cast<transport::MtpFleet*>(s->fleet_.get());
+    if (!mf) {
+      throw std::logic_error(
+          "Scenario: stream_workload rides MTP endpoints; it requires "
+          "transport(\"mtp\"), not \"" + s->fleet_->name() + "\"");
     }
-    if (stream_on_) {
-      if (!rcv) {
-        throw std::logic_error("Scenario: stream_workload needs a receiver topology");
-      }
-      // The receiver mux's listen() supersedes the no-op listener above.
-      s->stream_rcv_ =
-          std::make_unique<stream::StreamMux>(*s->mtp_rcv_, dst_port_, stream_cfg_);
-      for (std::size_t i = 0; i < s->mtp_eps_.size(); ++i) {
-        s->stream_muxes_.push_back(
-            std::make_unique<stream::StreamMux>(*s->mtp_eps_[i], dst_port_, stream_cfg_));
-        s->stream_senders_.push_back(
-            &s->stream_muxes_.back()->open(rcv->id(), dst_port_));
-        s->stream_src_index_[s->topo_.senders[i]->id()] = i;
-      }
-    }
-  } else {
-    if (stream_on_) {
-      throw std::logic_error("Scenario: stream_workload requires TransportKind::kMtp");
-    }
-    transport::TcpConfig cfg = tcp_cfg_;
-    if (transport_ == TransportKind::kDctcp) cfg.dctcp = true;
+    // The receiver mux's listen() supersedes the fleet's no-op listener.
+    s->stream_rcv_ = std::make_unique<stream::StreamMux>(*mf->receiver_endpoint(),
+                                                         dst_port_, stream_cfg_);
     for (std::size_t i = 0; i < s->topo_.senders.size(); ++i) {
-      transport::TcpConfig c = cfg;
-      c.tc = tc_of(i);
-      s->tcp_stacks_.push_back(
-          std::make_unique<transport::TcpStack>(*s->topo_.senders[i], c));
-    }
-    if (rcv) {
-      transport::TcpConfig rcfg = cfg;
-      rcfg.tc = 0;
-      s->tcp_rcv_ = std::make_unique<transport::TcpStack>(*rcv, rcfg);
-      s->tcp_sink_ = std::make_unique<transport::TcpSink>(*s->tcp_rcv_, dst_port_,
-                                                          s->meter_.get());
-      for (auto& stack : s->tcp_stacks_) {
-        s->senders_.push_back(std::make_unique<transport::TcpMessageSender>(
-            *stack, rcv->id(), dst_port_));
-      }
+      s->stream_muxes_.push_back(std::make_unique<stream::StreamMux>(
+          mf->sender_endpoint(i), dst_port_, stream_cfg_));
+      s->stream_senders_.push_back(
+          &s->stream_muxes_.back()->open(rcv->id(), dst_port_));
+      s->stream_src_index_[s->topo_.senders[i]->id()] = i;
     }
   }
 
@@ -564,18 +532,13 @@ void Scenario::start() {
   for (auto& fm : flow_models_) fm->start();
   start_paced_bulk();
   if (bulk_bytes_ != 0) {
-    if (!mtp_eps_.empty()) {
-      // A long-lasting flow: one very large message (endless = 1 GB, which
-      // outlives every figure horizon).
-      const std::int64_t bytes = bulk_bytes_ < 0 ? (std::int64_t{1} << 30) : bulk_bytes_;
-      sender(0).send_message(bytes);
-    } else {
-      bulk_sources_.push_back(std::make_unique<transport::TcpBulkSource>(
-          *tcp_stacks_[0], topo_.receiver->id(), dst_port_, bulk_bytes_));
-    }
+    // A long-lasting flow: message transports send one very large message
+    // (endless = 1 GB, which outlives every figure horizon); TCP-family
+    // transports keep a bottomless connection open.
+    fleet_->sender(0).send_bulk(bulk_bytes_);
   }
   if (!schedule_.empty()) {
-    if (senders_.empty() && !arrival_handler_) {
+    if (fleet_->num_senders() == 0 && !arrival_handler_) {
       throw std::logic_error(
           "Scenario: a workload on a peer-to-peer topology needs set_arrival_handler()");
     }
@@ -640,7 +603,7 @@ void Scenario::start() {
               arrival_handler_(a);
               return;
             }
-            senders_[a.src]->send_message(
+            fleet_->sender(a.src).send_message(
                 a.bytes, [this, shard](sim::SimTime fct, std::int64_t bytes) {
                   fct_samples_[shard].emplace_back(fct, bytes);
                 });
@@ -660,6 +623,21 @@ stats::FctRecorder& Scenario::fct() {
     fct_merged_ = total;
   }
   return fct_;
+}
+
+std::uint64_t Scenario::fct_digest() const {
+  // Commutative fold of the (fct, bytes) samples: shard-grouped ordering
+  // cannot change the result, different sample multisets almost surely do.
+  std::uint64_t d = 0;
+  std::uint64_t n = 0;
+  for (const auto& v : fct_samples_) {
+    for (const auto& [t, b] : v) {
+      d += mix64(static_cast<std::uint64_t>(t.ns()) ^
+                 (static_cast<std::uint64_t>(b) * 0x9e3779b97f4a7c15ull));
+      ++n;
+    }
+  }
+  return mix64(d ^ (n * 0xbf58476d1ce4e5b9ull));
 }
 
 stream::StreamMux::Stats Scenario::stream_stats() const {

@@ -9,17 +9,20 @@
 //                .seed(7)
 //                .topology(topo::dual_path(/*senders=*/2))
 //                .forwarding(Forwarding::kMessageAware)
-//                .transport(TransportKind::kMtp)
+//                .transport("homa")
 //                .workload(std::move(schedule))
 //                .goodput_window(32_us)
 //                .build();
 //   s->run();
 //
-// The built Scenario owns the network, the transports, and a unified
-// transport::MessageSender per sender host, so harness code never touches
-// MtpEndpoint / TcpStack unless it opts into the concrete accessors.
-// Topologies are plain functors over net::Network; the canned ones in
-// namespace topo cover the paper's rigs, and callers can pass their own.
+// Transports are chosen by name from transport::TransportRegistry ("mtp",
+// "tcp", "dctcp", "homa", "mptcp", plus whatever tests register); unknown
+// names fail listing the registered set. The built Scenario owns the network
+// and a transport::TransportFleet — one transport::Transport per sender
+// host — so harness code never touches MtpEndpoint / TcpStack unless it
+// opts into the concrete accessors. Topologies are plain functors over
+// net::Network; the canned ones in namespace topo cover the paper's rigs,
+// and callers can pass their own.
 //
 // .shards(n) partitions the experiment across n sim::sharded space shards
 // (net::Network's conservative engine). The workload replays through one
@@ -44,16 +47,12 @@
 #include "sim/flow/fluid.hpp"
 #include "stats/stats.hpp"
 #include "telemetry/metrics.hpp"
-#include "transport/apps.hpp"
-#include "transport/message_sender.hpp"
-#include "transport/tcp.hpp"
+#include "transport/transport.hpp"
 #include "workload/workload.hpp"
 
 namespace mtp::scenario {
 
 using namespace mtp::sim::literals;
-
-enum class TransportKind { kMtp, kTcp, kDctcp };
 
 /// How declared bulk transfers (bulk_transfer) are simulated.
 ///   kPacket:    paced packet streams — every byte costs per-packet events.
@@ -110,8 +109,8 @@ TopologyFn shared_bottleneck(
 TopologyFn incast(int senders);
 
 /// Three-tier fat-tree (net::FatTree) in peer-to-peer mode: every host is a
-/// sender, there is no designated receiver, and with TransportKind::kMtp
-/// every endpoint listens on dst_port. Drive traffic through the concrete
+/// sender, there is no designated receiver, and with transport("mtp") every
+/// endpoint listens on dst_port. Drive traffic through the concrete
 /// mtp_sender(i) accessors (bench_scale's any-to-any pattern). The
 /// Forwarding policy applies to all edge and aggregation switches.
 TopologyFn fat_tree(net::FatTree::Config cfg);
@@ -132,13 +131,40 @@ class Scenario {
 
   /// Unified per-sender submission (bound to receiver:dst_port). Only
   /// available when the topology has a receiver.
-  transport::MessageSender& sender(std::size_t i) { return *senders_[i]; }
+  transport::Transport& sender(std::size_t i) { return fleet_->sender(i); }
 
-  // Concrete access for scenario-specific wiring; null for the other kind.
-  core::MtpEndpoint* mtp_sender(std::size_t i) { return mtp_eps_.empty() ? nullptr : mtp_eps_[i].get(); }
-  core::MtpEndpoint* mtp_receiver() { return mtp_rcv_.get(); }
-  transport::TcpStack* tcp_sender(std::size_t i) { return tcp_stacks_.empty() ? nullptr : tcp_stacks_[i].get(); }
-  transport::TcpStack* tcp_receiver() { return tcp_rcv_.get(); }
+  /// The whole fleet: name(), per-sender transports, metrics() roll-up.
+  transport::TransportFleet& fleet() { return *fleet_; }
+  std::string transport_name() const { return fleet_->name(); }
+  /// RunReport columns: completions, pkts, retransmits, timeouts, grants.
+  transport::TransportMetrics transport_metrics() const { return fleet_->metrics(); }
+
+  // Concrete access for scenario-specific wiring; null when the scenario
+  // runs a different transport.
+  core::MtpEndpoint* mtp_sender(std::size_t i) {
+    auto* f = dynamic_cast<transport::MtpFleet*>(fleet_.get());
+    return f ? &f->sender_endpoint(i) : nullptr;
+  }
+  core::MtpEndpoint* mtp_receiver() {
+    auto* f = dynamic_cast<transport::MtpFleet*>(fleet_.get());
+    return f ? f->receiver_endpoint() : nullptr;
+  }
+  transport::TcpStack* tcp_sender(std::size_t i) {
+    auto* f = dynamic_cast<transport::TcpFleet*>(fleet_.get());
+    return f ? &f->sender_stack(i) : nullptr;
+  }
+  transport::TcpStack* tcp_receiver() {
+    auto* f = dynamic_cast<transport::TcpFleet*>(fleet_.get());
+    return f ? f->receiver_stack() : nullptr;
+  }
+  transport::HomaEndpoint* homa_sender(std::size_t i) {
+    auto* f = dynamic_cast<transport::HomaFleet*>(fleet_.get());
+    return f ? &f->sender_endpoint(i) : nullptr;
+  }
+  transport::HomaEndpoint* homa_receiver() {
+    auto* f = dynamic_cast<transport::HomaFleet*>(fleet_.get());
+    return f ? f->receiver_endpoint() : nullptr;
+  }
 
   // Stream mode (ScenarioBuilder::stream_workload): one mtp::stream per
   // sender into the receiver's StreamMux. fct() then records per-record
@@ -159,6 +185,9 @@ class Scenario {
   /// Merged lazily from the per-shard logs; sample order is shard-grouped
   /// under shards > 1, the sample multiset is shard-count-invariant.
   stats::FctRecorder& fct();
+  /// Order-independent hash of the (fct, bytes) completion multiset — equal
+  /// across shard counts for every transport (the conformance check).
+  std::uint64_t fct_digest() const;
   /// Receiver-side goodput meter; null unless goodput_window() was set.
   stats::ThroughputMeter* goodput() { return meter_.get(); }
   workload::ArrivalSchedule& schedule() { return schedule_; }
@@ -225,13 +254,7 @@ class Scenario {
   std::vector<std::int64_t> paced_rx_bytes_;            ///< per transfer, receiver side
   bool started_ = false;
 
-  std::vector<std::unique_ptr<core::MtpEndpoint>> mtp_eps_;
-  std::unique_ptr<core::MtpEndpoint> mtp_rcv_;
-  std::vector<std::unique_ptr<transport::TcpStack>> tcp_stacks_;
-  std::unique_ptr<transport::TcpStack> tcp_rcv_;
-  std::unique_ptr<transport::TcpSink> tcp_sink_;
-  std::vector<std::unique_ptr<transport::TcpBulkSource>> bulk_sources_;
-  std::vector<std::unique_ptr<transport::MessageSender>> senders_;
+  std::unique_ptr<transport::TransportFleet> fleet_;
 
   // Stream mode. Sender muxes live on sender shards; receiver-side record
   // accounting (cursor/marks) is touched only on the receiver's shard.
@@ -272,15 +295,33 @@ class ScenarioBuilder {
     alternating_period_ = alternating_period;
     return *this;
   }
-  ScenarioBuilder& transport(TransportKind k) { transport_ = k; return *this; }
-  ScenarioBuilder& mtp_config(core::MtpConfig cfg) { mtp_cfg_ = std::move(cfg); return *this; }
+  /// Pick the transport by registry name ("mtp", "tcp", "dctcp", "homa",
+  /// "mptcp", or anything tests registered). Unknown names make build()
+  /// throw, listing the registered set.
+  ScenarioBuilder& transport(std::string name) {
+    transport_ = std::move(name);
+    return *this;
+  }
+  /// Same, with a full per-transport config bundle in one call.
+  ScenarioBuilder& transport(std::string name, transport::TransportConfig cfg) {
+    transport_ = std::move(name);
+    tcfg_ = std::move(cfg);
+    return *this;
+  }
+  ScenarioBuilder& transport_config(transport::TransportConfig cfg) {
+    tcfg_ = std::move(cfg);
+    return *this;
+  }
+  ScenarioBuilder& mtp_config(core::MtpConfig cfg) { tcfg_.mtp = std::move(cfg); return *this; }
   /// Overload-control knobs alone, leaving the rest of the MTP config as
   /// configured (receiver-driven admission, watermark shedding, deadlines).
   ScenarioBuilder& mtp_overload(core::MtpConfig::OverloadControl ov) {
-    mtp_cfg_.overload = std::move(ov);
+    tcfg_.mtp.overload = std::move(ov);
     return *this;
   }
-  ScenarioBuilder& tcp_config(transport::TcpConfig cfg) { tcp_cfg_ = std::move(cfg); return *this; }
+  ScenarioBuilder& tcp_config(transport::TcpConfig cfg) { tcfg_.tcp = std::move(cfg); return *this; }
+  ScenarioBuilder& homa_config(transport::HomaConfig cfg) { tcfg_.homa = std::move(cfg); return *this; }
+  ScenarioBuilder& mptcp_config(transport::MptcpConfig cfg) { tcfg_.mptcp = std::move(cfg); return *this; }
   ScenarioBuilder& dst_port(proto::PortNum p) { dst_port_ = p; return *this; }
   /// Per-sender traffic class (MessageOptions.tc for MTP, TcpConfig.tc for
   /// TCP). Missing entries default to 0.
@@ -296,7 +337,7 @@ class ScenarioBuilder {
   }
   /// Send every workload arrival as one record on a per-sender mtp::stream
   /// (ordered + FEC per `cfg`) instead of as an independent message.
-  /// Requires TransportKind::kMtp and a receiver topology. fct() records
+  /// Requires transport("mtp") and a receiver topology. fct() records
   /// per-record delivery latency; each stream finish()es after its last
   /// scheduled record, so run() quiesces once all streams complete.
   ScenarioBuilder& stream_workload(stream::StreamConfig cfg = {}) {
@@ -358,9 +399,8 @@ class ScenarioBuilder {
   TopologyFn topo_fn_;
   Forwarding forwarding_ = Forwarding::kStatic;
   sim::SimTime alternating_period_ = 0_us;
-  TransportKind transport_ = TransportKind::kMtp;
-  core::MtpConfig mtp_cfg_;
-  transport::TcpConfig tcp_cfg_;
+  std::string transport_ = "mtp";
+  transport::TransportConfig tcfg_;
   proto::PortNum dst_port_ = 80;
   std::vector<proto::TrafficClassId> sender_tcs_;
   bool stream_on_ = false;

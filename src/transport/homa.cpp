@@ -1,0 +1,395 @@
+#include "transport/homa.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mtp::transport {
+
+namespace {
+constexpr double kMaxBackoff = 64.0;
+
+std::uint64_t homa_flow_hash(net::NodeId a, proto::PortNum ap, net::NodeId b,
+                             proto::PortNum bp) {
+  std::uint64_t h = (static_cast<std::uint64_t>(a) << 48) ^
+                    (static_cast<std::uint64_t>(b) << 32) ^
+                    (static_cast<std::uint64_t>(ap) << 16) ^ bp;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+}  // namespace
+
+HomaEndpoint::HomaEndpoint(net::Host& host, HomaConfig cfg)
+    : host_(host), cfg_(cfg), sim_(host.simulator()) {
+  host_.set_mtp_handler([this](net::Packet&& pkt) { on_packet(std::move(pkt)); });
+  metrics_ = telemetry::MetricRegistry::global().add(
+      "homa", host_.name(), [this](std::vector<telemetry::MetricSample>& out) {
+        using telemetry::MetricKind;
+        out.push_back({"pkts_sent", MetricKind::kCounter,
+                       static_cast<double>(pkts_sent_)});
+        out.push_back({"pkts_retransmitted", MetricKind::kCounter,
+                       static_cast<double>(pkts_retx_)});
+        out.push_back({"grants_issued", MetricKind::kCounter,
+                       static_cast<double>(grants_issued_)});
+        out.push_back({"acks_sent", MetricKind::kCounter,
+                       static_cast<double>(acks_sent_)});
+        out.push_back({"msgs_delivered", MetricKind::kCounter,
+                       static_cast<double>(msgs_delivered_)});
+        out.push_back({"outstanding_messages", MetricKind::kGauge,
+                       static_cast<double>(outgoing_.size())});
+        out.push_back({"active_incoming", MetricKind::kGauge,
+                       static_cast<double>(active_.size())});
+        out.push_back({"srtt_us", MetricKind::kGauge,
+                       rtt_valid_ ? static_cast<double>(srtt_.ns()) / 1000.0 : 0.0});
+        out.push_back({"checksum_drops", MetricKind::kCounter,
+                       static_cast<double>(checksum_drops_)});
+      });
+}
+
+HomaEndpoint::~HomaEndpoint() {
+  for (auto& [id, msg] : outgoing_) sim_.timers().cancel(msg.retx_timer);
+}
+
+// ------------------------------------------------------------------ sender
+
+proto::MsgId HomaEndpoint::send_message(net::NodeId dst, std::int64_t bytes,
+                                        HomaOptions opts, DoneFn on_delivered) {
+  assert(bytes > 0 && "empty messages are not a thing");
+  const proto::MsgId id = next_msg_id_++;
+  OutMsg msg;
+  msg.id = id;
+  msg.dst = dst;
+  msg.opts = opts;
+  msg.total_bytes = bytes;
+  msg.total_pkts = static_cast<std::uint32_t>((bytes + cfg_.mss - 1) / cfg_.mss);
+  msg.state.assign(msg.total_pkts, 0);
+  msg.sent_at.assign(msg.total_pkts, sim::SimTime{});
+  // The unscheduled window: one BDP goes out immediately, no grant needed.
+  msg.granted = std::min<std::int64_t>(bytes, cfg_.rtt_bytes);
+  msg.sched_prio = 0;
+  msg.started_at = sim_.now();
+  msg.done = std::move(on_delivered);
+  OutMsg& slot = outgoing_.emplace(id, std::move(msg)).first->second;
+  pump(slot);
+  return id;
+}
+
+void HomaEndpoint::pump(OutMsg& msg) {
+  while (msg.next_unsent < msg.total_pkts &&
+         static_cast<std::int64_t>(msg.next_unsent) * cfg_.mss < msg.granted) {
+    send_data_pkt(msg, msg.next_unsent, /*is_retx=*/false);
+    ++msg.next_unsent;
+  }
+}
+
+void HomaEndpoint::send_data_pkt(OutMsg& msg, std::uint32_t pkt, bool is_retx) {
+  const std::uint64_t offset = static_cast<std::uint64_t>(pkt) * cfg_.mss;
+  // Priority remapping: the unscheduled prefix rides the top level so short
+  // messages cut ahead; granted bytes carry whatever level the receiver's
+  // SRPT ranking assigned in the latest grant.
+  const bool unscheduled =
+      static_cast<std::int64_t>(offset) < std::min<std::int64_t>(cfg_.rtt_bytes, msg.total_bytes);
+  net::Packet p;
+  p.src = host_.id();
+  p.dst = msg.dst;
+  p.payload_bytes = msg.pkt_len(pkt, cfg_.mss);
+  p.ecn = net::Ecn::kEct;
+  p.tc = msg.opts.tc;
+  p.priority = unscheduled ? cfg_.unscheduled_priority : msg.sched_prio;
+  p.flow_hash = homa_flow_hash(p.src, msg.opts.src_port, msg.dst, msg.opts.dst_port);
+  p.uid = sim_.next_packet_uid();
+
+  proto::MtpHeader hdr;
+  hdr.src_port = msg.opts.src_port;
+  hdr.dst_port = msg.opts.dst_port;
+  hdr.type = proto::MtpPacketType::kData;
+  hdr.msg_id = msg.id;
+  hdr.priority = p.priority;
+  hdr.tc = msg.opts.tc;
+  hdr.msg_len_bytes = static_cast<std::uint64_t>(msg.total_bytes);
+  hdr.msg_len_pkts = msg.total_pkts;
+  hdr.pkt_num = pkt;
+  hdr.pkt_offset = offset;
+  hdr.pkt_len = p.payload_bytes;
+  p.header_bytes = cfg_.base_header_bytes;
+  p.header = std::move(hdr);
+
+  msg.state[pkt] = static_cast<std::uint8_t>((msg.state[pkt] & ~3u) | 1u |
+                                             (is_retx ? 4u : 0u));
+  msg.sent_at[pkt] = sim_.now();
+  ++pkts_sent_;
+  if (is_retx) ++pkts_retx_;
+  if (!sim_.timers().armed(msg.retx_timer)) arm_retx(msg, sim_.now() + rto(msg));
+  host_.send(std::move(p));
+}
+
+void HomaEndpoint::on_ack(const net::Packet& pkt) {
+  const auto& hdr = pkt.mtp();
+  auto it = outgoing_.find(hdr.msg_id);
+  if (it == outgoing_.end()) return;  // message already completed
+  OutMsg& msg = it->second;
+  bool progressed = false;
+  for (const auto& s : hdr.sack()) {
+    if (s.msg_id != msg.id || s.pkt_num >= msg.total_pkts) continue;
+    std::uint8_t& st = msg.state[s.pkt_num];
+    if ((st & 3u) == 2u) continue;  // already sacked
+    // Karn: retransmitted packets give ambiguous RTT samples.
+    if (!(st & 4u) && (st & 3u) == 1u) rtt_sample(sim_.now() - msg.sent_at[s.pkt_num]);
+    st = static_cast<std::uint8_t>((st & ~3u) | 2u);
+    ++msg.sacked;
+    progressed = true;
+  }
+  if (progressed) {
+    msg.backoff = 1.0;
+    while (msg.cursor < msg.total_pkts && (msg.state[msg.cursor] & 3u) == 2u) ++msg.cursor;
+  }
+  if (hdr.has_overload()) {
+    // grant_bytes is the absolute byte offset the receiver allows.
+    const auto g = static_cast<std::int64_t>(hdr.overload->grant_bytes);
+    if (g > msg.granted) msg.granted = std::min<std::int64_t>(g, msg.total_bytes);
+    msg.sched_prio = hdr.priority;
+  }
+  if (msg.sacked == msg.total_pkts) {
+    complete_outgoing(msg);
+    return;
+  }
+  pump(msg);
+}
+
+void HomaEndpoint::complete_outgoing(OutMsg& msg) {
+  const sim::SimTime fct = sim_.now() - msg.started_at;
+  auto done = std::move(msg.done);
+  const proto::MsgId id = msg.id;
+  sim_.timers().cancel(msg.retx_timer);
+  outgoing_.erase(id);  // msg is dangling beyond this point
+  if (done) done(id, fct);
+}
+
+void HomaEndpoint::rtt_sample(sim::SimTime sample) {
+  if (!rtt_valid_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    rtt_valid_ = true;
+  } else {
+    const sim::SimTime err = sample >= srtt_ ? sample - srtt_ : srtt_ - sample;
+    rttvar_ = rttvar_.scaled(0.75) + err.scaled(0.25);
+    srtt_ = srtt_.scaled(0.875) + sample.scaled(0.125);
+  }
+}
+
+sim::SimTime HomaEndpoint::rto(const OutMsg& msg) const {
+  sim::SimTime r = rtt_valid_ ? srtt_ * 2 + rttvar_ * 4 : cfg_.min_rto.scaled(5.0);
+  r = r.scaled(msg.backoff);
+  r = std::max(r, cfg_.min_rto);
+  r = std::min(r, cfg_.max_rto);
+  return r;
+}
+
+void HomaEndpoint::retx_fire(void* self, std::uint64_t id) {
+  static_cast<HomaEndpoint*>(self)->on_retx_timer(static_cast<proto::MsgId>(id));
+}
+
+void HomaEndpoint::arm_retx(OutMsg& msg, sim::SimTime deadline) {
+  // Never (re)arm in the past or at the current instant — an `== now` arm
+  // would re-fire at this timestamp forever when the oldest packet sits
+  // exactly at its deadline.
+  const sim::SimTime floor = sim_.now() + sim_.timers().granularity();
+  msg.retx_timer =
+      sim_.timers().arm(std::max(deadline, floor), &HomaEndpoint::retx_fire, this, msg.id);
+}
+
+void HomaEndpoint::on_retx_timer(proto::MsgId id) {
+  auto it = outgoing_.find(id);
+  if (it == outgoing_.end()) return;  // completed between arm and fire
+  OutMsg& msg = it->second;
+  const sim::SimTime deadline = rto(msg);
+  const sim::SimTime now = sim_.now();
+  bool any_expired = false;
+  bool any_inflight = false;
+  sim::SimTime oldest = now;
+  // The cursor bounds the scan: everything below it is sacked, everything at
+  // or above next_unsent was never sent.
+  for (std::uint32_t pkt = msg.cursor; pkt < msg.next_unsent; ++pkt) {
+    if ((msg.state[pkt] & 3u) != 1u) continue;
+    if (now - msg.sent_at[pkt] > deadline) {
+      send_data_pkt(msg, pkt, /*is_retx=*/true);
+      any_expired = true;
+    } else if (!any_inflight || msg.sent_at[pkt] < oldest) {
+      oldest = msg.sent_at[pkt];
+      any_inflight = true;
+    }
+  }
+  if (any_expired) {
+    msg.backoff = std::min(msg.backoff * 2.0, kMaxBackoff);
+  } else if (!any_inflight && msg.next_unsent < msg.total_pkts) {
+    // Grant-loss liveness probe: every in-flight packet is sacked, unsent
+    // bytes remain, and no grant has arrived — the ACK carrying the grant
+    // was lost. Send one packet past the grant horizon; the receiver
+    // re-acks it and re-issues the grant (Homa's RESEND analog).
+    send_data_pkt(msg, msg.next_unsent, /*is_retx=*/false);
+    ++msg.next_unsent;
+  }
+  // The message is incomplete (completion erases it), so always keep a timer
+  // pending: either at the oldest surviving packet's deadline or one RTO out.
+  arm_retx(msg, any_inflight ? oldest + deadline : now + rto(msg));
+}
+
+// ---------------------------------------------------------------- receiver
+
+void HomaEndpoint::on_packet(net::Packet&& pkt) {
+  if (!pkt.checksum_ok()) {
+    // Payload damaged in flight: count and drop, never deliver. The sender's
+    // retransmission timer recovers.
+    ++checksum_drops_;
+    return;
+  }
+  if (pkt.mtp().is_ack()) {
+    on_ack(pkt);
+  } else {
+    on_data(std::move(pkt));
+  }
+}
+
+void HomaEndpoint::listen(proto::PortNum port, MessageHandler handler) {
+  handlers_[port] = std::move(handler);
+}
+
+void HomaEndpoint::on_data(net::Packet&& pkt) {
+  const auto& hdr = pkt.mtp();
+  const MsgKey key{pkt.src, hdr.msg_id};
+
+  // Duplicate of an already-delivered message: re-ACK to quench the sender.
+  if (!completed_.empty() && completed_.contains(key)) {
+    emit_ack(pkt);
+    return;
+  }
+
+  auto [it, fresh] = incoming_.try_emplace(key);
+  InMsg& msg = it->second;
+  if (fresh) {
+    msg.total_pkts = hdr.msg_len_pkts;
+    msg.total_bytes = static_cast<std::int64_t>(hdr.msg_len_bytes);
+    msg.have.assign(msg.total_pkts, false);
+    // The sender's unscheduled window is implicitly granted.
+    msg.granted = std::min<std::int64_t>(msg.total_bytes, cfg_.rtt_bytes);
+    msg.tc = hdr.tc;
+    msg.src_port = hdr.src_port;
+    msg.dst_port = hdr.dst_port;
+    msg.first_pkt_at = sim_.now();
+    active_.insert({msg.total_bytes, key.src, key.id});
+  }
+
+  if (hdr.pkt_num < msg.total_pkts && !msg.have[hdr.pkt_num]) {
+    msg.have[hdr.pkt_num] = true;
+    ++msg.received;
+    const std::int64_t before = msg.total_bytes - msg.received_bytes;
+    msg.received_bytes += pkt.payload_bytes;
+    if (on_payload) on_payload(pkt.payload_bytes);
+    // Remaining bytes shrank: re-key the SRPT set so the grant ranking sees
+    // the new shortest-remaining order.
+    active_.erase({before, key.src, key.id});
+    active_.insert({msg.total_bytes - msg.received_bytes, key.src, key.id});
+  }
+
+  if (msg.received == msg.total_pkts) {
+    emit_ack(pkt);  // final SACK completes the sender
+    active_.erase({0, key.src, key.id});
+    auto h = handlers_.find(msg.dst_port);
+    ++msgs_delivered_;
+    const net::NodeId src = key.src;
+    const std::int64_t bytes = msg.total_bytes;
+    incoming_.erase(it);  // msg is dangling beyond this point
+    completed_.insert(key);
+    completed_fifo_.push_back(key);
+    while (completed_fifo_.size() > cfg_.completed_cache) {
+      completed_.erase(completed_fifo_.front());
+      completed_fifo_.pop_front();
+    }
+    if (h != handlers_.end() && h->second) h->second(src, bytes);
+    issue_grants();  // a slot opened: promote the next message
+    return;
+  }
+  emit_ack(pkt);
+  issue_grants();
+}
+
+void HomaEndpoint::emit_ack(const net::Packet& data) {
+  const auto& dh = data.mtp();
+  net::Packet p;
+  p.src = host_.id();
+  p.dst = data.src;
+  p.payload_bytes = 0;
+  p.ecn = net::Ecn::kNotEct;
+  p.tc = data.tc;
+  p.priority = data.priority;
+  p.flow_hash = homa_flow_hash(p.src, dh.dst_port, data.src, dh.src_port);
+  p.uid = sim_.next_packet_uid();
+
+  proto::MtpHeader hdr;
+  hdr.src_port = dh.dst_port;
+  hdr.dst_port = dh.src_port;
+  hdr.type = proto::MtpPacketType::kAck;
+  hdr.msg_id = dh.msg_id;
+  hdr.tc = dh.tc;
+  hdr.priority = dh.priority;
+  hdr.msg_len_bytes = dh.msg_len_bytes;
+  hdr.msg_len_pkts = dh.msg_len_pkts;
+  hdr.pkt_num = dh.pkt_num;
+  hdr.sack().push_back({dh.msg_id, dh.pkt_num});
+  p.header_bytes = cfg_.base_header_bytes +
+                   static_cast<std::uint32_t>(hdr.sack().size() * 12);
+  p.header = std::move(hdr);
+  ++acks_sent_;
+  host_.send(std::move(p));
+}
+
+void HomaEndpoint::issue_grants() {
+  // Walk the SRPT order: the top `overcommit` incomplete messages each get
+  // one rtt_bytes of lookahead past what has arrived, at a priority level
+  // that falls with SRPT rank (rank 0 = highest scheduled level).
+  int rank = 0;
+  for (auto it = active_.begin(); it != active_.end() && rank < cfg_.overcommit;
+       ++it, ++rank) {
+    const MsgKey key{std::get<1>(*it), std::get<2>(*it)};
+    auto mi = incoming_.find(key);
+    if (mi == incoming_.end()) continue;
+    InMsg& msg = mi->second;
+    const std::int64_t desired =
+        std::min(msg.total_bytes, msg.received_bytes + cfg_.rtt_bytes);
+    if (desired <= msg.granted) continue;
+    const int prio = std::max(0, static_cast<int>(cfg_.sched_priorities) - 1 - rank);
+    msg.granted = desired;
+    send_grant(key, msg, desired, static_cast<std::uint8_t>(prio));
+  }
+}
+
+void HomaEndpoint::send_grant(const MsgKey& key, InMsg& msg, std::int64_t offset,
+                              std::uint8_t prio) {
+  net::Packet p;
+  p.src = host_.id();
+  p.dst = key.src;
+  p.payload_bytes = 0;
+  p.ecn = net::Ecn::kNotEct;
+  p.tc = msg.tc;
+  p.priority = prio;
+  p.flow_hash = homa_flow_hash(p.src, msg.dst_port, key.src, msg.src_port);
+  p.uid = sim_.next_packet_uid();
+
+  proto::MtpHeader hdr;
+  hdr.src_port = msg.dst_port;
+  hdr.dst_port = msg.src_port;
+  hdr.type = proto::MtpPacketType::kAck;
+  hdr.msg_id = key.id;
+  hdr.tc = msg.tc;
+  hdr.priority = prio;  // the scheduled level the sender should use from here
+  hdr.msg_len_bytes = static_cast<std::uint64_t>(msg.total_bytes);
+  hdr.msg_len_pkts = msg.total_pkts;
+  hdr.overload.ensure().grant_bytes = static_cast<std::uint64_t>(offset);
+  p.header_bytes = cfg_.base_header_bytes;
+  p.header = std::move(hdr);
+  ++grants_issued_;
+  host_.send(std::move(p));
+}
+
+}  // namespace mtp::transport

@@ -1,0 +1,197 @@
+// Homa-style receiver-driven message transport (Montazeri et al., SIGCOMM'18;
+// the "replace TCP in the datacenter" bar the paper's evaluation must clear).
+//
+// Mechanisms modelled:
+//   - Unscheduled first window: a sender blasts the first rtt_bytes of every
+//     message immediately at the highest priority — short messages complete
+//     in one RTT with no handshake and no grant round-trip.
+//   - Receiver-issued grants: bytes beyond the unscheduled window are sent
+//     only when the receiver grants them. The receiver keeps its active
+//     messages in SRPT order (fewest remaining bytes first) and grants the
+//     top `overcommit` messages one rtt_bytes of lookahead each, so the
+//     downlink stays busy while the schedule still favors short messages.
+//   - Priority remapping: unscheduled packets ride the top priority level;
+//     granted packets carry the priority the receiver assigned by SRPT rank,
+//     mapped onto the existing per-packet priority/TC fields.
+//
+// Wire format: the MTP header is reused verbatim (msg_id/len/pkt_num for
+// data, SACK lists for acks, the overload block's grant_bytes for grant
+// offsets) — so Homa packets get header parsing, checksum fingerprints, and
+// switch-side message visibility for free. A HomaEndpoint claims the host's
+// MTP protocol handler; a scenario runs either MTP or Homa on a host, never
+// both.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer_wheel.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace mtp::transport {
+
+struct HomaConfig {
+  std::uint32_t mss = 1000;             ///< payload bytes per packet
+  std::uint32_t base_header_bytes = 40; ///< accounted fixed header overhead
+  /// Unscheduled window and per-grant lookahead: roughly one
+  /// bandwidth-delay product (25 KB ~ 100G x 2us RTT).
+  std::int64_t rtt_bytes = 25'000;
+  /// Messages granted concurrently (Homa's overcommitment degree): keeps the
+  /// downlink busy when the top choice's sender stalls.
+  int overcommit = 2;
+  std::uint8_t unscheduled_priority = 7;  ///< highest level, short messages
+  std::uint8_t sched_priorities = 4;      ///< scheduled levels 0..n-1 by SRPT rank
+  sim::SimTime min_rto = sim::SimTime::microseconds(200);
+  sim::SimTime max_rto = sim::SimTime::milliseconds(5);
+
+  /// Completed-message tombstones kept to re-ACK duplicate retransmissions.
+  std::size_t completed_cache = 1 << 14;
+};
+
+/// Per-message submission metadata (mirrors core::MessageOptions' subset the
+/// receiver-driven protocol uses).
+struct HomaOptions {
+  proto::TrafficClassId tc = 0;
+  proto::PortNum src_port = 0;
+  proto::PortNum dst_port = 0;
+};
+
+/// One Homa transport attached to one host (sender and receiver roles).
+class HomaEndpoint {
+ public:
+  /// A completed incoming message: source, payload size.
+  using MessageHandler = std::function<void(net::NodeId src, std::int64_t bytes)>;
+  using DoneFn = std::function<void(proto::MsgId, sim::SimTime fct)>;
+
+  HomaEndpoint(net::Host& host, HomaConfig cfg);
+  ~HomaEndpoint();
+  HomaEndpoint(const HomaEndpoint&) = delete;
+  HomaEndpoint& operator=(const HomaEndpoint&) = delete;
+
+  proto::MsgId send_message(net::NodeId dst, std::int64_t bytes,
+                            HomaOptions opts = {}, DoneFn on_delivered = {});
+  void listen(proto::PortNum port, MessageHandler handler);
+
+  /// Fires once per new (non-duplicate) data packet with its payload size.
+  std::function<void(std::int64_t bytes)> on_payload;
+
+  // --- Introspection.
+  std::uint64_t pkts_sent() const { return pkts_sent_; }
+  std::uint64_t pkts_retransmitted() const { return pkts_retx_; }
+  std::uint64_t msgs_delivered() const { return msgs_delivered_; }
+  std::uint64_t grants_issued() const { return grants_issued_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t checksum_drops() const { return checksum_drops_; }
+  std::size_t outstanding_messages() const { return outgoing_.size(); }
+  sim::SimTime srtt() const { return srtt_; }
+  const HomaConfig& config() const { return cfg_; }
+  net::Host& host() { return host_; }
+
+ private:
+  struct OutMsg {
+    proto::MsgId id = 0;
+    net::NodeId dst = net::kInvalidNode;
+    HomaOptions opts;
+    std::int64_t total_bytes = 0;
+    std::uint32_t total_pkts = 0;
+    /// Per packet: bits 0-1 state (0 unsent, 1 inflight, 2 sacked),
+    /// bit 2 retransmitted (Karn).
+    std::vector<std::uint8_t> state;
+    std::vector<sim::SimTime> sent_at;
+    std::uint32_t next_unsent = 0;
+    std::uint32_t sacked = 0;
+    std::uint32_t cursor = 0;  ///< all packets below are sacked
+    std::int64_t granted = 0;  ///< bytes the receiver allows (incl. unscheduled)
+    std::uint8_t sched_prio = 0;  ///< priority the latest grant assigned
+    sim::SimTime started_at;
+    sim::TimerId retx_timer;
+    double backoff = 1.0;
+    DoneFn done;
+
+    std::uint32_t pkt_len(std::uint32_t pkt, std::uint32_t mss) const {
+      const std::uint64_t off = static_cast<std::uint64_t>(pkt) * mss;
+      return static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(mss, static_cast<std::uint64_t>(total_bytes) - off));
+    }
+  };
+
+  struct InMsg {
+    std::vector<bool> have;
+    std::uint32_t received = 0;
+    std::uint32_t total_pkts = 0;
+    std::int64_t total_bytes = 0;
+    std::int64_t received_bytes = 0;
+    std::int64_t granted = 0;  ///< highest grant offset sent so far
+    proto::TrafficClassId tc = 0;
+    proto::PortNum src_port = 0;
+    proto::PortNum dst_port = 0;
+    sim::SimTime first_pkt_at;
+  };
+
+  struct MsgKey {
+    net::NodeId src;
+    proto::MsgId id;
+    bool operator==(const MsgKey&) const = default;
+  };
+  struct MsgKeyHash {
+    std::size_t operator()(const MsgKey& k) const {
+      return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(k.src) << 32) ^ k.id);
+    }
+  };
+  /// SRPT order with deterministic ties: (remaining bytes, source, msg id).
+  using SrptKey = std::tuple<std::int64_t, net::NodeId, proto::MsgId>;
+
+  void on_packet(net::Packet&& pkt);
+  void on_data(net::Packet&& pkt);
+  void on_ack(const net::Packet& pkt);
+  void pump(OutMsg& msg);
+  void send_data_pkt(OutMsg& msg, std::uint32_t pkt, bool is_retx);
+  void complete_outgoing(OutMsg& msg);
+  void emit_ack(const net::Packet& data);
+  void send_grant(const MsgKey& key, InMsg& msg, std::int64_t offset,
+                  std::uint8_t prio);
+  /// Re-rank the active set and extend grants for the top `overcommit`.
+  void issue_grants();
+  void arm_retx(OutMsg& msg, sim::SimTime deadline);
+  void on_retx_timer(proto::MsgId id);
+  static void retx_fire(void* self, std::uint64_t id);
+  void rtt_sample(sim::SimTime sample);
+  sim::SimTime rto(const OutMsg& msg) const;
+
+  net::Host& host_;
+  HomaConfig cfg_;
+  sim::Simulator& sim_;
+
+  // --- Sender.
+  proto::MsgId next_msg_id_ = 1;
+  std::unordered_map<proto::MsgId, OutMsg> outgoing_;
+  sim::SimTime srtt_;
+  sim::SimTime rttvar_;
+  bool rtt_valid_ = false;
+  std::uint64_t pkts_sent_ = 0;
+  std::uint64_t pkts_retx_ = 0;
+  std::uint64_t checksum_drops_ = 0;
+
+  // --- Receiver.
+  std::unordered_map<MsgKey, InMsg, MsgKeyHash> incoming_;
+  std::set<SrptKey> active_;  ///< incomplete messages in SRPT grant order
+  std::unordered_set<MsgKey, MsgKeyHash> completed_;
+  std::deque<MsgKey> completed_fifo_;
+  std::unordered_map<proto::PortNum, MessageHandler> handlers_;
+  std::uint64_t msgs_delivered_ = 0;
+  std::uint64_t grants_issued_ = 0;
+  std::uint64_t acks_sent_ = 0;
+
+  telemetry::Registration metrics_;
+};
+
+}  // namespace mtp::transport

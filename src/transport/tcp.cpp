@@ -418,6 +418,8 @@ void TcpConnection::on_ack(const proto::TcpHeader& hdr) {
       // Normal growth: slow start then congestion avoidance.
       if (cwnd_ < ssthresh_) {
         cwnd_ += static_cast<double>(acked);
+      } else if (ca_increase) {
+        cwnd_ += ca_increase(acked);
       } else {
         cwnd_ += static_cast<double>(cfg.mss) * static_cast<double>(acked) / cwnd_;
       }
@@ -694,6 +696,7 @@ void TcpConnection::on_rto() {
   const auto& cfg = stack_.config();
   ++timeouts_;
   ++stack_.timeouts_;
+  if (on_timeout) on_timeout();
   if (telemetry::TraceSink::enabled()) {
     telemetry::TraceEvent ev;
     ev.t = simulator().now();

@@ -64,6 +64,15 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::function<void(std::int64_t bytes)> on_data;     ///< new in-order bytes readable
   std::function<void()> on_send_progress;              ///< snd_una advanced
   std::function<void()> on_closed;                     ///< FIN handshake finished
+  /// Congestion-avoidance override: returns the cwnd increment in bytes for
+  /// `acked` newly acknowledged bytes. MPTCP's Linked-Increases coupling
+  /// hooks in here; unset means classic NewReno mss*acked/cwnd. Slow start,
+  /// loss response, and recovery are untouched.
+  std::function<double(std::int64_t acked)> ca_increase;
+  /// Fires on every retransmission timeout, after the stack's timeout
+  /// accounting and before the go-back-N resend (the multipath scheduler's
+  /// signal to penalize a subflow).
+  std::function<void()> on_timeout;
 
   State state() const { return state_; }
 

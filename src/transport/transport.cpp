@@ -1,0 +1,384 @@
+#include "transport/transport.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mtp::transport {
+
+namespace {
+
+// ------------------------------------------------------------------- MTP
+
+class MtpTransport : public Transport {
+ public:
+  MtpTransport(core::MtpEndpoint& ep, net::NodeId dst, proto::PortNum dst_port,
+               SendOptions defaults)
+      : Transport(defaults), ep_(ep), dst_(dst), dst_port_(dst_port) {}
+
+  void send_message(std::int64_t bytes, const SendOptions& opts,
+                    DoneFn done) override {
+    core::MessageOptions mo;
+    mo.priority = opts.priority;
+    mo.tc = opts.tc;
+    mo.dst_port = dst_port_;
+    mo.deadline = opts.deadline;
+    ep_.send_message(dst_, bytes, std::move(mo),
+                     [this, bytes, done = std::move(done)](
+                         proto::MsgId, sim::SimTime fct) mutable {
+                       ++completed_;
+                       if (done) done(fct, bytes);
+                     });
+  }
+
+  std::uint64_t completed() const override { return completed_; }
+  std::string name() const override { return "mtp"; }
+
+ private:
+  core::MtpEndpoint& ep_;
+  net::NodeId dst_;
+  proto::PortNum dst_port_;
+  std::uint64_t completed_ = 0;
+};
+
+// ------------------------------------------------------------------- TCP
+
+class TcpTransport : public Transport {
+ public:
+  TcpTransport(TcpStack& stack, net::NodeId dst, proto::PortNum dst_port,
+               SendOptions defaults)
+      : Transport(defaults),
+        stack_(stack),
+        dst_(dst),
+        dst_port_(dst_port),
+        client_(stack, dst, dst_port) {}
+
+  // Per-call tc/priority cannot be honored: a TCP stack's traffic class is
+  // per-stack configuration, already set by the fleet.
+  void send_message(std::int64_t bytes, const SendOptions&, DoneFn done) override {
+    client_.send_message(bytes, std::move(done));
+  }
+
+  void send_bulk(std::int64_t bytes) override {
+    bulk_.push_back(
+        std::make_unique<TcpBulkSource>(stack_, dst_, dst_port_, bytes));
+  }
+
+  std::uint64_t completed() const override { return client_.completed(); }
+  std::string name() const override {
+    return stack_.config().dctcp ? "dctcp" : "tcp";
+  }
+
+ private:
+  TcpStack& stack_;
+  net::NodeId dst_;
+  proto::PortNum dst_port_;
+  TcpPerMessageClient client_;
+  std::vector<std::unique_ptr<TcpBulkSource>> bulk_;
+};
+
+// ------------------------------------------------------------------ Homa
+
+class HomaTransport : public Transport {
+ public:
+  HomaTransport(HomaEndpoint& ep, net::NodeId dst, proto::PortNum dst_port,
+                SendOptions defaults)
+      : Transport(defaults), ep_(ep), dst_(dst), dst_port_(dst_port) {}
+
+  void send_message(std::int64_t bytes, const SendOptions& opts,
+                    DoneFn done) override {
+    // Receiver-driven SRPT makes sender-assigned priority moot; deadlines
+    // are not part of the Homa model.
+    HomaOptions ho;
+    ho.tc = opts.tc;
+    ho.dst_port = dst_port_;
+    ep_.send_message(dst_, bytes, ho,
+                     [this, bytes, done = std::move(done)](
+                         proto::MsgId, sim::SimTime fct) mutable {
+                       ++completed_;
+                       if (done) done(fct, bytes);
+                     });
+  }
+
+  std::uint64_t completed() const override { return completed_; }
+  std::string name() const override { return "homa"; }
+
+ private:
+  HomaEndpoint& ep_;
+  net::NodeId dst_;
+  proto::PortNum dst_port_;
+  std::uint64_t completed_ = 0;
+};
+
+// ----------------------------------------------------------------- MPTCP
+
+class MptcpTransport : public Transport {
+ public:
+  MptcpTransport(TcpStack& stack, net::NodeId dst, proto::PortNum dst_port,
+                 MptcpConfig cfg, SendOptions defaults)
+      : Transport(defaults), stack_(stack), dst_(dst), dst_port_(dst_port),
+        cfg_(cfg) {}
+
+  void send_message(std::int64_t bytes, const SendOptions&, DoneFn done) override {
+    // Prune only fully-unwound sessions: a closed-loop done callback calls
+    // send_message while its session's finish() (and the subflow connection
+    // that drove it) are still on the stack — such a session is finished()
+    // but not yet reapable().
+    std::erase_if(sessions_, [](const auto& s) { return s->reapable(); });
+    sessions_.push_back(std::make_unique<MptcpSession>(
+        stack_, dst_, dst_port_, bytes, cfg_,
+        [this, done = std::move(done)](sim::SimTime fct,
+                                       std::int64_t sent) mutable {
+          ++completed_;
+          if (done) done(fct, sent);
+        }));
+  }
+
+  std::uint64_t completed() const override { return completed_; }
+  std::string name() const override { return "mptcp"; }
+
+ private:
+  TcpStack& stack_;
+  net::NodeId dst_;
+  proto::PortNum dst_port_;
+  MptcpConfig cfg_;
+  std::vector<std::unique_ptr<MptcpSession>> sessions_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- fleets
+
+MtpFleet::MtpFleet(const TransportBuildContext& ctx, const TransportConfig& cfg) {
+  net::Host* rcv = ctx.receiver;
+  for (net::Host* h : ctx.senders) {
+    eps_.push_back(std::make_unique<core::MtpEndpoint>(*h, cfg.mtp));
+    // Peer-to-peer topologies: every endpoint also accepts messages.
+    if (!rcv) eps_.back()->listen(ctx.dst_port, [](const core::ReceivedMessage&) {});
+  }
+  if (!rcv) return;
+  // The receiver runs a plain default config: sender-side knobs (scheduling,
+  // pathlet CC tuning) must not distort the sink.
+  rcv_ = std::make_unique<core::MtpEndpoint>(*rcv, core::MtpConfig{});
+  rcv_->listen(ctx.dst_port, [](const core::ReceivedMessage&) {});
+  if (ctx.meter) {
+    auto* meter = ctx.meter;
+    // The receiver's shard clock: payload deliveries (and so the meter) run
+    // on that shard's worker thread only.
+    auto* sim = &ctx.net->simulator(ctx.net->shard_of(*rcv));
+    rcv_->on_payload = [meter, sim](std::int64_t bytes) {
+      meter->record(sim->now(), bytes);
+    };
+  }
+  for (std::size_t i = 0; i < eps_.size(); ++i) {
+    SendOptions defaults;
+    defaults.tc = ctx.tc_of(i);
+    senders_.push_back(std::make_unique<MtpTransport>(*eps_[i], rcv->id(),
+                                                      ctx.dst_port, defaults));
+  }
+}
+
+std::size_t MtpFleet::num_senders() const { return senders_.size(); }
+Transport& MtpFleet::sender(std::size_t i) { return *senders_.at(i); }
+
+TransportMetrics MtpFleet::metrics() const {
+  TransportMetrics m;
+  for (const auto& t : senders_) m.msgs_completed += t->completed();
+  for (const auto& ep : eps_) {
+    m.pkts_sent += ep->pkts_sent();
+    m.retransmits += ep->pkts_retransmitted();
+  }
+  if (rcv_) m.grants_issued = rcv_->grants_issued();
+  return m;
+}
+
+TcpFleet::TcpFleet(const TransportBuildContext& ctx, const TransportConfig& cfg) {
+  for (std::size_t i = 0; i < ctx.senders.size(); ++i) {
+    TcpConfig c = cfg.tcp;
+    c.tc = ctx.tc_of(i);
+    stacks_.push_back(std::make_unique<TcpStack>(*ctx.senders[i], c));
+  }
+  net::Host* rcv = ctx.receiver;
+  if (!rcv) return;
+  TcpConfig rcfg = cfg.tcp;
+  rcfg.tc = 0;
+  rcv_ = std::make_unique<TcpStack>(*rcv, rcfg);
+  sink_ = std::make_unique<TcpSink>(*rcv_, ctx.dst_port, ctx.meter);
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    SendOptions defaults;
+    defaults.tc = ctx.tc_of(i);
+    senders_.push_back(std::make_unique<TcpTransport>(*stacks_[i], rcv->id(),
+                                                      ctx.dst_port, defaults));
+  }
+}
+
+std::string TcpFleet::name() const {
+  return !stacks_.empty() && stacks_.front()->config().dctcp ? "dctcp" : "tcp";
+}
+std::size_t TcpFleet::num_senders() const { return senders_.size(); }
+Transport& TcpFleet::sender(std::size_t i) { return *senders_.at(i); }
+
+TransportMetrics TcpFleet::metrics() const {
+  TransportMetrics m;
+  for (const auto& t : senders_) m.msgs_completed += t->completed();
+  for (const auto& s : stacks_) {
+    m.pkts_sent += s->total_pkts_sent();
+    m.retransmits += s->total_retransmits();
+    m.timeouts += s->total_timeouts();
+  }
+  if (rcv_) {
+    m.pkts_sent += rcv_->total_pkts_sent();
+    m.retransmits += rcv_->total_retransmits();
+    m.timeouts += rcv_->total_timeouts();
+  }
+  return m;
+}
+
+HomaFleet::HomaFleet(const TransportBuildContext& ctx, const TransportConfig& cfg) {
+  net::Host* rcv = ctx.receiver;
+  for (net::Host* h : ctx.senders) {
+    eps_.push_back(std::make_unique<HomaEndpoint>(*h, cfg.homa));
+    if (!rcv) eps_.back()->listen(ctx.dst_port, [](net::NodeId, std::int64_t) {});
+  }
+  if (!rcv) return;
+  // Unlike MTP, the receiver shares the transport config: rtt_bytes,
+  // overcommit and the priority split are receiver-side grant policy.
+  rcv_ = std::make_unique<HomaEndpoint>(*rcv, cfg.homa);
+  rcv_->listen(ctx.dst_port, [](net::NodeId, std::int64_t) {});
+  if (ctx.meter) {
+    auto* meter = ctx.meter;
+    auto* sim = &ctx.net->simulator(ctx.net->shard_of(*rcv));
+    rcv_->on_payload = [meter, sim](std::int64_t bytes) {
+      meter->record(sim->now(), bytes);
+    };
+  }
+  for (std::size_t i = 0; i < eps_.size(); ++i) {
+    SendOptions defaults;
+    defaults.tc = ctx.tc_of(i);
+    senders_.push_back(std::make_unique<HomaTransport>(*eps_[i], rcv->id(),
+                                                       ctx.dst_port, defaults));
+  }
+}
+
+std::size_t HomaFleet::num_senders() const { return senders_.size(); }
+Transport& HomaFleet::sender(std::size_t i) { return *senders_.at(i); }
+
+TransportMetrics HomaFleet::metrics() const {
+  TransportMetrics m;
+  for (const auto& t : senders_) m.msgs_completed += t->completed();
+  for (const auto& ep : eps_) {
+    m.pkts_sent += ep->pkts_sent();
+    m.retransmits += ep->pkts_retransmitted();
+  }
+  if (rcv_) m.grants_issued = rcv_->grants_issued();
+  return m;
+}
+
+MptcpFleet::MptcpFleet(const TransportBuildContext& ctx, const TransportConfig& cfg) {
+  for (std::size_t i = 0; i < ctx.senders.size(); ++i) {
+    TcpConfig c = cfg.tcp;
+    c.tc = ctx.tc_of(i);
+    stacks_.push_back(std::make_unique<TcpStack>(*ctx.senders[i], c));
+  }
+  net::Host* rcv = ctx.receiver;
+  if (!rcv) return;
+  TcpConfig rcfg = cfg.tcp;
+  rcfg.tc = 0;
+  rcv_ = std::make_unique<TcpStack>(*rcv, rcfg);
+  sink_ = std::make_unique<TcpSink>(*rcv_, ctx.dst_port, ctx.meter);
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    SendOptions defaults;
+    defaults.tc = ctx.tc_of(i);
+    senders_.push_back(std::make_unique<MptcpTransport>(
+        *stacks_[i], rcv->id(), ctx.dst_port, cfg.mptcp, defaults));
+  }
+}
+
+std::size_t MptcpFleet::num_senders() const { return senders_.size(); }
+Transport& MptcpFleet::sender(std::size_t i) { return *senders_.at(i); }
+
+TransportMetrics MptcpFleet::metrics() const {
+  TransportMetrics m;
+  for (const auto& t : senders_) m.msgs_completed += t->completed();
+  for (const auto& s : stacks_) {
+    m.pkts_sent += s->total_pkts_sent();
+    m.retransmits += s->total_retransmits();
+    m.timeouts += s->total_timeouts();
+  }
+  if (rcv_) {
+    m.pkts_sent += rcv_->total_pkts_sent();
+    m.retransmits += rcv_->total_retransmits();
+    m.timeouts += rcv_->total_timeouts();
+  }
+  return m;
+}
+
+// -------------------------------------------------------------- registry
+
+TransportRegistry& TransportRegistry::global() {
+  static TransportRegistry* reg = [] {
+    auto* r = new TransportRegistry();
+    r->add("mtp", [](const TransportBuildContext& ctx, const TransportConfig& cfg) {
+      return std::make_unique<MtpFleet>(ctx, cfg);
+    });
+    r->add("tcp", [](const TransportBuildContext& ctx, const TransportConfig& cfg) {
+      return std::make_unique<TcpFleet>(ctx, cfg);
+    });
+    r->add("dctcp", [](const TransportBuildContext& ctx, const TransportConfig& cfg) {
+      TransportConfig c = cfg;
+      c.tcp.dctcp = true;
+      return std::make_unique<TcpFleet>(ctx, c);
+    });
+    r->add("homa", [](const TransportBuildContext& ctx, const TransportConfig& cfg) {
+      return std::make_unique<HomaFleet>(ctx, cfg);
+    });
+    r->add("mptcp", [](const TransportBuildContext& ctx, const TransportConfig& cfg) {
+      return std::make_unique<MptcpFleet>(ctx, cfg);
+    });
+    return r;
+  }();
+  return *reg;
+}
+
+void TransportRegistry::add(std::string name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, f] : factories_) {
+    if (n == name) {
+      f = std::move(factory);  // re-registration replaces
+      return;
+    }
+  }
+  factories_.emplace_back(std::move(name), std::move(factory));
+}
+
+std::vector<std::string> TransportRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) out.push_back(n);
+  return out;
+}
+
+std::unique_ptr<TransportFleet> TransportRegistry::build(
+    const std::string& name, const TransportBuildContext& ctx,
+    const TransportConfig& cfg) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [n, f] : factories_) {
+      if (n == name) {
+        factory = f;
+        break;
+      }
+    }
+  }
+  if (!factory) {
+    std::ostringstream msg;
+    msg << "unknown transport '" << name << "'; registered:";
+    for (const auto& n : names()) msg << " " << n;
+    throw std::invalid_argument(msg.str());
+  }
+  return factory(ctx, cfg);
+}
+
+}  // namespace mtp::transport

@@ -231,7 +231,7 @@ TEST(FlowScenario, FluidReservationInflatesForegroundSerialization) {
     scenario::ScenarioBuilder b;
     b.seed(5)
         .topology(scenario::topo::shared_bottleneck())
-        .transport(scenario::TransportKind::kMtp)
+        .transport("mtp")
         .workload(std::move(sched));
     if (with_bulk) {
       b.bulk_mode(scenario::BulkMode::kFlowLevel)
@@ -275,7 +275,7 @@ TEST(FlowScenario, OracleFlowMatchesPacedPacketCompletionTimes) {
     auto s = scenario::ScenarioBuilder()
                  .seed(5)
                  .topology(scenario::topo::incast(4))
-                 .transport(scenario::TransportKind::kMtp)
+                 .transport("mtp")
                  .bulk_mode(mode)
                  .bulk_transfers(bulk)
                  .build();
@@ -301,7 +301,7 @@ TEST(FlowScenario, FlowModeUsesFarFewerEventsThanPacket) {
     auto s = scenario::ScenarioBuilder()
                  .seed(5)
                  .topology(scenario::topo::incast(4))
-                 .transport(scenario::TransportKind::kMtp)
+                 .transport("mtp")
                  .bulk_mode(mode)
                  .bulk_transfer({.at = 10_us, .src = 0,
                                  .dst = scenario::kBulkToReceiver,
@@ -331,7 +331,7 @@ TEST(FlowScenario, ShardInvariantAcrossFlapsAndSeeds) {
                    .seed(seed)
                    .shards(shards)
                    .topology(scenario::topo::fat_tree({.k = 4}))
-                   .transport(scenario::TransportKind::kMtp)
+                   .transport("mtp")
                    .bulk_mode(scenario::BulkMode::kFlowLevel)
                    .bulk_transfers(workload::bulk_ring(
                        16, 12, 400'000 + static_cast<std::int64_t>(seed) * 1000, 5,
@@ -371,7 +371,7 @@ TEST(FlowScenario, ForegroundCouplingSlowsFluidFlows) {
     scenario::ScenarioBuilder b;
     b.seed(5)
         .topology(scenario::topo::shared_bottleneck())
-        .transport(scenario::TransportKind::kMtp)
+        .transport("mtp")
         .workload(std::move(sched))
         .bulk_mode(scenario::BulkMode::kFlowLevel)
         .bulk_transfer({.at = sim::SimTime::zero(), .src = 0,

@@ -227,7 +227,7 @@ std::uint64_t scenario_sweep_digest(unsigned workers) {
                      .seed(300 + job)
                      .topology(scenario::topo::fat_tree({.k = 4}))
                      .forwarding(scenario::Forwarding::kMessageAware)
-                     .transport(scenario::TransportKind::kMtp)
+                     .transport("mtp")
                      .build();
         const int hosts = static_cast<int>(s->num_senders());
         std::uint64_t digest = 14695981039346656037ull;

@@ -1,6 +1,7 @@
 // Tests for the mtp::scenario library: the fluent builder must assemble the
-// same rigs the benches used to hand-roll, and the unified MessageSender
-// seam must behave identically across transports.
+// same rigs the benches used to hand-roll, and the transport::Transport
+// fleets it builds from the registry must behave identically across
+// transports (the per-name contract lives in transport_conformance_test).
 #include <gtest/gtest.h>
 
 #include "scenario/scenario.hpp"
@@ -25,7 +26,7 @@ TEST(ScenarioBuilder, MtpWorkloadRecordsAllCompletions) {
                .seed(3)
                .topology(topo::dual_path(2))
                .forwarding(Forwarding::kMessageAware)
-               .transport(TransportKind::kMtp)
+               .transport("mtp")
                .workload(small_schedule(10, 2))
                .build();
   ASSERT_EQ(s->num_senders(), 2u);
@@ -42,7 +43,7 @@ TEST(ScenarioBuilder, TcpWorkloadRecordsAllCompletions) {
                .seed(3)
                .topology(topo::dual_path(2))
                .forwarding(Forwarding::kEcmp)
-               .transport(TransportKind::kTcp)
+               .transport("tcp")
                .workload(small_schedule(5, 2))
                .build();
   EXPECT_EQ(s->sender(0).name(), "tcp");
@@ -56,7 +57,7 @@ TEST(ScenarioBuilder, DctcpTransportIsTcpStackWithDctcpEnabled) {
   auto s = ScenarioBuilder()
                .seed(3)
                .topology(topo::dual_path(1))
-               .transport(TransportKind::kDctcp)
+               .transport("dctcp")
                .build();
   EXPECT_EQ(s->sender(0).name(), "dctcp");
   EXPECT_TRUE(s->tcp_sender(0)->config().dctcp);
@@ -67,7 +68,7 @@ TEST(ScenarioBuilder, BulkTransferFeedsGoodputMeter) {
                .seed(3)
                .topology(topo::two_path_flip())
                .forwarding(Forwarding::kAlternating, 200_us)
-               .transport(TransportKind::kMtp)
+               .transport("mtp")
                .bulk()
                .goodput_window(50_us)
                .build();
@@ -82,7 +83,7 @@ TEST(ScenarioBuilder, FlapTakesFaultLinkDownAndRestoresIt) {
                .seed(42)
                .topology(topo::dual_hop_fabric())
                .forwarding(Forwarding::kMessageAware)
-               .transport(TransportKind::kMtp)
+               .transport("mtp")
                .flap(0, 100_us, 200_us)
                .build();
   ASSERT_FALSE(s->topo().fault_links.empty());
@@ -99,7 +100,7 @@ TEST(ScenarioBuilder, SenderTcsReachTheWire) {
   auto s = ScenarioBuilder()
                .seed(7)
                .topology(topo::shared_bottleneck())
-               .transport(TransportKind::kMtp)
+               .transport("mtp")
                .sender_tcs({1, 2})
                .workload(small_schedule(4, 2))
                .build();
@@ -111,7 +112,7 @@ TEST(ScenarioTopo, IncastFansIntoOneReceiver) {
   auto s = ScenarioBuilder()
                .seed(5)
                .topology(topo::incast(8))
-               .transport(TransportKind::kMtp)
+               .transport("mtp")
                .workload(small_schedule(2, 8))
                .build();
   ASSERT_EQ(s->num_senders(), 8u);
@@ -124,7 +125,7 @@ TEST(ScenarioTopo, FatTreePeerToPeerModeDrivesEndpointsDirectly) {
                .seed(11)
                .topology(topo::fat_tree({.k = 4}))
                .forwarding(Forwarding::kMessageAware)
-               .transport(TransportKind::kMtp)
+               .transport("mtp")
                .build();
   ASSERT_EQ(s->num_senders(), 16u);
   EXPECT_EQ(s->topo().receiver, nullptr);
@@ -144,7 +145,7 @@ TEST(ScenarioTopo, TwoPathFlipExposesFastAndSlowPaths) {
   auto s = ScenarioBuilder()
                .seed(1)
                .topology(topo::two_path_flip())
-               .transport(TransportKind::kMtp)
+               .transport("mtp")
                .build();
   ASSERT_EQ(s->topo().paths.size(), 2u);
   EXPECT_GT(s->topo().paths[0]->bandwidth().gbit_per_sec(),
@@ -157,7 +158,7 @@ TEST(ScenarioBuilder, DeterministicAcrossRebuilds) {
                  .seed(9)
                  .topology(topo::dual_path(2))
                  .forwarding(Forwarding::kSpray)
-                 .transport(TransportKind::kMtp)
+                 .transport("mtp")
                  .workload(small_schedule(8, 2))
                  .build();
     s->run();

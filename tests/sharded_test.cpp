@@ -172,7 +172,7 @@ FabricResult run_fabric(std::uint64_t seed, unsigned shards) {
                .shards(shards)
                .topology(scenario::topo::fat_tree({.k = 4}))
                .forwarding(scenario::Forwarding::kMessageAware)
-               .transport(scenario::TransportKind::kMtp)
+               .transport("mtp")
                .workload(fabric_schedule(kHosts, 3))
                .build();
 
@@ -248,7 +248,7 @@ TEST(ShardedScenario, WorkloadFctStatsMatchSerialOnReceiverTopology) {
                  .shards(shards)
                  .topology(scenario::topo::dual_path(2))
                  .forwarding(scenario::Forwarding::kMessageAware)
-                 .transport(scenario::TransportKind::kMtp)
+                 .transport("mtp")
                  .workload(std::move(sched))
                  .build();
     s->run();

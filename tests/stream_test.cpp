@@ -469,7 +469,7 @@ TEST(StreamScenario, WorkloadRecordsDeliverOnceAndLandInFct) {
   auto s = scenario::ScenarioBuilder()
                .seed(3)
                .topology(scenario::topo::incast(4))
-               .transport(scenario::TransportKind::kMtp)
+               .transport("mtp")
                .workload(std::move(sched))
                .stream_workload({.fec_k = 4, .fec_r = 1})
                .build();
@@ -486,7 +486,7 @@ TEST(StreamScenario, WorkloadRecordsDeliverOnceAndLandInFct) {
 TEST(StreamScenario, RequiresMtpTransport) {
   EXPECT_THROW(scenario::ScenarioBuilder()
                    .topology(scenario::topo::incast(2))
-                   .transport(scenario::TransportKind::kTcp)
+                   .transport("tcp")
                    .stream_workload({})
                    .build(),
                std::logic_error);
@@ -526,7 +526,7 @@ TEST(StreamSharded, ChaosLossAndFlapsDigestsMatchAcrossShardCounts) {
                    .shards(shards)
                    .topology(scenario::topo::dual_path(kSenders))
                    .forwarding(scenario::Forwarding::kEcmp)
-                   .transport(scenario::TransportKind::kMtp)
+                   .transport("mtp")
                    .workload(std::move(sched))
                    .stream_workload({.fec_k = 4,
                                      .fec_r = 1,

@@ -1,0 +1,203 @@
+// Transport conformance battery.
+//
+// Every transport in transport::TransportRegistry — MTP, TCP, DCTCP, the
+// Homa-style receiver-driven transport and the MPTCP subflow model — must
+// honor the same contract behind the transport::Transport API:
+//
+//   1. exactly-once completion: every submitted message fires its done
+//      callback exactly once (aborts count, like TCP's per-message client);
+//   2. FCT monotonicity: on an idle path, a bigger message never finishes
+//      faster than a smaller one;
+//   3. liveness under faults: a mid-run link flap delays but never loses
+//      completions;
+//   4. shard invariance: the (fct, bytes) completion multiset is identical
+//      at 1, 2 and 4 space shards.
+//
+// The suite is parameterized by registry name, so a transport added by a
+// downstream test automatically gets no coverage here — but the registry
+// tests at the bottom show how to plug one in.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace mtp::scenario {
+namespace {
+
+class TransportConformance : public ::testing::TestWithParam<const char*> {};
+
+workload::ArrivalSchedule spaced_schedule(int per_sender, int senders,
+                                          std::int64_t bytes, sim::SimTime gap) {
+  workload::ArrivalSchedule sched;
+  sim::SimTime t = 1_us;
+  for (int m = 0; m < per_sender; ++m) {
+    for (int s = 0; s < senders; ++s) {
+      sched.add(t, static_cast<std::uint32_t>(s), bytes);
+      t += gap;
+    }
+  }
+  return sched;
+}
+
+TEST_P(TransportConformance, EveryMessageCompletesExactlyOnce) {
+  auto s = ScenarioBuilder()
+               .seed(11)
+               .topology(topo::incast(4))
+               .transport(GetParam())
+               .workload(spaced_schedule(3, 4, 20'000, 5_us))
+               .build();
+  EXPECT_EQ(s->transport_name(), GetParam());
+  s->run();
+  EXPECT_EQ(s->fct().count(), 12u);
+  EXPECT_EQ(s->replayed(), 12u);
+  std::uint64_t completed = 0;
+  for (std::size_t i = 0; i < s->num_senders(); ++i) {
+    completed += s->sender(i).completed();
+  }
+  EXPECT_EQ(completed, 12u);
+  const transport::TransportMetrics m = s->transport_metrics();
+  EXPECT_EQ(m.msgs_completed, 12u);
+  EXPECT_GT(m.pkts_sent, 0u);
+}
+
+TEST_P(TransportConformance, FctGrowsWithMessageSize) {
+  auto s = ScenarioBuilder()
+               .seed(5)
+               .topology(topo::incast(1))
+               .transport(GetParam())
+               .build();
+  // One message at a time, 1 ms apart — far longer than any FCT here, so
+  // each size runs on an idle network.
+  constexpr std::int64_t kSizes[] = {2'000, 16'000, 64'000, 256'000};
+  std::vector<sim::SimTime> fct(4);
+  auto& sim = s->simulator();
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule_keyed_at(
+        sim::SimTime::microseconds(1'000 * (i + 1)), 0x7e57c0deULL + i,
+        [&s, &fct, &kSizes, i] {
+          s->sender(0).send_message(
+              kSizes[i], [&fct, i](sim::SimTime t, std::int64_t) { fct[i] = t; });
+        });
+  }
+  s->run();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_GT(fct[i].ns(), 0) << "message " << i << " never completed";
+  }
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GE(fct[i].ns(), fct[i - 1].ns())
+        << kSizes[i] << "B finished faster than " << kSizes[i - 1] << "B";
+  }
+}
+
+TEST_P(TransportConformance, CompletesAcrossLinkFlap) {
+  // ECMP over dual paths; the first path dies at 60 us for 300 us, while
+  // the workload is still arriving. Recovery may be slow (RTO backoff) but
+  // every message must still complete.
+  auto s = ScenarioBuilder()
+               .seed(9)
+               .topology(topo::dual_path(2))
+               .forwarding(Forwarding::kEcmp)
+               .transport(GetParam())
+               .workload(spaced_schedule(5, 2, 40'000, 10_us))
+               .flap(0, 60_us, 300_us)
+               .build();
+  s->run();
+  EXPECT_EQ(s->fct().count(), 10u);
+}
+
+/// incast(4) with sender i placed on shard i mod shards; switch + receiver
+/// on shard 0. Node creation ORDER is identical for every shard count (only
+/// placement differs), which the sharded engine's determinism contract
+/// requires.
+TopologyFn sharded_incast(int senders) {
+  return [=](net::Network& net) {
+    const net::DropTailQueue::Config q{.capacity_pkts = 128, .ecn_threshold_pkts = 20};
+    Topology t;
+    net::Switch* sw = net.add_switch("sw");
+    net::Host* rcv = net.add_host("recv");
+    for (int i = 0; i < senders; ++i) {
+      net.set_build_shard(static_cast<unsigned>(i) % net.shards());
+      net::Host* h = net.add_host("h" + std::to_string(i));
+      t.senders.push_back(h);
+      net.connect(*h, *sw, sim::Bandwidth::gbps(100), 1_us, q);
+      sw->add_route(h->id(), static_cast<net::PortIndex>(i));
+    }
+    net.set_build_shard(0);
+    auto down = net.connect(*sw, *rcv, sim::Bandwidth::gbps(100), 1_us, q);
+    sw->add_route(rcv->id(), static_cast<net::PortIndex>(senders));
+    t.receiver = rcv;
+    t.lb_switches = {sw};
+    t.paths = {down.forward};
+    t.fault_links = {down.forward};
+    return t;
+  };
+}
+
+std::tuple<std::uint64_t, std::size_t> digest_run(const char* transport,
+                                                  unsigned shards) {
+  auto s = ScenarioBuilder()
+               .seed(21)
+               .shards(shards)
+               .topology(sharded_incast(4))
+               .transport(transport)
+               .workload(spaced_schedule(4, 4, 12'000, 3_us))
+               .build();
+  s->run();
+  return {s->fct_digest(), s->fct().count()};
+}
+
+TEST_P(TransportConformance, FctDigestInvariantAcrossShardCounts) {
+  const auto one = digest_run(GetParam(), 1);
+  EXPECT_EQ(std::get<1>(one), 16u);
+  for (unsigned shards : {2u, 4u}) {
+    EXPECT_EQ(digest_run(GetParam(), shards), one) << shards << " shards";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, TransportConformance,
+                         ::testing::Values("mtp", "tcp", "dctcp", "homa",
+                                           "mptcp"),
+                         [](const auto& info) { return std::string(info.param); });
+
+// --- registry behavior -------------------------------------------------------
+
+TEST(TransportRegistry, UnknownNameFailsListingRegistered) {
+  ScenarioBuilder b;
+  b.seed(1).topology(topo::incast(1)).transport("quic");
+  try {
+    b.build();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quic"), std::string::npos);
+    for (const char* n : {"mtp", "tcp", "dctcp", "homa", "mptcp"}) {
+      EXPECT_NE(what.find(n), std::string::npos) << n << " missing from: " << what;
+    }
+  }
+}
+
+TEST(TransportRegistry, CustomTransportsPlugIn) {
+  transport::TransportRegistry::global().add(
+      "mtp-tuned", [](const transport::TransportBuildContext& ctx,
+                      const transport::TransportConfig& cfg) {
+        transport::TransportConfig c = cfg;
+        c.mtp.scheduling = core::MtpConfig::Scheduling::kSrpt;
+        return std::make_unique<transport::MtpFleet>(ctx, c);
+      });
+  auto s = ScenarioBuilder()
+               .seed(2)
+               .topology(topo::incast(2))
+               .transport("mtp-tuned")
+               .workload(spaced_schedule(2, 2, 8'000, 4_us))
+               .build();
+  s->run();
+  EXPECT_EQ(s->fct().count(), 4u);
+  // Concrete accessors still work through the custom factory's fleet type.
+  EXPECT_NE(s->mtp_sender(0), nullptr);
+}
+
+}  // namespace
+}  // namespace mtp::scenario
